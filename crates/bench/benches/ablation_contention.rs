@@ -1,0 +1,51 @@
+//! A3 — ablation: contention model. Compares the ideal (infinite-capacity)
+//! step model against the wormhole path-reservation model on the same
+//! workloads, quantifying how much of the paper's measured latency is pure
+//! pipeline (Theorem 2) versus network contention.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::prelude::*;
+use optimcast::topology::ordering::cco;
+
+fn bench_contention_modes(c: &mut Criterion) {
+    let net = IrregularNetwork::generate(IrregularConfig::default(), 31);
+    let params = SystemParams::paper_1997();
+    let dests: Vec<HostId> = (1..64).map(HostId).collect();
+    let chain = cco(&net).arrange(HostId(0), &dests);
+    let n = chain.len() as u32;
+    let m = 16;
+    let tree = kbinomial_tree(n, optimal_k(u64::from(n), m).k);
+
+    let mut g = c.benchmark_group("ablation/contention");
+    for (name, mode) in [
+        ("ideal", ContentionMode::Ideal),
+        ("wormhole", ContentionMode::Wormhole),
+    ] {
+        let cfgr = RunConfig {
+            contention: mode,
+            ..RunConfig::default()
+        };
+        let out = run_multicast(&net, &tree, &chain, m, &params, cfgr);
+        println!(
+            "[contention] {name:>8}: latency {:.1} us ({} blocked, {:.1} us stalled)",
+            out.latency_us, out.blocked_sends, out.channel_wait_us
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| run_multicast(&net, &tree, black_box(&chain), m, &params, cfgr))
+        });
+    }
+    g.finish();
+
+    // Analytic floor for reference.
+    let analytic = smart_latency_us(&fpfs_schedule(&tree, m), &params);
+    println!("[contention] analytic contention-free floor: {analytic:.1} us");
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_contention_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! A4 — extension (paper §4.3.2/§7): k-binomial multicast on regular k-ary
+//! n-cubes with dimension-ordered chains, versus the irregular network.
+//! The hypercube embedding is contention-free for single packets; the bench
+//! prints the residual multi-packet nesting contention (see EXPERIMENTS.md).
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::prelude::*;
+
+fn bench_cubes(c: &mut Criterion) {
+    let params = SystemParams::paper_1997();
+    let m = 8;
+    let mut g = c.benchmark_group("ablation/cube");
+    for (arity, dims) in [(2u32, 6u32), (4, 3), (8, 2)] {
+        let net = CubeNetwork::new(arity, dims);
+        let n = net.num_hosts();
+        let chain: Vec<HostId> = (0..n).map(HostId).collect();
+        let tree = kbinomial_tree(n, optimal_k(u64::from(n), m).k);
+        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default());
+        println!(
+            "[cube] {}: latency {:.1} us, {} blocked sends",
+            net.describe(),
+            out.latency_us,
+            out.blocked_sends
+        );
+        g.bench_function(format!("{arity}ary{dims}cube_broadcast_m{m}"), |b| {
+            b.iter(|| {
+                run_multicast(
+                    &net,
+                    &tree,
+                    black_box(&chain),
+                    m,
+                    &params,
+                    RunConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_cubes
+}
+criterion_main!(benches);

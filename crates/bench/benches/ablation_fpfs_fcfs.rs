@@ -1,0 +1,45 @@
+//! A2 — ablation: FPFS vs FCFS smart-NI forwarding end to end (§3.3).
+//! Latency is comparable on the paper's trees; the buffer requirement is
+//! where FPFS wins — both are printed alongside the measurements.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::core::schedule::ForwardingDiscipline;
+use optimcast::prelude::*;
+use optimcast::topology::ordering::cco;
+
+fn bench_disciplines(c: &mut Criterion) {
+    let net = IrregularNetwork::generate(IrregularConfig::default(), 29);
+    let params = SystemParams::paper_1997();
+    let dests: Vec<HostId> = (1..48).map(HostId).collect();
+    let chain = cco(&net).arrange(HostId(0), &dests);
+    let n = chain.len() as u32;
+    let m = 16;
+    let tree = binomial_tree(n);
+
+    let mut g = c.benchmark_group("ablation/discipline");
+    for disc in [ForwardingDiscipline::Fpfs, ForwardingDiscipline::Fcfs] {
+        let cfgr = RunConfig {
+            nic: NicKind::Smart(disc),
+            ..RunConfig::default()
+        };
+        let out = run_multicast(&net, &tree, &chain, m, &params, cfgr);
+        let max_fwd_buf = out.max_ni_buffer[1..].iter().copied().max().unwrap_or(0);
+        println!(
+            "[discipline] {disc:?}: latency {:.1} us, max forwarding buffer {} pkts",
+            out.latency_us, max_fwd_buf
+        );
+        g.bench_function(format!("{disc:?}"), |b| {
+            b.iter(|| run_multicast(&net, &tree, black_box(&chain), m, &params, cfgr))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_disciplines
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! A1 — ablation: base ordering choice. The paper builds trees on CCO;
+//! this ablation swaps in a random permutation and a switch-grouped
+//! ordering, measuring the simulated latency impact of residual wormhole
+//! contention on the same tree/workload.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::prelude::*;
+use optimcast::topology::ordering::{cco, poc, switch_grouped};
+
+fn chains(net: &IrregularNetwork) -> Vec<(&'static str, Vec<HostId>)> {
+    let dests: Vec<HostId> = (1..48).map(HostId).collect();
+    vec![
+        ("cco", cco(net).arrange(HostId(0), &dests)),
+        ("poc", poc(net).arrange(HostId(0), &dests)),
+        (
+            "switch_grouped",
+            switch_grouped(net.topology()).arrange(HostId(0), &dests),
+        ),
+        (
+            "random",
+            Ordering::random(64, 777).arrange(HostId(0), &dests),
+        ),
+    ]
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let net = IrregularNetwork::generate(IrregularConfig::default(), 13);
+    let params = SystemParams::paper_1997();
+    let m = 8;
+    let mut g = c.benchmark_group("ablation/ordering");
+    for (name, chain) in chains(&net) {
+        let n = chain.len() as u32;
+        let tree = kbinomial_tree(n, optimal_k(u64::from(n), m).k);
+        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default());
+        println!(
+            "[ordering] {name:>14}: latency {:.1} us, {} blocked sends, {:.1} us total stall",
+            out.latency_us, out.blocked_sends, out.channel_wait_us
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_multicast(
+                    &net,
+                    &tree,
+                    black_box(&chain),
+                    m,
+                    &params,
+                    RunConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_orderings
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E4 — §3.3.2: buffer requirement of FCFS vs FPFS smart-NI forwarding.
+//! Benches the closed-form analysis sweep and the trace-driven occupancy
+//! extraction from exact schedules, and prints the comparison table.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::core::buffer::BufferAnalysis;
+use optimcast::core::schedule::{fcfs_schedule, fpfs_schedule};
+use optimcast::prelude::*;
+
+fn bench_closed_forms(c: &mut Criterion) {
+    c.benchmark_group("buffers/closed_form")
+        .bench_function("sweep_k1to8_m1to64", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for k in 1..=8u32 {
+                    for m in 1..=64u32 {
+                        let a = BufferAnalysis::new(k, m);
+                        acc += a.fcfs_residency + a.fpfs_residency;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+}
+
+fn bench_trace_occupancy(c: &mut Criterion) {
+    let tree = binomial_tree(64);
+    let inner = tree.root_children()[0];
+    let mut g = c.benchmark_group("buffers/trace");
+    for m in [8u32, 32] {
+        let fp = fpfs_schedule(&tree, m);
+        let fc = fcfs_schedule(&tree, m);
+        g.bench_function(format!("fpfs_m{m}"), |b| {
+            b.iter(|| black_box(fp.max_buffered(inner)))
+        });
+        g.bench_function(format!("fcfs_m{m}"), |b| {
+            b.iter(|| black_box(fc.max_buffered(inner)))
+        });
+    }
+    g.finish();
+
+    // Table: paper's qualitative claim, printed alongside the measurements.
+    println!("[buffers] intermediate node with 5 children (binomial/64 first child):");
+    for m in [1u32, 8, 32] {
+        let fp = fpfs_schedule(&tree, m).max_buffered(inner);
+        let fc = fcfs_schedule(&tree, m).max_buffered(inner);
+        println!("[buffers]   m={m:>2}: FPFS holds {fp} pkts, FCFS holds {fc} pkts");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_closed_forms, bench_trace_occupancy
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Extension benches — the paper's §7 future work implemented: collective
+//! operations (broadcast, scatter, gather, all-gather, reduce, barrier)
+//! under packetization and smart NI support.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::collectives::{
+    allgather_recursive_doubling_us, allgather_ring_us, barrier_us, broadcast,
+    gather_schedule, reduce_latency_us, scatter_schedule, OrderPolicy,
+};
+use optimcast::prelude::*;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let net = IrregularNetwork::generate(IrregularConfig::default(), 51);
+    let ordering = cco(&net);
+    let params = SystemParams::paper_1997();
+    c.benchmark_group("collectives/broadcast")
+        .bench_function("irregular64_m8", |b| {
+            b.iter(|| {
+                broadcast(
+                    &net,
+                    black_box(&ordering),
+                    HostId(0),
+                    8,
+                    &params,
+                    RunConfig::default(),
+                )
+            })
+        });
+}
+
+fn bench_scatter_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/scatter_gather");
+    for (name, tree) in [("chain64", linear_tree(64)), ("kbin64", kbinomial_tree(64, 2))] {
+        g.bench_function(format!("scatter_{name}_m8"), |b| {
+            b.iter(|| scatter_schedule(black_box(&tree), 8, OrderPolicy::DeepestFirst))
+        });
+        g.bench_function(format!("gather_{name}_m8"), |b| {
+            b.iter(|| gather_schedule(black_box(&tree), 8, OrderPolicy::DeepestFirst))
+        });
+    }
+    g.finish();
+
+    // The inversion finding, printed with the measurements.
+    let chain = scatter_schedule(&linear_tree(64), 8, OrderPolicy::DeepestFirst);
+    let kbin = scatter_schedule(&kbinomial_tree(64, 2), 8, OrderPolicy::DeepestFirst);
+    println!(
+        "[scatter] chain {} steps (bound {}) vs kbin {} steps — the chain wins scatter",
+        chain.total_steps(),
+        chain.source_bound(),
+        kbin.total_steps()
+    );
+}
+
+fn bench_analytic_collectives(c: &mut Criterion) {
+    let params = SystemParams::paper_1997();
+    let model = optimcast::core::param_model::ParamModel::step_model(&params);
+    let mut g = c.benchmark_group("collectives/analytic");
+    g.bench_function("allgather_ring_n64_m8", |b| {
+        b.iter(|| allgather_ring_us(black_box(64), 8, &model))
+    });
+    g.bench_function("allgather_rd_n64_m8", |b| {
+        b.iter(|| allgather_recursive_doubling_us(black_box(64), 8, &model))
+    });
+    g.bench_function("reduce_n64_m8", |b| {
+        b.iter(|| reduce_latency_us(black_box(64), 8, 2, 0.5, &params))
+    });
+    g.bench_function("barrier_n64", |b| b.iter(|| barrier_us(black_box(64), &params)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_broadcast, bench_scatter_gather, bench_analytic_collectives
+}
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Shared bench configuration: short, stable Criterion settings so the full
+//! `cargo bench` pass (one target per paper experiment) completes quickly.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// Criterion tuned for many small benches: 10 samples, 1s measurement.
+pub fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+}

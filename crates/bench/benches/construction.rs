@@ -1,0 +1,65 @@
+//! Infrastructure throughput: tree construction (Fig. 11), topology
+//! generation, up*/down* routing-table computation, CCO extraction, and the
+//! static contention checker — the costs a runtime system would pay at
+//! multicast-group setup time.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::analysis::schedule_conflicts;
+use optimcast::prelude::*;
+use optimcast::topology::contention::ordering_violations;
+use optimcast::topology::ordering::cco;
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction/tree");
+    for n in [64u32, 1024, 16384] {
+        g.bench_function(format!("kbinomial_n{n}_k2"), |b| {
+            b.iter(|| kbinomial_tree(black_box(n), 2))
+        });
+        g.bench_function(format!("binomial_n{n}"), |b| {
+            b.iter(|| binomial_tree(black_box(n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction/topology");
+    g.bench_function("irregular_64h_16s_with_routing", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            IrregularNetwork::generate(IrregularConfig::default(), black_box(seed))
+        })
+    });
+    let net = IrregularNetwork::generate(IrregularConfig::default(), 3);
+    g.bench_function("cco_ordering", |b| b.iter(|| cco(black_box(&net))));
+    g.bench_function("route_query", |b| {
+        b.iter(|| net.route(black_box(HostId(3)), black_box(HostId(60))))
+    });
+    g.finish();
+}
+
+fn bench_contention_analysis(c: &mut Criterion) {
+    let net = IrregularNetwork::generate(IrregularConfig::default(), 3);
+    let ordering = cco(&net);
+    let chain: Vec<HostId> = ordering.hosts()[..24].to_vec();
+    let mut g = c.benchmark_group("construction/contention");
+    g.bench_function("ordering_violations_24hosts", |b| {
+        b.iter(|| ordering_violations(&net, black_box(&chain), u64::MAX))
+    });
+    let tree = binomial_tree(64);
+    let sched = fpfs_schedule(&tree, 4);
+    g.bench_function("schedule_conflicts_n64_m4", |b| {
+        b.iter(|| schedule_conflicts(&net, black_box(&sched), ordering.hosts()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_tree_construction, bench_topology, bench_contention_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E7/E8 — Figs. 13(a)/13(b): simulated multicast latency of the optimal
+//! k-binomial tree on the 64-node irregular network. Benches single
+//! simulation runs at the figure's corner points and one averaged data
+//! point with the §5.2 methodology (reduced sampling).
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::experiments::{avg_latency, sample_instance, EvalConfig, TreePolicy};
+use optimcast::prelude::*;
+
+fn bench_single_runs(c: &mut Criterion) {
+    let cfg = EvalConfig::paper();
+    let mut g = c.benchmark_group("fig13/single_run");
+    for (dests, m) in [(15u32, 1u32), (15, 32), (63, 8), (63, 32)] {
+        let inst = sample_instance(&cfg, 0, 0, dests);
+        let n = inst.chain.len() as u32;
+        let tree = TreePolicy::OptimalKBinomial.tree(n, m);
+        g.bench_function(format!("dests{dests}_m{m}"), |b| {
+            b.iter(|| {
+                run_multicast(
+                    &inst.net,
+                    &tree,
+                    black_box(&inst.chain),
+                    m,
+                    &cfg.params,
+                    RunConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_averaged_point(c: &mut Criterion) {
+    let cfg = EvalConfig {
+        topologies: 2,
+        dest_sets: 3,
+        ..EvalConfig::paper()
+    };
+    c.benchmark_group("fig13/averaged_point")
+        .bench_function("dests47_m8_2x3", |b| {
+            b.iter(|| {
+                avg_latency(
+                    &cfg,
+                    TreePolicy::OptimalKBinomial,
+                    black_box(47),
+                    black_box(8),
+                    RunConfig::default(),
+                )
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_single_runs, bench_averaged_point
+}
+criterion_main!(benches);

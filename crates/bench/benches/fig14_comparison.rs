@@ -1,0 +1,76 @@
+//! E9/E10 — Figs. 14(a)/14(b): binomial vs optimal k-binomial, the paper's
+//! headline comparison. Each bench runs the full simulation for one policy
+//! at a figure corner point, so `cargo bench` output shows the k-binomial
+//! advantage directly in wall time of the modelled workload sweep.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::experiments::{sample_instance, EvalConfig, TreePolicy};
+use optimcast::prelude::*;
+
+fn bench_bin_vs_kbin(c: &mut Criterion) {
+    let cfg = EvalConfig::paper();
+    let mut g = c.benchmark_group("fig14/bin_vs_kbin");
+    for (dests, m) in [(15u32, 8u32), (47, 8), (47, 32)] {
+        let inst = sample_instance(&cfg, 1, 1, dests);
+        let n = inst.chain.len() as u32;
+        for policy in [TreePolicy::Binomial, TreePolicy::OptimalKBinomial] {
+            let tree = policy.tree(n, m);
+            g.bench_function(format!("dests{dests}_m{m}_{}", policy.label()), |b| {
+                b.iter(|| {
+                    run_multicast(
+                        &inst.net,
+                        &tree,
+                        black_box(&inst.chain),
+                        m,
+                        &cfg.params,
+                        RunConfig::default(),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Prints the modelled latencies as a side effect so bench logs double as a
+/// figure sanity check (who wins, by what factor).
+fn report_modelled_latencies(c: &mut Criterion) {
+    let cfg = EvalConfig::paper();
+    let inst = sample_instance(&cfg, 1, 1, 47);
+    let n = inst.chain.len() as u32;
+    for m in [8u32, 32] {
+        let bin = run_multicast(
+            &inst.net,
+            &TreePolicy::Binomial.tree(n, m),
+            &inst.chain,
+            m,
+            &cfg.params,
+            RunConfig::default(),
+        )
+        .latency_us;
+        let kbin = run_multicast(
+            &inst.net,
+            &TreePolicy::OptimalKBinomial.tree(n, m),
+            &inst.chain,
+            m,
+            &cfg.params,
+            RunConfig::default(),
+        )
+        .latency_us;
+        println!(
+            "[fig14] 47 dest, m={m}: bin {bin:.1} us vs kbin {kbin:.1} us ({:.2}x)",
+            bin / kbin
+        );
+    }
+    // Keep criterion happy with a trivial measurement.
+    c.bench_function("fig14/report", |b| b.iter(|| black_box(0)));
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_bin_vs_kbin, report_modelled_latencies
+}
+criterion_main!(benches);

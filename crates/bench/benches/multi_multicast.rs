@@ -1,0 +1,60 @@
+//! Extension bench — multiple simultaneous multicasts (node contention,
+//! after the authors' ICPP'96 companion paper): workload-engine throughput
+//! and the interference cost as concurrency rises.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::netsim::{run_workload, MulticastJob, WorkloadConfig};
+use optimcast::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn make_jobs(net: &IrregularNetwork, jobs: usize, m: u32) -> Vec<MulticastJob> {
+    let ordering = cco(net);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    (0..jobs)
+        .map(|_| {
+            let mut hosts: Vec<HostId> = (0..64).map(HostId).collect();
+            hosts.shuffle(&mut rng);
+            let chain = ordering.arrange(hosts[0], &hosts[1..=31]);
+            let n = chain.len() as u32;
+            let k = optimal_k(u64::from(n), m).k;
+            MulticastJob::fpfs(kbinomial_tree(n, k), chain, m)
+        })
+        .collect()
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let net = IrregularNetwork::generate(IrregularConfig::default(), 77);
+    let params = SystemParams::paper_1997();
+    let mut g = c.benchmark_group("multi_multicast");
+    for jobs in [1usize, 2, 4, 8] {
+        let job_list = make_jobs(&net, jobs, 8);
+        let wl = run_workload(&net, &job_list, &params, WorkloadConfig::default());
+        let avg = wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / jobs as f64;
+        println!(
+            "[multi] {jobs} jobs: avg latency {avg:.1} us, makespan {:.1} us, stall {:.1} us",
+            wl.makespan_us, wl.channel_wait_us
+        );
+        g.bench_function(format!("jobs{jobs}_m8"), |b| {
+            b.iter(|| {
+                run_workload(
+                    &net,
+                    black_box(&job_list),
+                    &params,
+                    WorkloadConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E1/E2/E3 — Figs. 4, 5, 8: conventional vs smart NI and the exact step
+//! schedules. Benches the analytic latency models and schedule generation
+//! that those figures are built from.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::core::schedule::{build_schedule, ForwardingDiscipline};
+use optimcast::prelude::*;
+
+fn bench_analytic_models(c: &mut Criterion) {
+    let params = SystemParams::paper_1997();
+    let tree = binomial_tree(64);
+    let mut g = c.benchmark_group("nic/analytic");
+    g.bench_function("conventional_latency_n64_m8", |b| {
+        b.iter(|| conventional_latency_us(black_box(&tree), black_box(8), &params))
+    });
+    let sched = fpfs_schedule(&tree, 8);
+    g.bench_function("smart_latency_n64_m8", |b| {
+        b.iter(|| smart_latency_us(black_box(&sched), &params))
+    });
+    g.finish();
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nic/schedules");
+    for (n, m) in [(8u32, 3u32), (64, 8), (64, 32)] {
+        let tree = binomial_tree(n);
+        for disc in [ForwardingDiscipline::Fpfs, ForwardingDiscipline::Fcfs] {
+            g.bench_function(format!("{disc:?}_n{n}_m{m}"), |b| {
+                b.iter(|| build_schedule(black_box(&tree), m, disc))
+            });
+        }
+    }
+    g.finish();
+
+    // Fig. 4/5/8 values, printed for the log.
+    let params = SystemParams::paper_1997();
+    let t4 = binomial_tree(4);
+    println!(
+        "[fig4] conventional {:.1} us vs smart {:.1} us (3 dest, 1 pkt)",
+        conventional_latency_us(&t4, 1, &params),
+        smart_latency_us(&fpfs_schedule(&t4, 1), &params)
+    );
+    println!(
+        "[fig5] binomial {} steps vs linear {} steps (3 dest, 3 pkts)",
+        fpfs_schedule(&binomial_tree(4), 3).total_steps(),
+        fpfs_schedule(&linear_tree(4), 3).total_steps()
+    );
+    let s8 = fpfs_schedule(&binomial_tree(8), 3);
+    println!(
+        "[fig8] completions at steps {}, {}, {} (lag = k_T = 3)",
+        s8.packet_completion(0),
+        s8.packet_completion(1),
+        s8.packet_completion(2)
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_analytic_models, bench_schedule_generation
+}
+criterion_main!(benches);

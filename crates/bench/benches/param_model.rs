@@ -1,0 +1,38 @@
+//! Extension bench — the parameterized (LogGP-style) communication model:
+//! continuous-time schedule generation and the generalised optimal-k
+//! search, with the step-model reduction printed as a sanity line.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::core::param_model::{optimal_k_param, param_schedule, ParamModel};
+use optimcast::core::schedule::ForwardingDiscipline;
+use optimcast::prelude::*;
+
+fn bench_param_schedules(c: &mut Criterion) {
+    let params = SystemParams::paper_1997();
+    let step = ParamModel::step_model(&params);
+    let tree = kbinomial_tree(64, 2);
+    let mut g = c.benchmark_group("param_model");
+    g.bench_function("schedule_n64_m8", |b| {
+        b.iter(|| param_schedule(black_box(&tree), 8, ForwardingDiscipline::Fpfs, &step))
+    });
+    g.bench_function("optimal_k_param_n64_m8", |b| {
+        b.iter(|| optimal_k_param(black_box(64), 8, &step))
+    });
+    g.finish();
+
+    let ov = ParamModel::overlapped(&params);
+    println!(
+        "[param] n=64 m=8: step-model optimal k = {}, overlapped optimal k = {}",
+        optimal_k_param(64, 8, &step).k,
+        optimal_k_param(64, 8, &ov).k
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_param_schedules
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! # optimcast-bench
+//!
+//! Criterion benchmark harness regenerating every table and figure of the
+//! paper's evaluation. The content lives in the `benches/` targets, which
+//! drive the experiment sweeps exported by the umbrella `optimcast` crate.

@@ -1,0 +1,186 @@
+//! All-gather under packetization: every participant ends up with every
+//! other participant's `m`-packet block.
+//!
+//! Two classic algorithms are modelled under the parameterized NI model
+//! ([`optimcast_core::param_model::ParamModel`]):
+//!
+//! * **Ring** — `n − 1` synchronized rounds; in each round every node
+//!   forwards the block it received in the previous round to its successor.
+//!   Round time = `(m − 1)·g + hop` (a block of `m` packets back-to-back,
+//!   then the last packet's flight), so
+//!   `T_ring = (n − 1)·((m − 1)·g + hop)`.
+//!
+//! * **Recursive doubling** — `log₂ n` rounds for power-of-two `n`; in round
+//!   `r` every node exchanges its accumulated `2^r·m` packets with a partner.
+//!   `T_rd = Σ_r ((2^r·m − 1)·g + hop) = ((n−1)·m − log₂ n)·g + log₂ n · hop`.
+//!
+//! Both algorithms move `(n − 1)·m` packets through every NI, so the
+//! bandwidth terms match and the difference is exactly
+//! `T_ring − T_rd = (n − 1 − log₂ n)·(hop − g)`: under NI-bound operation
+//! (`hop = g`, the paper's handshake step model) the two tie, and any wire
+//! latency (`hop > g`) favours recursive doubling by one `hop − g` per
+//! round saved. The tests pin this relationship down exactly.
+
+use optimcast_core::param_model::ParamModel;
+use optimcast_core::params::SystemParams;
+use serde::{Deserialize, Serialize};
+
+/// All-gather algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllgatherAlgo {
+    /// `n − 1` neighbour rounds.
+    Ring,
+    /// `log₂ n` doubling rounds (power-of-two participant counts).
+    RecursiveDoubling,
+}
+
+fn hop(model: &ParamModel) -> f64 {
+    model.send_overhead + model.latency + model.recv_overhead
+}
+
+fn spacing(model: &ParamModel) -> f64 {
+    model.gap.max(model.send_overhead)
+}
+
+/// NI-layer time of the ring all-gather (µs), `n` participants, `m` packets
+/// per block.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+pub fn allgather_ring_us(n: u32, m: u32, model: &ParamModel) -> f64 {
+    assert!(n >= 1, "need at least one participant");
+    assert!(m >= 1, "blocks have at least one packet");
+    model.validate();
+    if n == 1 {
+        return 0.0;
+    }
+    f64::from(n - 1) * (f64::from(m - 1) * spacing(model) + hop(model))
+}
+
+/// NI-layer time of the recursive-doubling all-gather (µs).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, or `n == 0`, or `m == 0`.
+pub fn allgather_recursive_doubling_us(n: u32, m: u32, model: &ParamModel) -> f64 {
+    assert!(n >= 1, "need at least one participant");
+    assert!(m >= 1, "blocks have at least one packet");
+    assert!(n.is_power_of_two(), "recursive doubling needs power-of-two n");
+    model.validate();
+    if n == 1 {
+        return 0.0;
+    }
+    let g = spacing(model);
+    let h = hop(model);
+    let rounds = n.trailing_zeros();
+    (0..rounds)
+        .map(|r| (f64::from((1u32 << r) * m) - 1.0) * g + h)
+        .sum()
+}
+
+/// NI-layer time of the chosen algorithm.
+pub fn allgather_us(algo: AllgatherAlgo, n: u32, m: u32, model: &ParamModel) -> f64 {
+    match algo {
+        AllgatherAlgo::Ring => allgather_ring_us(n, m, model),
+        AllgatherAlgo::RecursiveDoubling => allgather_recursive_doubling_us(n, m, model),
+    }
+}
+
+/// End-to-end latency including the host overheads paid once per node.
+pub fn allgather_latency_us(
+    algo: AllgatherAlgo,
+    n: u32,
+    m: u32,
+    model: &ParamModel,
+    p: &SystemParams,
+) -> f64 {
+    p.t_s + allgather_us(algo, n, m, model) + p.t_r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step() -> ParamModel {
+        ParamModel::step_model(&SystemParams::paper_1997())
+    }
+
+    #[test]
+    fn step_model_ties_ring_and_rd() {
+        // hop == g under the handshake step model, so the closed forms tie.
+        for n in [2u32, 4, 8, 16, 32, 64] {
+            for m in [1u32, 2, 8] {
+                let ring = allgather_ring_us(n, m, &step());
+                let rd = allgather_recursive_doubling_us(n, m, &step());
+                assert!((ring - rd).abs() < 1e-9, "n={n} m={m}: {ring} vs {rd}");
+                // Both equal (n-1) * m * t_step under the step model.
+                assert!((ring - f64::from((n - 1) * m) * 5.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_latency_favours_recursive_doubling_exactly() {
+        let mut model = step();
+        model.latency = 10.0; // hop = g + 10
+        for n in [4u32, 16, 64] {
+            for m in [1u32, 4] {
+                let ring = allgather_ring_us(n, m, &model);
+                let rd = allgather_recursive_doubling_us(n, m, &model);
+                let rounds_saved = f64::from(n - 1) - f64::from(n.trailing_zeros());
+                assert!(
+                    (ring - rd - rounds_saved * 10.0).abs() < 1e-9,
+                    "n={n} m={m}"
+                );
+                assert!(rd <= ring);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_gap_breaks_the_tie_the_other_way() {
+        // With g < hop even at L = 0 (overlapped injection), recursive
+        // doubling again saves (n - 1 - log n) * (hop - g).
+        let model = ParamModel::overlapped(&SystemParams::paper_1997());
+        let ring = allgather_ring_us(8, 4, &model);
+        let rd = allgather_recursive_doubling_us(8, 4, &model);
+        assert!(rd < ring);
+    }
+
+    #[test]
+    fn monotone_in_n_and_m() {
+        let model = step();
+        let mut prev = 0.0;
+        for n in 2..32 {
+            let t = allgather_ring_us(n, 2, &model);
+            assert!(t > prev);
+            prev = t;
+        }
+        let mut prev = 0.0;
+        for m in 1..32 {
+            let t = allgather_ring_us(8, m, &model);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn latency_adds_host_overheads() {
+        let p = SystemParams::paper_1997();
+        let t = allgather_latency_us(AllgatherAlgo::Ring, 4, 1, &step(), &p);
+        assert!((t - (12.5 + 15.0 + 12.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_participant_is_free() {
+        assert_eq!(allgather_ring_us(1, 5, &step()), 0.0);
+        assert_eq!(allgather_recursive_doubling_us(1, 5, &step()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rd_rejects_non_powers() {
+        allgather_recursive_doubling_us(6, 1, &step());
+    }
+}

@@ -1,0 +1,96 @@
+//! Barrier synchronisation with smart NI support.
+//!
+//! The dissemination barrier needs `⌈log₂ n⌉` rounds: in round `r`, node
+//! `i` sends a single (header-only) packet to node `(i + 2^r) mod n` and
+//! waits for the matching packet from `(i − 2^r) mod n`. All transmissions
+//! of a round proceed in parallel (every NI sends one and receives one
+//! packet), so each round costs one step, and the whole barrier costs
+//! `⌈log₂ n⌉` steps at the NI layer plus one `t_s`/`t_r` pair at the hosts.
+
+use optimcast_core::coverage::ceil_log2;
+use optimcast_core::params::SystemParams;
+
+/// Rounds of the dissemination barrier: `⌈log₂ n⌉`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn barrier_rounds(n: u32) -> u32 {
+    assert!(n >= 1, "a barrier involves at least one participant");
+    ceil_log2(u64::from(n))
+}
+
+/// End-to-end dissemination-barrier latency (µs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn barrier_us(n: u32, p: &SystemParams) -> f64 {
+    if n == 1 {
+        return 0.0;
+    }
+    p.t_s + f64::from(barrier_rounds(n)) * p.t_step() + p.t_r
+}
+
+/// The round-`r` partner pair of node `i`: `(sends_to, waits_for)`.
+///
+/// # Panics
+///
+/// Panics if `i >= n` or `r >= barrier_rounds(n)`.
+pub fn barrier_partners(n: u32, i: u32, r: u32) -> (u32, u32) {
+    assert!(i < n, "node {i} out of range");
+    assert!(r < barrier_rounds(n), "round {r} out of range");
+    let d = 1u32 << r;
+    ((i + d) % n, (i + n - d % n) % n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_values() {
+        assert_eq!(barrier_rounds(1), 0);
+        assert_eq!(barrier_rounds(2), 1);
+        assert_eq!(barrier_rounds(5), 3);
+        assert_eq!(barrier_rounds(64), 6);
+        assert_eq!(barrier_rounds(65), 7);
+    }
+
+    #[test]
+    fn latency_formula() {
+        let p = SystemParams::paper_1997();
+        assert_eq!(barrier_us(1, &p), 0.0);
+        assert!((barrier_us(64, &p) - (12.5 + 6.0 * 5.0 + 12.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partners_are_symmetric() {
+        // Node i waits for the node that sends to i.
+        let n = 13;
+        for r in 0..barrier_rounds(n) {
+            for i in 0..n {
+                let (to, _) = barrier_partners(n, i, r);
+                let (_, from_of_to) = barrier_partners(n, to, r);
+                assert_eq!(from_of_to, i, "round {r}, node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_round_is_a_permutation() {
+        let n = 16;
+        for r in 0..barrier_rounds(n) {
+            let mut targets: Vec<u32> = (0..n).map(|i| barrier_partners(n, i, r).0).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            assert_eq!(targets.len(), n as usize, "round {r} is not a permutation");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_round_panics() {
+        barrier_partners(8, 0, 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Reduction (all-to-one combining) over k-binomial trees with
+//! packetization and smart NI support.
+//!
+//! Reduce is the mirror image of FPFS multicast: reverse every multicast
+//! transmission and each node *receives* one packet per step from its
+//! children (in reverse send order), combining arriving packets into its
+//! partial result. The serialized resource flips from the send unit to the
+//! receive unit, so the step structure is identical — `t1 + (m−1)·k_T`
+//! steps — with the per-packet combining cost `γ` added to each serialized
+//! receive, making the effective step `t_step + γ`.
+//!
+//! Two consequences, both tested:
+//!
+//! * the *optimal k for reduce equals the optimal k for multicast* of the
+//!   same `(n, m)` — γ scales every candidate equally; and
+//! * reduce latency is multicast latency scaled by `(t_step + γ)/t_step`
+//!   (plus host overheads).
+
+use optimcast_core::builders::kbinomial_tree;
+use optimcast_core::optimal::{optimal_k, OptimalK};
+use optimcast_core::params::SystemParams;
+use optimcast_core::schedule::fpfs_schedule;
+use optimcast_core::tree::MulticastTree;
+use serde::{Deserialize, Serialize};
+
+/// A reduce plan: the tree and the per-packet combining cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReducePlan {
+    /// The combining tree (children lists give the reverse receive order).
+    pub tree: MulticastTree,
+    /// Per-packet combining cost at each node (µs).
+    pub gamma: f64,
+    /// Steps the reduction takes (mirror of the multicast step count).
+    pub steps: u32,
+}
+
+/// Builds the optimal reduce plan for `n` participants, `m` packets, and
+/// combining cost `gamma` — the time-reversed optimal k-binomial multicast.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0`, or `gamma` is negative/NaN.
+pub fn optimal_reduce_k(n: u32, m: u32, gamma: f64) -> OptimalK {
+    assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be finite and >= 0");
+    // The combining cost multiplies every candidate's step count equally,
+    // so the Theorem-3 optimum carries over unchanged.
+    optimal_k(u64::from(n), m)
+}
+
+/// Builds the reduce plan for an explicit `k`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0`, `k == 0`, or `gamma` is invalid.
+pub fn reduce_plan(n: u32, m: u32, k: u32, gamma: f64) -> ReducePlan {
+    assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be finite and >= 0");
+    let tree = kbinomial_tree(n, k);
+    let steps = fpfs_schedule(&tree, m).total_steps();
+    ReducePlan { tree, gamma, steps }
+}
+
+/// End-to-end reduce latency (µs): host overheads plus the mirrored step
+/// schedule at `t_step + γ` per serialized receive.
+///
+/// # Panics
+///
+/// Panics on invalid `n`, `m`, `k`, or `gamma`.
+pub fn reduce_latency_us(n: u32, m: u32, k: u32, gamma: f64, p: &SystemParams) -> f64 {
+    let plan = reduce_plan(n, m, k, gamma);
+    p.t_s + f64::from(plan.steps) * (p.t_step() + gamma) + p.t_r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimcast_core::latency::smart_latency_us;
+
+    fn p() -> SystemParams {
+        SystemParams::paper_1997()
+    }
+
+    #[test]
+    fn optimal_k_matches_multicast() {
+        for n in [4u32, 16, 48, 64] {
+            for m in [1u32, 4, 16] {
+                for gamma in [0.0, 0.5, 4.0] {
+                    assert_eq!(
+                        optimal_reduce_k(n, m, gamma),
+                        optimal_k(u64::from(n), m),
+                        "n={n} m={m} gamma={gamma}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_gamma_reduces_to_multicast_latency() {
+        for n in [8u32, 31] {
+            for m in [1u32, 6] {
+                for k in [1u32, 2, 3] {
+                    let tree = kbinomial_tree(n, k);
+                    let mc = smart_latency_us(&fpfs_schedule(&tree, m), &p());
+                    let rd = reduce_latency_us(n, m, k, 0.0, &p());
+                    assert!((mc - rd).abs() < 1e-9, "n={n} m={m} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_scales_the_ni_layer_only() {
+        let n = 16;
+        let m = 4;
+        let k = 2;
+        let base = reduce_latency_us(n, m, k, 0.0, &p());
+        let with = reduce_latency_us(n, m, k, 1.0, &p());
+        let steps = f64::from(reduce_plan(n, m, k, 0.0).steps);
+        assert!((with - base - steps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kbinomial_beats_binomial_for_long_reductions() {
+        let n = 64;
+        let m = 16;
+        let kopt = optimal_reduce_k(n, m, 0.5).k;
+        let kbin = reduce_latency_us(n, m, kopt, 0.5, &p());
+        let bin = reduce_latency_us(n, m, 6, 0.5, &p());
+        assert!(kbin < bin, "{kbin} vs {bin}");
+    }
+
+    #[test]
+    fn plan_tree_is_valid() {
+        let plan = reduce_plan(20, 3, 2, 0.25);
+        plan.tree.validate().unwrap();
+        assert!(plan.steps > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn negative_gamma_rejected() {
+        reduce_plan(4, 1, 1, -1.0);
+    }
+}

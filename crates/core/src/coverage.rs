@@ -1,0 +1,249 @@
+//! The coverage function `N(s, k)` of a k-binomial tree (paper Lemma 1)
+//! and its inverse `t1(n, k)`.
+//!
+//! `N(s, k)` is the number of nodes (source included) covered in `s` steps by
+//! a k-binomial multicast tree under single-packet FPFS forwarding:
+//!
+//! ```text
+//! N(0, k) = 1
+//! N(s, k) = 1 + Σ_{i=1..min(s,k)} N(s - i, k)
+//! ```
+//!
+//! For `s ≤ k` this collapses to the binomial value `2^s` (the cap on the
+//! number of children is not yet binding). For `k = 1` it is the linear chain
+//! `N(s, 1) = s + 1`; for general `k` the sequence is the "k-step
+//! Fibonacci-plus-one" family.
+
+/// Largest meaningful `k`: a k-binomial tree with `k = 63` already covers
+/// `2^63` nodes in 63 steps, far beyond any representable multicast set.
+pub const MAX_K: u32 = 63;
+
+/// Number of nodes covered in `s` steps by a k-binomial tree (Lemma 1).
+///
+/// Saturates at `u128::MAX` instead of overflowing, so callers can compare
+/// against any `u64` node count safely.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (a tree in which no vertex may have children covers
+/// nothing; the paper's domain is `k ≥ 1`).
+///
+/// # Examples
+///
+/// ```
+/// use optimcast_core::coverage::coverage;
+/// assert_eq!(coverage(3, 3), 8);            // binomial while s ≤ k
+/// assert_eq!(coverage(5, 1), 6);            // linear chain
+/// assert_eq!(coverage(8, 2), 88);           // paper §4: N(s,2) Fibonacci-like
+/// ```
+pub fn coverage(s: u32, k: u32) -> u128 {
+    assert!(k >= 1, "k-binomial trees require k >= 1, got k = 0");
+    let k = k.min(MAX_K);
+    if s <= k {
+        // Binomial regime: N(s, k) = 2^s. s <= k <= 63 so this cannot overflow.
+        return 1u128 << s;
+    }
+    // Rolling window of the previous k values of N(·, k).
+    let k = k as usize;
+    let mut window: Vec<u128> = (0..=k as u32).map(|i| 1u128 << i).collect();
+    // window currently holds N(0..=k, k); slide up to s.
+    for _ in (k as u32 + 1)..=s {
+        // N(s, k) = 1 + Σ_{i=1..k} N(s - i, k); window[1..=k] holds those terms.
+        let next = window[1..=k]
+            .iter()
+            .fold(1u128, |acc, &v| acc.saturating_add(v));
+        debug_assert!(next >= window[k]);
+        window.rotate_left(1);
+        window[k] = next;
+    }
+    window[k]
+}
+
+/// Minimum number of steps `t1` for a k-binomial tree to cover `n` nodes,
+/// i.e. the least `s` with `N(s, k) ≥ n`. This is the single-packet multicast
+/// completion time of the k-binomial tree on `n` participants.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use optimcast_core::coverage::min_steps;
+/// assert_eq!(min_steps(1, 3), 0);
+/// assert_eq!(min_steps(64, 6), 6);   // binomial
+/// assert_eq!(min_steps(64, 2), 8);   // N(8,2) = 88 >= 64, N(7,2) = 54 < 64
+/// assert_eq!(min_steps(64, 1), 63);  // linear chain
+/// ```
+pub fn min_steps(n: u64, k: u32) -> u32 {
+    assert!(n >= 1, "a multicast set has at least the source");
+    assert!(k >= 1, "k-binomial trees require k >= 1");
+    let n = u128::from(n);
+    let k = k.min(MAX_K);
+    if n == 1 {
+        return 0;
+    }
+    // Binomial regime first: smallest s with 2^s >= n, if that s <= k.
+    let log2 = 128 - (n - 1).leading_zeros(); // ceil(log2 n)
+    if log2 <= k {
+        return log2;
+    }
+    // Slide the recurrence window until coverage reaches n.
+    let ku = k as usize;
+    let mut window: Vec<u128> = (0..=k).map(|i| 1u128 << i).collect();
+    let mut s = k;
+    loop {
+        let sum_last_k = window[1..=ku]
+            .iter()
+            .fold(0u128, |acc, &v| acc.saturating_add(v));
+        let next = sum_last_k.saturating_add(1);
+        s += 1;
+        if next >= n {
+            return s;
+        }
+        window.rotate_left(1);
+        window[ku] = next;
+    }
+}
+
+/// Ceiling of `log2(n)` for `n ≥ 1`: the step count of the (unrestricted)
+/// binomial tree, and the upper end of the paper's optimal-`k` search
+/// interval `[1, ⌈log₂ n⌉]`.
+pub fn ceil_log2(n: u64) -> u32 {
+    assert!(n >= 1);
+    if n == 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct recursive reference implementation of Lemma 1.
+    fn coverage_ref(s: u32, k: u32) -> u128 {
+        if s == 0 {
+            return 1;
+        }
+        let mut total = 1u128;
+        for i in 1..=k.min(s) {
+            total = total.saturating_add(coverage_ref(s - i, k));
+        }
+        total
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        for k in 1..=8 {
+            for s in 0..=20 {
+                assert_eq!(coverage(s, k), coverage_ref(s, k), "s={s} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_regime_is_power_of_two() {
+        for k in 1..=20 {
+            for s in 0..=k {
+                assert_eq!(coverage(s, k), 1u128 << s);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_chain() {
+        for s in 0..200 {
+            assert_eq!(coverage(s, 1), u128::from(s) + 1);
+        }
+    }
+
+    #[test]
+    fn k2_sequence_from_paper() {
+        // N(s,2): 1, 2, 4, 7, 12, 20, 33, 54, 88 (Fibonacci-like + 1)
+        let expect = [1u128, 2, 4, 7, 12, 20, 33, 54, 88, 143];
+        for (s, &e) in expect.iter().enumerate() {
+            assert_eq!(coverage(s as u32, 2), e);
+        }
+    }
+
+    #[test]
+    fn k3_sequence() {
+        // N(s,3): 1, 2, 4, 8, 15, 28, 52, 96
+        let expect = [1u128, 2, 4, 8, 15, 28, 52, 96];
+        for (s, &e) in expect.iter().enumerate() {
+            assert_eq!(coverage(s as u32, 3), e);
+        }
+    }
+
+    #[test]
+    fn monotone_in_s_and_k() {
+        for k in 1..=6 {
+            for s in 0..=24 {
+                assert!(coverage(s + 1, k) > coverage(s, k));
+                assert!(coverage(s, k + 1) >= coverage(s, k));
+            }
+        }
+    }
+
+    #[test]
+    fn min_steps_is_inverse_of_coverage() {
+        for k in 1..=6 {
+            for n in 1..=2000u64 {
+                let s = min_steps(n, k);
+                assert!(coverage(s, k) >= u128::from(n), "n={n} k={k} s={s}");
+                if s > 0 {
+                    assert!(coverage(s - 1, k) < u128::from(n), "n={n} k={k} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_steps_examples() {
+        assert_eq!(min_steps(2, 1), 1);
+        assert_eq!(min_steps(4, 2), 2);
+        assert_eq!(min_steps(16, 4), 4);
+        assert_eq!(min_steps(48, 3), 6); // N(6,3) = 52 >= 48
+        assert_eq!(min_steps(48, 2), 7); // N(7,2) = 54 >= 48
+    }
+
+    #[test]
+    fn saturation_does_not_panic() {
+        // Huge s with small k must not overflow.
+        let v = coverage(4000, 2);
+        assert!(v > 0);
+        let v = coverage(300, 50);
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn large_k_clamped() {
+        assert_eq!(min_steps(u64::MAX, MAX_K + 100), 64);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        coverage(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the source")]
+    fn zero_n_panics() {
+        min_steps(0, 2);
+    }
+}

@@ -1,0 +1,424 @@
+//! Multicast tree representation.
+//!
+//! A multicast tree spans the *participants* of a multicast: the source plus
+//! every destination. Participants are identified by [`Rank`] — their
+//! position in the (contention-free) ordering used to build the tree, with
+//! the source at rank 0. Binding ranks to physical hosts is the topology
+//! layer's job; the core algorithms are purely rank-based, exactly as in the
+//! paper where trees are built on an ordered chain of nodes.
+//!
+//! Children are stored **in send order**: under both FCFS and FPFS the NI
+//! forwards to `children[0]` first, then `children[1]`, and so on. The send
+//! order is what the paper's Fig. 11 construction pins down, so it is part of
+//! the tree's identity, not a presentation detail.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A participant's index in the multicast ordering; the source is rank 0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The multicast source.
+    pub const SOURCE: Rank = Rank(0);
+
+    /// Rank as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(v: u32) -> Self {
+        Rank(v)
+    }
+}
+
+/// A rooted multicast tree over ranks `0..n`, rank 0 at the root.
+///
+/// Stored as parent pointers plus ordered child lists, indexed directly by
+/// rank (the arena has exactly one slot per participant).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MulticastTree {
+    parent: Vec<Option<Rank>>,
+    children: Vec<Vec<Rank>>,
+}
+
+impl MulticastTree {
+    /// A tree containing only the source.
+    pub fn singleton() -> Self {
+        MulticastTree {
+            parent: vec![None],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// Creates an edgeless forest over `n` participants; callers then attach
+    /// every non-source rank exactly once via [`MulticastTree::attach`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_capacity(n: u32) -> Self {
+        assert!(n >= 1, "a multicast tree spans at least the source");
+        MulticastTree {
+            parent: vec![None; n as usize],
+            children: vec![Vec::new(); n as usize],
+        }
+    }
+
+    /// Attaches `child` as the next (last-so-far) child of `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range, if `child` is the source, if
+    /// `child` already has a parent, or on a self-loop.
+    pub fn attach(&mut self, parent: Rank, child: Rank) {
+        assert!(parent.index() < self.len(), "parent {parent} out of range");
+        assert!(child.index() < self.len(), "child {child} out of range");
+        assert_ne!(child, Rank::SOURCE, "the source cannot be attached");
+        assert_ne!(parent, child, "self-loop at {parent}");
+        assert!(
+            self.parent[child.index()].is_none(),
+            "{child} already has a parent"
+        );
+        self.parent[child.index()] = Some(parent);
+        self.children[parent.index()].push(child);
+    }
+
+    /// Number of participants (source included).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree is just the source.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// The root's children, in send order.
+    pub fn root_children(&self) -> &[Rank] {
+        &self.children[0]
+    }
+
+    /// `k_T`: the number of children of the root — the pipelining interval of
+    /// the FPFS model (Theorem 1).
+    pub fn root_degree(&self) -> u32 {
+        self.children[0].len() as u32
+    }
+
+    /// Children of `r`, in send order.
+    pub fn children(&self, r: Rank) -> &[Rank] {
+        &self.children[r.index()]
+    }
+
+    /// Parent of `r` (`None` for the source).
+    pub fn parent(&self, r: Rank) -> Option<Rank> {
+        self.parent[r.index()]
+    }
+
+    /// Maximum number of children over all vertices — the `k` for which this
+    /// is (at most) a k-binomial tree.
+    pub fn max_degree(&self) -> u32 {
+        self.children.iter().map(|c| c.len() as u32).max().unwrap_or(0)
+    }
+
+    /// Tree depth in edges (0 for a singleton).
+    pub fn depth(&self) -> u32 {
+        let mut depth = vec![0u32; self.len()];
+        let mut max = 0;
+        for r in self.dfs_preorder() {
+            if let Some(p) = self.parent(r) {
+                depth[r.index()] = depth[p.index()] + 1;
+                max = max.max(depth[r.index()]);
+            }
+        }
+        max
+    }
+
+    /// Size of the subtree rooted at each rank (itself included).
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![1u32; self.len()];
+        // Children always have a higher DFS finish time; accumulate reversed
+        // preorder so every child is folded before its parent.
+        let order = self.dfs_preorder();
+        for &r in order.iter().rev() {
+            if let Some(p) = self.parent(r) {
+                sizes[p.index()] += sizes[r.index()];
+            }
+        }
+        sizes
+    }
+
+    /// Preorder traversal from the root, children visited in send order.
+    pub fn dfs_preorder(&self) -> Vec<Rank> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![Rank::SOURCE];
+        while let Some(r) = stack.pop() {
+            out.push(r);
+            // Reverse so children pop in send order.
+            for &c in self.children(r).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Edges as `(parent, child)` pairs in preorder, children in send order.
+    pub fn edges(&self) -> Vec<(Rank, Rank)> {
+        self.dfs_preorder()
+            .into_iter()
+            .filter_map(|r| self.parent(r).map(|p| (p, r)))
+            .collect()
+    }
+
+    /// Checks structural invariants: every non-source rank attached exactly
+    /// once, parent/child tables mutually consistent, and the graph is a
+    /// single tree rooted at the source (connected and acyclic).
+    ///
+    /// Builders call this in debug builds; tests call it unconditionally.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.parent.len() != self.children.len() {
+            return Err(TreeError::Inconsistent("table length mismatch".into()));
+        }
+        if self.parent[0].is_some() {
+            return Err(TreeError::Inconsistent("source has a parent".into()));
+        }
+        for (i, p) in self.parent.iter().enumerate().skip(1) {
+            let Some(p) = p else {
+                return Err(TreeError::Unattached(Rank(i as u32)));
+            };
+            if !self.children[p.index()].contains(&Rank(i as u32)) {
+                return Err(TreeError::Inconsistent(format!(
+                    "r{i} has parent {p} but is not among its children"
+                )));
+            }
+        }
+        for (i, kids) in self.children.iter().enumerate() {
+            for &c in kids {
+                if self.parent[c.index()] != Some(Rank(i as u32)) {
+                    return Err(TreeError::Inconsistent(format!(
+                        "{c} listed as child of r{i} but has a different parent"
+                    )));
+                }
+            }
+        }
+        let visited = self.dfs_preorder();
+        if visited.len() != self.len() {
+            return Err(TreeError::Disconnected {
+                reached: visited.len(),
+                total: self.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Renders the tree as an ASCII outline (for examples and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(Rank::SOURCE, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, r: Rank, indent: usize, out: &mut String) {
+        use fmt::Write as _;
+        let _ = writeln!(out, "{}{}", "  ".repeat(indent), r);
+        for &c in self.children(r) {
+            self.render_into(c, indent + 1, out);
+        }
+    }
+}
+
+/// Structural defects reported by [`MulticastTree::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A non-source rank was never attached.
+    Unattached(Rank),
+    /// Parent/child tables disagree.
+    Inconsistent(String),
+    /// Not all ranks reachable from the source.
+    Disconnected { reached: usize, total: usize },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Unattached(r) => write!(f, "rank {r} is not attached to the tree"),
+            TreeError::Inconsistent(msg) => write!(f, "inconsistent tree tables: {msg}"),
+            TreeError::Disconnected { reached, total } => {
+                write!(f, "tree reaches {reached} of {total} ranks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32) -> MulticastTree {
+        let mut t = MulticastTree::with_capacity(n);
+        for i in 1..n {
+            t.attach(Rank(i - 1), Rank(i));
+        }
+        t
+    }
+
+    #[test]
+    fn singleton_properties() {
+        let t = MulticastTree::singleton();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.root_degree(), 0);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.max_degree(), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn chain_properties() {
+        let t = chain(5);
+        t.validate().unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.root_degree(), 1);
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.max_degree(), 1);
+        assert_eq!(t.subtree_sizes(), vec![5, 4, 3, 2, 1]);
+        assert_eq!(
+            t.dfs_preorder(),
+            (0..5).map(Rank).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn star_properties() {
+        let mut t = MulticastTree::with_capacity(6);
+        for i in 1..6 {
+            t.attach(Rank::SOURCE, Rank(i));
+        }
+        t.validate().unwrap();
+        assert_eq!(t.root_degree(), 5);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.root_children(), &[Rank(1), Rank(2), Rank(3), Rank(4), Rank(5)]);
+    }
+
+    #[test]
+    fn children_keep_send_order() {
+        let mut t = MulticastTree::with_capacity(4);
+        t.attach(Rank::SOURCE, Rank(3));
+        t.attach(Rank::SOURCE, Rank(1));
+        t.attach(Rank(1), Rank(2));
+        assert_eq!(t.root_children(), &[Rank(3), Rank(1)]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_in_preorder() {
+        let mut t = MulticastTree::with_capacity(4);
+        t.attach(Rank::SOURCE, Rank(2));
+        t.attach(Rank(2), Rank(3));
+        t.attach(Rank::SOURCE, Rank(1));
+        assert_eq!(
+            t.edges(),
+            vec![
+                (Rank(0), Rank(2)),
+                (Rank(2), Rank(3)),
+                (Rank(0), Rank(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_catches_unattached() {
+        let t = MulticastTree::with_capacity(3);
+        assert!(matches!(t.validate(), Err(TreeError::Unattached(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a parent")]
+    fn double_attach_panics() {
+        let mut t = MulticastTree::with_capacity(3);
+        t.attach(Rank(0), Rank(1));
+        t.attach(Rank(2), Rank(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "source cannot be attached")]
+    fn attach_source_panics() {
+        let mut t = MulticastTree::with_capacity(2);
+        t.attach(Rank(1), Rank(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut t = MulticastTree::with_capacity(2);
+        t.attach(Rank(1), Rank(1));
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let t = chain(3);
+        assert_eq!(t.render(), "r0\n  r1\n    r2\n");
+    }
+}
+
+impl MulticastTree {
+    /// Renders the tree as a Graphviz `dot` digraph. Edge labels carry the
+    /// child's send position (1-based), i.e. the single-packet step offset
+    /// at which the parent contacts that child.
+    ///
+    /// ```
+    /// use optimcast_core::builders::binomial_tree;
+    /// let dot = binomial_tree(4).to_dot();
+    /// assert!(dot.starts_with("digraph multicast"));
+    /// assert!(dot.contains("r0 -> r2"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph multicast {\n  rankdir=TB;\n  node [shape=circle];\n");
+        for r in self.dfs_preorder() {
+            for (i, &c) in self.children(r).iter().enumerate() {
+                let _ = writeln!(out, "  r{} -> r{} [label=\"{}\"];", r.0, c.0, i + 1);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_lists_every_edge_once() {
+        let mut t = MulticastTree::with_capacity(4);
+        t.attach(Rank(0), Rank(2));
+        t.attach(Rank(2), Rank(3));
+        t.attach(Rank(0), Rank(1));
+        let dot = t.to_dot();
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert!(dot.contains("r0 -> r2 [label=\"1\"]"));
+        assert!(dot.contains("r0 -> r1 [label=\"2\"]"));
+        assert!(dot.contains("r2 -> r3 [label=\"1\"]"));
+    }
+
+    #[test]
+    fn singleton_dot_has_no_edges() {
+        let dot = MulticastTree::singleton().to_dot();
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events are ordered by `(time, insertion sequence)`: ties in simulated
+//! time resolve in scheduling order, so a run is a pure function of its
+//! inputs — crucial for reproducing the paper's experiments from seeds.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+/// A deterministic future-event list.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    payload: Vec<Option<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payload: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events already processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current time (causality violation).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let key = Key { at, seq: self.seq };
+        self.seq += 1;
+        let slot = self.payload.len();
+        self.payload.push(Some(event));
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// Schedules `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        self.now = key.at;
+        self.processed += 1;
+        let ev = self.payload[slot].take().expect("event popped twice");
+        Some((key.at, ev))
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::us(3.0), "c");
+        q.schedule(SimTime::us(1.0), "a");
+        q.schedule(SimTime::us(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::us(3.0));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::us(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::us(10.0), "first");
+        q.pop();
+        q.schedule_in(2.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::us(12.5));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::us(1.0), ());
+        q.schedule(SimTime::us(1.0), ());
+        q.schedule(SimTime::us(4.0), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::us(5.0), ());
+        q.pop();
+        q.schedule(SimTime::us(4.0), ());
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.schedule(SimTime::us(1.0), ());
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+}

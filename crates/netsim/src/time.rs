@@ -1,0 +1,125 @@
+//! Simulation time: a totally ordered wrapper over `f64` microseconds.
+//!
+//! Event queues need `Ord`; raw `f64` only has `PartialOrd`. [`SimTime`]
+//! guarantees (and enforces) non-NaN values so a total order exists, and
+//! keeps all timestamp arithmetic in one place.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds from multicast start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the instant the source host initiates the multicast.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wraps a microsecond value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative values — simulated time is totally ordered
+    /// and starts at zero.
+    pub fn us(v: f64) -> SimTime {
+        assert!(!v.is_nan(), "SimTime cannot be NaN");
+        assert!(v >= 0.0, "SimTime cannot be negative: {v}");
+        SimTime(v)
+    }
+
+    /// The value in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Non-NaN invariant makes partial_cmp total.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::us(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::us(1.0);
+        let b = SimTime::us(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + 12.5;
+        assert_eq!(t.as_us(), 12.5);
+        let d = SimTime::us(20.0) - SimTime::us(12.5);
+        assert!((d - 7.5).abs() < 1e-12);
+        let mut u = SimTime::ZERO;
+        u += 3.0;
+        assert_eq!(u, SimTime::us(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        SimTime::us(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        SimTime::us(-1.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! k-ary n-cube topologies with dimension-ordered routing.
+//!
+//! The paper notes (§4.3.2, §7) that contention-free k-binomial trees can be
+//! built on k-ary n-cubes using the *dimension-ordered chain* of
+//! McKinley et al. (TPDS'94). This module provides that substrate: every
+//! processor has its own router (modelled as a one-host switch), routers are
+//! connected in rings along each dimension, and routes are dimension-ordered
+//! (lowest dimension corrected first, shorter ring direction, ties towards
+//! increasing coordinates) — the deterministic, deadlock-free e-cube routing
+//! of wormhole k-ary n-cubes.
+
+use crate::graph::{ChannelId, HostId, SwitchId, Topology};
+use crate::Network;
+use serde::{Deserialize, Serialize};
+
+/// A k-ary n-cube: `arity^dims` processors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CubeNetwork {
+    arity: u32,
+    dims: u32,
+    topo: Topology,
+}
+
+impl CubeNetwork {
+    /// Builds the `arity`-ary `dims`-cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2`, `dims < 1`, or the node count overflows `u32`.
+    pub fn new(arity: u32, dims: u32) -> Self {
+        assert!(arity >= 2, "a ring dimension needs at least 2 nodes");
+        assert!(dims >= 1, "need at least one dimension");
+        let nodes = (0..dims).try_fold(1u32, |acc, _| acc.checked_mul(arity));
+        let nodes = nodes.expect("cube too large for u32 node ids");
+        let mut topo = Topology::new(nodes);
+        for i in 0..nodes {
+            topo.add_host(SwitchId(i));
+        }
+        // Ring links along each dimension. For arity 2 the "+1 mod 2"
+        // neighbour pair would be added twice; add it only from coord 0.
+        let mut stride = 1u32;
+        for _ in 0..dims {
+            for i in 0..nodes {
+                let coord = (i / stride) % arity;
+                if arity == 2 && coord != 0 {
+                    continue;
+                }
+                let next_coord = (coord + 1) % arity;
+                let j = i - coord * stride + next_coord * stride;
+                topo.add_switch_link(SwitchId(i), SwitchId(j));
+            }
+            stride *= arity;
+        }
+        CubeNetwork { arity, dims, topo }
+    }
+
+    /// Ring size per dimension.
+    pub fn arity(&self) -> u32 {
+        self.arity
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Decomposes a node id into per-dimension coordinates (dimension 0
+    /// first).
+    pub fn coords(&self, h: HostId) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.dims as usize);
+        let mut rest = h.0;
+        for _ in 0..self.dims {
+            v.push(rest % self.arity);
+            rest /= self.arity;
+        }
+        v
+    }
+
+    /// Recomposes coordinates into a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count or any coordinate is out of range.
+    pub fn node_at(&self, coords: &[u32]) -> HostId {
+        assert_eq!(coords.len(), self.dims as usize, "wrong dimensionality");
+        let mut id = 0u32;
+        let mut stride = 1u32;
+        for &c in coords {
+            assert!(c < self.arity, "coordinate {c} out of range");
+            id += c * stride;
+            stride *= self.arity;
+        }
+        HostId(id)
+    }
+
+    /// The next hop from `at` towards `to` under dimension-ordered routing,
+    /// or `None` if `at == to`: correct the lowest differing dimension,
+    /// moving around its ring in the shorter direction (ties towards
+    /// increasing coordinates).
+    pub fn next_hop(&self, at: u32, to: u32) -> Option<u32> {
+        if at == to {
+            return None;
+        }
+        let mut stride = 1u32;
+        for _ in 0..self.dims {
+            let ca = (at / stride) % self.arity;
+            let ct = (to / stride) % self.arity;
+            if ca != ct {
+                let fwd = (ct + self.arity - ca) % self.arity; // +1 hops needed
+                let bwd = (ca + self.arity - ct) % self.arity;
+                let next_coord = if fwd <= bwd {
+                    (ca + 1) % self.arity
+                } else {
+                    (ca + self.arity - 1) % self.arity
+                };
+                return Some(at - ca * stride + next_coord * stride);
+            }
+            stride *= self.arity;
+        }
+        unreachable!("at != to but all coordinates equal");
+    }
+}
+
+impl Network for CubeNetwork {
+    fn num_hosts(&self) -> u32 {
+        self.topo.num_hosts()
+    }
+
+    fn num_channels(&self) -> u32 {
+        self.topo.num_channels()
+    }
+
+    fn route(&self, from: HostId, to: HostId) -> Vec<ChannelId> {
+        if from == to {
+            return Vec::new();
+        }
+        let mut route = vec![self.topo.injection_channel(from)];
+        let mut at = from.0;
+        while let Some(next) = self.next_hop(at, to.0) {
+            let c = self
+                .topo
+                .switch_channel(SwitchId(at), SwitchId(next))
+                .expect("adjacent cube nodes must be linked");
+            route.push(c);
+            at = next;
+        }
+        route.push(self.topo.ejection_channel(to));
+        route
+    }
+
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{}-ary {}-cube: {} processors",
+            self.arity,
+            self.dims,
+            self.num_hosts()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_shape() {
+        let c = CubeNetwork::new(2, 3);
+        assert_eq!(c.num_hosts(), 8);
+        // 3 links per node / 2 = 12 switch links + 8 host links.
+        assert_eq!(c.topology().num_links(), 12 + 8);
+        assert!(c.topology().switches_connected());
+    }
+
+    #[test]
+    fn torus_shape() {
+        let c = CubeNetwork::new(4, 2);
+        assert_eq!(c.num_hosts(), 16);
+        // 2 rings of 4 per row/column: 2 * 16 switch links.
+        assert_eq!(c.topology().num_links(), 32 + 16);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let c = CubeNetwork::new(3, 3);
+        for i in 0..27 {
+            let h = HostId(i);
+            assert_eq!(c.node_at(&c.coords(h)), h);
+        }
+        assert_eq!(c.coords(HostId(5)), vec![2, 1, 0]); // 5 = 2 + 1*3
+    }
+
+    #[test]
+    fn routes_correct_lowest_dimension_first() {
+        let c = CubeNetwork::new(4, 2);
+        // From (0,0) to (2,1): fix dim 0 first (0->1->2), then dim 1.
+        let from = c.node_at(&[0, 0]);
+        let to = c.node_at(&[2, 1]);
+        let hops: Vec<u32> = {
+            let mut v = vec![from.0];
+            let mut at = from.0;
+            while let Some(n) = c.next_hop(at, to.0) {
+                v.push(n);
+                at = n;
+            }
+            v
+        };
+        assert_eq!(
+            hops,
+            vec![
+                c.node_at(&[0, 0]).0,
+                c.node_at(&[1, 0]).0,
+                c.node_at(&[2, 0]).0,
+                c.node_at(&[2, 1]).0
+            ]
+        );
+    }
+
+    #[test]
+    fn shorter_ring_direction_used() {
+        let c = CubeNetwork::new(5, 1);
+        // 0 -> 4 is one hop backwards around the ring.
+        assert_eq!(c.next_hop(0, 4), Some(4));
+        // 0 -> 2 goes forward.
+        assert_eq!(c.next_hop(0, 2), Some(1));
+        // Tie at distance 2 vs 2 in a 4-ring goes forward.
+        let c4 = CubeNetwork::new(4, 1);
+        assert_eq!(c4.next_hop(0, 2), Some(1));
+    }
+
+    #[test]
+    fn all_routes_wellformed() {
+        let c = CubeNetwork::new(3, 2);
+        for a in 0..9 {
+            for b in 0..9 {
+                let r = c.route(HostId(a), HostId(b));
+                if a == b {
+                    assert!(r.is_empty());
+                    continue;
+                }
+                assert_eq!(r[0], c.topology().injection_channel(HostId(a)));
+                assert_eq!(
+                    *r.last().unwrap(),
+                    c.topology().ejection_channel(HostId(b))
+                );
+                for w in r.windows(2) {
+                    let (_, x) = c.topology().channel_endpoints(w[0]);
+                    let (y, _) = c.topology().channel_endpoints(w[1]);
+                    assert_eq!(x, y, "route discontinuity {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_route_length_is_hamming_distance() {
+        let c = CubeNetwork::new(2, 4);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a == b {
+                    continue;
+                }
+                let dist = (a ^ b).count_ones() as usize;
+                assert_eq!(c.route(HostId(a), HostId(b)).len(), dist + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_routes() {
+        let c = CubeNetwork::new(3, 2);
+        assert_eq!(c.route(HostId(1), HostId(7)), c.route(HostId(1), HostId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn arity_one_panics() {
+        CubeNetwork::new(1, 2);
+    }
+}
+
+#[cfg(test)]
+mod distance_tests {
+    use super::*;
+
+    /// Torus routes are minimal: length equals the sum of per-dimension
+    /// minimal ring distances (plus injection/ejection).
+    #[test]
+    fn torus_routes_are_minimal() {
+        for (arity, dims) in [(4u32, 2u32), (5, 2), (3, 3)] {
+            let c = CubeNetwork::new(arity, dims);
+            let n = c.num_hosts();
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let ca = c.coords(HostId(a));
+                    let cb = c.coords(HostId(b));
+                    let dist: u32 = ca
+                        .iter()
+                        .zip(&cb)
+                        .map(|(&x, &y)| {
+                            let fwd = (y + arity - x) % arity;
+                            let bwd = (x + arity - y) % arity;
+                            fwd.min(bwd)
+                        })
+                        .sum();
+                    assert_eq!(
+                        c.route(HostId(a), HostId(b)).len(),
+                        dist as usize + 2,
+                        "{arity}-ary {dims}-cube {a}->{b}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! up\*/down\* routing for irregular switch networks.
+//!
+//! up\*/down\* (Autonet-style) routing is the standard deadlock-free routing
+//! for irregular switch-based networks, and the routing the paper's
+//! evaluation (and its CCO ordering, from \[Kesavan-Bondalapati-Panda,
+//! HPCA'97\]) assumes. A breadth-first spanning tree is built from a root
+//! switch; every switch–switch channel is oriented *up* (towards the root:
+//! lower BFS level, ties broken by lower switch id) or *down*. A legal route
+//! is zero or more up channels followed by zero or more down channels —
+//! acyclic by construction, hence deadlock-free.
+//!
+//! [`UpDownRouting`] precomputes shortest *legal* paths between all switch
+//! pairs with a deterministic tie-break (BFS with neighbours visited in link
+//! insertion order), so every query returns the same path.
+
+use crate::graph::{ChannelId, Endpoint, HostId, LinkId, SwitchId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Precomputed up\*/down\* routing state for one topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpDownRouting {
+    root: SwitchId,
+    level: Vec<u32>,
+    /// BFS spanning-tree parent per switch (`None` for the root).
+    parent: Vec<Option<(LinkId, SwitchId)>>,
+    /// BFS spanning-tree children per switch, in discovery order.
+    children: Vec<Vec<SwitchId>>,
+    /// Shortest legal switch→switch path, `paths[from * S + to]`.
+    paths: Vec<Vec<ChannelId>>,
+}
+
+impl UpDownRouting {
+    /// Builds routing with the conventional root choice: the
+    /// highest-connectivity switch (most switch links), ties to the lowest
+    /// id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no switches or its switch graph is
+    /// disconnected (no legal route would exist between some pairs).
+    pub fn new(topo: &Topology) -> Self {
+        let root = (0..topo.num_switches())
+            .map(SwitchId)
+            .max_by_key(|&s| (topo.switch_links(s).len(), std::cmp::Reverse(s.0)))
+            .expect("topology has no switches");
+        Self::with_root(topo, root)
+    }
+
+    /// Builds routing rooted at a specific switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch graph is disconnected or `root` is out of range.
+    pub fn with_root(topo: &Topology, root: SwitchId) -> Self {
+        let s = topo.num_switches() as usize;
+        assert!(root.index() < s, "root switch out of range");
+        assert!(
+            topo.switches_connected(),
+            "up*/down* routing requires a connected switch graph"
+        );
+
+        // BFS spanning tree and levels.
+        let mut level = vec![u32::MAX; s];
+        let mut parent = vec![None; s];
+        let mut children = vec![Vec::new(); s];
+        let mut queue = VecDeque::new();
+        level[root.index()] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for (l, nb) in topo.switch_neighbors(u) {
+                if level[nb.index()] == u32::MAX {
+                    level[nb.index()] = level[u.index()] + 1;
+                    parent[nb.index()] = Some((l, u));
+                    children[u.index()].push(nb);
+                    queue.push_back(nb);
+                }
+            }
+        }
+
+        let mut routing = UpDownRouting {
+            root,
+            level,
+            parent,
+            children,
+            paths: Vec::new(),
+        };
+        routing.paths = routing.compute_all_paths(topo);
+        routing
+    }
+
+    /// The root switch of the up\*/down\* orientation.
+    pub fn root(&self) -> SwitchId {
+        self.root
+    }
+
+    /// BFS level (distance from root) of a switch.
+    pub fn level(&self, s: SwitchId) -> u32 {
+        self.level[s.index()]
+    }
+
+    /// BFS spanning-tree parent of a switch (`None` for the root).
+    pub fn tree_parent(&self, s: SwitchId) -> Option<(LinkId, SwitchId)> {
+        self.parent[s.index()]
+    }
+
+    /// BFS spanning-tree children of a switch, in discovery order.
+    pub fn tree_children(&self, s: SwitchId) -> &[SwitchId] {
+        &self.children[s.index()]
+    }
+
+    /// Whether a switch–switch channel points *up* (towards the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel touches a host (host links have no up/down
+    /// orientation).
+    pub fn is_up(&self, topo: &Topology, c: ChannelId) -> bool {
+        let (from, to) = topo.channel_endpoints(c);
+        match (from, to) {
+            (Endpoint::Switch(x), Endpoint::Switch(y)) => {
+                (self.level(y), y.0) < (self.level(x), x.0)
+            }
+            _ => panic!("up/down orientation is defined only on switch links"),
+        }
+    }
+
+    /// The precomputed shortest legal path between two switches (empty iff
+    /// `from == to`).
+    pub fn switch_path(&self, from: SwitchId, to: SwitchId) -> &[ChannelId] {
+        let s = self.level.len();
+        &self.paths[from.index() * s + to.index()]
+    }
+
+    /// Full host-to-host route: injection channel, switch path, ejection
+    /// channel. Empty iff `from == to`.
+    pub fn host_route(&self, topo: &Topology, from: HostId, to: HostId) -> Vec<ChannelId> {
+        if from == to {
+            return Vec::new();
+        }
+        let sf = topo.host_switch(from);
+        let st = topo.host_switch(to);
+        let mid = self.switch_path(sf, st);
+        let mut route = Vec::with_capacity(mid.len() + 2);
+        route.push(topo.injection_channel(from));
+        route.extend_from_slice(mid);
+        route.push(topo.ejection_channel(to));
+        route
+    }
+
+    /// Shortest legal paths from every switch to every switch, by BFS over
+    /// `(switch, phase)` states: phase 0 may still ascend, phase 1 may only
+    /// descend. Deterministic: neighbours expanded in link insertion order.
+    fn compute_all_paths(&self, topo: &Topology) -> Vec<Vec<ChannelId>> {
+        let s = topo.num_switches() as usize;
+        let mut all = vec![Vec::new(); s * s];
+        for from in 0..s {
+            let from = SwitchId(from as u32);
+            // pred[state] = (prev_state, channel); state = switch * 2 + phase.
+            let mut pred: Vec<Option<(usize, ChannelId)>> = vec![None; s * 2];
+            let mut seen = vec![false; s * 2];
+            let start = from.index() * 2;
+            seen[start] = true;
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            while let Some(state) = queue.pop_front() {
+                let sw = SwitchId((state / 2) as u32);
+                let phase = state % 2;
+                for (l, nb) in topo.switch_neighbors(sw) {
+                    let c = self.directed_channel(topo, l, sw);
+                    let up = self.is_up(topo, c);
+                    let next_phase = if up {
+                        if phase == 1 {
+                            continue; // up after down is illegal
+                        }
+                        0
+                    } else {
+                        1
+                    };
+                    let next = nb.index() * 2 + next_phase;
+                    if !seen[next] {
+                        seen[next] = true;
+                        pred[next] = Some((state, c));
+                        queue.push_back(next);
+                    }
+                }
+            }
+            for to in 0..s {
+                if to == from.index() {
+                    continue;
+                }
+                // Prefer the earliest-found terminal state (BFS order makes
+                // either phase shortest; tie-break to phase 0).
+                let cand = [to * 2, to * 2 + 1];
+                let goal = cand
+                    .iter()
+                    .copied()
+                    .filter(|&st| seen[st])
+                    .min_by_key(|&st| self.path_len(&pred, st))
+                    .unwrap_or_else(|| {
+                        panic!("no legal up*/down* path from s{from} to s{to}")
+                    });
+                let mut path = Vec::new();
+                let mut cur = goal;
+                while let Some((prev, c)) = pred[cur] {
+                    path.push(c);
+                    cur = prev;
+                }
+                path.reverse();
+                all[from.index() * s + to] = path;
+            }
+        }
+        all
+    }
+
+    fn path_len(&self, pred: &[Option<(usize, ChannelId)>], mut state: usize) -> usize {
+        let mut n = 0;
+        while let Some((prev, _)) = pred[state] {
+            n += 1;
+            state = prev;
+        }
+        n
+    }
+
+    /// The channel of link `l` leaving switch `from`.
+    fn directed_channel(&self, topo: &Topology, l: LinkId, from: SwitchId) -> ChannelId {
+        let link = topo.link(l);
+        match (link.a, link.b) {
+            (Endpoint::Switch(x), _) if x == from => l.forward(),
+            (_, Endpoint::Switch(y)) if y == from => l.backward(),
+            _ => unreachable!("link {l:?} does not touch switch {from}"),
+        }
+    }
+
+    /// Checks that a switch-level path is legal up\*/down\*: monotone
+    /// phase (no up channel after a down channel).
+    pub fn is_legal_path(&self, topo: &Topology, path: &[ChannelId]) -> bool {
+        let mut descending = false;
+        for &c in path {
+            if self.is_up(topo, c) {
+                if descending {
+                    return false;
+                }
+            } else {
+                descending = true;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Line of three switches: s0 - s1 - s2, one host each.
+    fn line() -> Topology {
+        let mut t = Topology::new(3);
+        for i in 0..3 {
+            t.add_host(SwitchId(i));
+        }
+        t.add_switch_link(SwitchId(0), SwitchId(1));
+        t.add_switch_link(SwitchId(1), SwitchId(2));
+        t
+    }
+
+    /// A cycle of four switches (gives up*/down* a non-tree link).
+    fn ring4() -> Topology {
+        let mut t = Topology::new(4);
+        for i in 0..4 {
+            t.add_host(SwitchId(i));
+        }
+        t.add_switch_link(SwitchId(0), SwitchId(1));
+        t.add_switch_link(SwitchId(1), SwitchId(2));
+        t.add_switch_link(SwitchId(2), SwitchId(3));
+        t.add_switch_link(SwitchId(3), SwitchId(0));
+        t
+    }
+
+    #[test]
+    fn root_is_highest_degree_lowest_id() {
+        let t = line();
+        let r = UpDownRouting::new(&t);
+        assert_eq!(r.root(), SwitchId(1)); // degree 2
+        let t = ring4();
+        let r = UpDownRouting::new(&t);
+        assert_eq!(r.root(), SwitchId(0)); // all degree 2, lowest id
+    }
+
+    #[test]
+    fn levels_and_tree() {
+        let t = line();
+        let r = UpDownRouting::with_root(&t, SwitchId(0));
+        assert_eq!(r.level(SwitchId(0)), 0);
+        assert_eq!(r.level(SwitchId(1)), 1);
+        assert_eq!(r.level(SwitchId(2)), 2);
+        assert_eq!(r.tree_parent(SwitchId(0)), None);
+        assert_eq!(r.tree_parent(SwitchId(2)).unwrap().1, SwitchId(1));
+        assert_eq!(r.tree_children(SwitchId(0)), &[SwitchId(1)]);
+    }
+
+    #[test]
+    fn all_paths_legal_and_shortest_on_ring() {
+        let t = ring4();
+        let r = UpDownRouting::with_root(&t, SwitchId(0));
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a == b {
+                    assert!(r.switch_path(SwitchId(a), SwitchId(b)).is_empty());
+                    continue;
+                }
+                let p = r.switch_path(SwitchId(a), SwitchId(b));
+                assert!(!p.is_empty());
+                assert!(r.is_legal_path(&t, p), "{a}->{b} illegal");
+                // Path endpoints line up.
+                let (first_src, _) = t.channel_endpoints(p[0]);
+                assert_eq!(first_src, Endpoint::Switch(SwitchId(a)));
+                let (_, last_dst) = t.channel_endpoints(*p.last().unwrap());
+                assert_eq!(last_dst, Endpoint::Switch(SwitchId(b)));
+                // Contiguity.
+                for w in p.windows(2) {
+                    let (_, x) = t.channel_endpoints(w[0]);
+                    let (y, _) = t.channel_endpoints(w[1]);
+                    assert_eq!(x, y);
+                }
+            }
+        }
+        // On a 4-ring rooted at 0 (levels 0,1,1,2) the shortest legal
+        // s1 -> s3 path is at most 2 hops (e.g. up to s0, down to s3).
+        let p13 = r.switch_path(SwitchId(1), SwitchId(3));
+        assert!(p13.len() <= 2);
+    }
+
+    #[test]
+    fn up_after_down_rejected() {
+        let t = ring4();
+        let r = UpDownRouting::with_root(&t, SwitchId(0));
+        // Construct an illegal path: down from 0 to 1, then up 1 to 0.
+        let down = t.switch_channel(SwitchId(0), SwitchId(1)).unwrap();
+        let up = t.switch_channel(SwitchId(1), SwitchId(0)).unwrap();
+        assert!(!r.is_up(&t, down));
+        assert!(r.is_up(&t, up));
+        assert!(!r.is_legal_path(&t, &[down, up]));
+        assert!(r.is_legal_path(&t, &[up, down]));
+    }
+
+    #[test]
+    fn host_route_has_injection_and_ejection() {
+        let t = line();
+        let r = UpDownRouting::with_root(&t, SwitchId(0));
+        let route = r.host_route(&t, HostId(0), HostId(2));
+        assert_eq!(route[0], t.injection_channel(HostId(0)));
+        assert_eq!(*route.last().unwrap(), t.ejection_channel(HostId(2)));
+        assert_eq!(route.len(), 4); // inject + 2 switch hops + eject
+        assert!(r.host_route(&t, HostId(1), HostId(1)).is_empty());
+    }
+
+    #[test]
+    fn same_switch_hosts_route_through_switch_only() {
+        let mut t = Topology::new(1);
+        let a = t.add_host(SwitchId(0));
+        let b = t.add_host(SwitchId(0));
+        let r = UpDownRouting::new(&t);
+        let route = r.host_route(&t, a, b);
+        assert_eq!(route.len(), 2);
+        assert_eq!(route[0], t.injection_channel(a));
+        assert_eq!(route[1], t.ejection_channel(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_panics() {
+        let mut t = Topology::new(2);
+        t.add_host(SwitchId(0));
+        UpDownRouting::new(&t);
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let t = ring4();
+        let r1 = UpDownRouting::with_root(&t, SwitchId(0));
+        let r2 = UpDownRouting::with_root(&t, SwitchId(0));
+        assert_eq!(r1, r2);
+    }
+}
+
+#[cfg(test)]
+mod distance_tests {
+    use super::*;
+    use crate::irregular::{IrregularConfig, IrregularNetwork};
+    use crate::Network;
+    use std::collections::VecDeque;
+
+    /// Unrestricted BFS distance between switches (ignoring up/down rules).
+    fn bfs_dist(topo: &Topology, from: SwitchId, to: SwitchId) -> u32 {
+        let mut dist = vec![u32::MAX; topo.num_switches() as usize];
+        dist[from.index()] = 0;
+        let mut q = VecDeque::from([from]);
+        while let Some(u) = q.pop_front() {
+            if u == to {
+                return dist[u.index()];
+            }
+            for (_, nb) in topo.switch_neighbors(u) {
+                if dist[nb.index()] == u32::MAX {
+                    dist[nb.index()] = dist[u.index()] + 1;
+                    q.push_back(nb);
+                }
+            }
+        }
+        dist[to.index()]
+    }
+
+    /// Legal up*/down* paths are at least as long as the unrestricted
+    /// shortest path, and on the paper-size networks the detour stays small
+    /// (bounded by twice the BFS-tree depth).
+    #[test]
+    fn legal_paths_vs_unrestricted_shortest() {
+        for seed in 0..4u64 {
+            let net = IrregularNetwork::generate(IrregularConfig::default(), seed);
+            let topo = net.topology();
+            let routing = net.routing();
+            let max_level = (0..topo.num_switches())
+                .map(|s| routing.level(SwitchId(s)))
+                .max()
+                .unwrap();
+            for a in 0..topo.num_switches() {
+                for b in 0..topo.num_switches() {
+                    if a == b {
+                        continue;
+                    }
+                    let legal = routing.switch_path(SwitchId(a), SwitchId(b)).len() as u32;
+                    let free = bfs_dist(topo, SwitchId(a), SwitchId(b));
+                    assert!(legal >= free, "seed {seed}: {a}->{b} legal {legal} < {free}");
+                    assert!(
+                        legal <= 2 * max_level.max(1),
+                        "seed {seed}: {a}->{b} legal {legal} exceeds tree bound"
+                    );
+                }
+            }
+        }
+    }
+
+    /// On a pure tree topology (no extra links) the legal path *is* the
+    /// unique tree path, hence exactly the unrestricted shortest.
+    #[test]
+    fn tree_topologies_route_optimally() {
+        let mut topo = Topology::new(7);
+        // Balanced binary tree of switches.
+        for (parent, child) in [(0u32, 1u32), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)] {
+            topo.add_switch_link(SwitchId(parent), SwitchId(child));
+        }
+        let routing = UpDownRouting::with_root(&topo, SwitchId(0));
+        for a in 0..7 {
+            for b in 0..7 {
+                if a == b {
+                    continue;
+                }
+                let legal = routing.switch_path(SwitchId(a), SwitchId(b)).len() as u32;
+                let free = bfs_dist(&topo, SwitchId(a), SwitchId(b));
+                assert_eq!(legal, free, "{a}->{b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Extension (paper §4.3.2 / §7): k-binomial broadcast on regular k-ary
+//! n-cubes using the dimension-ordered chain, where the construction is
+//! provably contention-free — the simulator reports zero blocked sends.
+//!
+//! ```text
+//! cargo run --release --example cube_broadcast
+//! ```
+
+use optimcast::prelude::*;
+
+fn broadcast(net: &CubeNetwork, m: u32, policy_k: Option<u32>) -> (f64, u64, u32) {
+    let params = SystemParams::paper_1997();
+    let n = net.num_hosts();
+    let ordering = dimension_ordered(net);
+    let dests: Vec<HostId> = (1..n).map(HostId).collect();
+    let chain = ordering.arrange(HostId(0), &dests);
+    let k = policy_k.unwrap_or_else(|| optimal_k(u64::from(n), m).k);
+    let tree = kbinomial_tree(n, k);
+    let out = run_multicast(net, &tree, &chain, m, &params, RunConfig::default());
+    (out.latency_us, out.blocked_sends, k)
+}
+
+fn main() {
+    println!("broadcast on k-ary n-cubes, dimension-ordered chain, FPFS smart NI\n");
+    for (arity, dims) in [(2u32, 6u32), (4, 3), (8, 2)] {
+        let net = CubeNetwork::new(arity, dims);
+        println!("== {}", net.describe());
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>9}",
+            "packets", "optimal k", "kbin (us)", "bin (us)", "blocked"
+        );
+        for m in [1u32, 2, 4, 8, 16, 32] {
+            let (kbin, blocked_k, k) = broadcast(&net, m, None);
+            let bin_k = optimcast::core::coverage::ceil_log2(u64::from(net.num_hosts()));
+            let (bin, blocked_b, _) = broadcast(&net, m, Some(bin_k));
+            println!(
+                "{m:>8} {k:>10} {kbin:>12.2} {bin:>12.2} {:>4}/{:<4}",
+                blocked_k, blocked_b
+            );
+        }
+        println!();
+    }
+    println!("Zero blocked sends on hypercubes: the dimension-ordered chain");
+    println!("construction is depth contention-free, as the paper asserts.");
+}

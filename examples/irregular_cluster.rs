@@ -1,0 +1,51 @@
+//! The paper's headline experiment, one configuration at a time: sweep the
+//! message length on the 64-node irregular cluster and watch the optimal
+//! k-binomial tree pull away from the binomial baseline (Fig. 14(a)).
+//!
+//! ```text
+//! cargo run --release --example irregular_cluster [DESTS]
+//! ```
+
+use optimcast::experiments::{avg_latency, m_axis, EvalConfig, TreePolicy};
+use optimcast::prelude::*;
+
+fn main() {
+    let dests: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("DESTS must be a number"))
+        .unwrap_or(47);
+    assert!(
+        (1..=63).contains(&dests),
+        "DESTS must be in 1..=63 on the 64-host network"
+    );
+
+    let cfg = EvalConfig {
+        topologies: 4,
+        dest_sets: 10,
+        ..EvalConfig::paper()
+    };
+    println!(
+        "multicast to {dests} destinations, averaged over {} topologies x {} sets",
+        cfg.topologies, cfg.dest_sets
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>8}",
+        "packets", "optimal k", "bin (us)", "kbin (us)", "speedup"
+    );
+    for m in m_axis() {
+        let k = optimal_k(u64::from(dests) + 1, m).k;
+        let bin = avg_latency(&cfg, TreePolicy::Binomial, dests, m, RunConfig::default());
+        let kbin = avg_latency(
+            &cfg,
+            TreePolicy::OptimalKBinomial,
+            dests,
+            m,
+            RunConfig::default(),
+        );
+        println!(
+            "{m:>8} {k:>10} {bin:>12.2} {kbin:>12.2} {:>7.2}x",
+            bin / kbin
+        );
+    }
+    println!("\nThe speedup approaches ~2x for long messages — the paper's result.");
+}

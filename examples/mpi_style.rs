@@ -1,0 +1,32 @@
+//! MPI-style usage through the [`Communicator`] facade: one object, one
+//! method per collective, bytes in, microseconds out.
+//!
+//! ```text
+//! cargo run --release --example mpi_style
+//! ```
+
+use optimcast::comm::Communicator;
+use optimcast::prelude::*;
+
+fn main() {
+    // 64-rank "job" on a randomly wired irregular cluster.
+    let comm = Communicator::irregular(IrregularConfig::default(), 1234);
+    println!("communicator over {}\n", comm.network().describe());
+
+    let root = HostId(0);
+    for bytes in [64u64, 1024, 4096] {
+        let bcast = comm.bcast(root, bytes);
+        let scatter = comm.scatter(root, bytes / 8);
+        let gather = comm.gather(root, bytes / 8);
+        let reduce = comm.reduce(bytes, 0.5);
+        let allgather = comm.allgather(bytes / 8);
+        println!("payload {bytes:>5} B:");
+        println!("  bcast     {:>9.1} us  ({} blocked sends)", bcast.latency_us, bcast.blocked_sends);
+        println!("  scatter   {:>9.1} us  ({} B per rank)", scatter.latency_us, bytes / 8);
+        println!("  gather    {:>9.1} us  (analytic mirror)", gather.latency_us);
+        println!("  reduce    {:>9.1} us  (gamma = 0.5 us/pkt)", reduce.latency_us);
+        println!("  allgather {:>9.1} us", allgather.latency_us);
+    }
+    let barrier = comm.barrier();
+    println!("\nbarrier     {:>9.1} us  ({} dissemination rounds)", barrier.latency_us, barrier.steps);
+}

@@ -1,0 +1,10 @@
+set title "Buffer residency per packet, k = 3 children (t_sq units)"
+set xlabel "packets (m)"
+set ylabel "residency (t_sq)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "buffers.png"
+set datafile missing "?"
+plot "buffers.dat" using 1:2 with linespoints title "FCFS", \
+     "buffers.dat" using 1:3 with linespoints title "FPFS"

@@ -1,0 +1,10 @@
+set title "Optimal-tree steps, FPFS vs FCFS (n = 64)"
+set xlabel "Number of packets (m)"
+set ylabel "steps at optimal k"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "disciplines.png"
+set datafile missing "?"
+plot "disciplines.dat" using 1:2 with linespoints title "FPFS", \
+     "disciplines.dat" using 1:3 with linespoints title "FCFS"

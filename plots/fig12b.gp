@@ -1,0 +1,12 @@
+set title "Optimal k value for k-binomial tree (fixed m, varying n)"
+set xlabel "Multicast set size (n)"
+set ylabel "Optimal k"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig12b.png"
+set datafile missing "?"
+plot "fig12b.dat" using 1:2 with linespoints title "1 pkt", \
+     "fig12b.dat" using 1:3 with linespoints title "2 pkts", \
+     "fig12b.dat" using 1:4 with linespoints title "4 pkts", \
+     "fig12b.dat" using 1:5 with linespoints title "8 pkts"

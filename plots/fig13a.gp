@@ -1,0 +1,12 @@
+set title "Multicast latency using k-binomial tree (fixed n, varying m)"
+set xlabel "Number of packets (m)"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig13a.png"
+set datafile missing "?"
+plot "fig13a.dat" using 1:2 with linespoints title "15 dest", \
+     "fig13a.dat" using 1:3 with linespoints title "31 dest", \
+     "fig13a.dat" using 1:4 with linespoints title "47 dest", \
+     "fig13a.dat" using 1:5 with linespoints title "63 dest"

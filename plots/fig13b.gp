@@ -1,0 +1,12 @@
+set title "Multicast latency using k-binomial tree (fixed m, varying n)"
+set xlabel "Multicast set size (n)"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig13b.png"
+set datafile missing "?"
+plot "fig13b.dat" using 1:2 with linespoints title "8 pkts", \
+     "fig13b.dat" using 1:3 with linespoints title "4 pkts", \
+     "fig13b.dat" using 1:4 with linespoints title "2 pkts", \
+     "fig13b.dat" using 1:5 with linespoints title "1 pkt"

@@ -1,0 +1,12 @@
+set title "Binomial vs k-binomial latency (fixed n, varying m)"
+set xlabel "Number of packets (m)"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig14a.png"
+set datafile missing "?"
+plot "fig14a.dat" using 1:2 with linespoints title "47 dest bin", \
+     "fig14a.dat" using 1:3 with linespoints title "47 dest kbin", \
+     "fig14a.dat" using 1:4 with linespoints title "15 dest bin", \
+     "fig14a.dat" using 1:5 with linespoints title "15 dest kbin"

@@ -1,0 +1,12 @@
+set title "Binomial vs k-binomial latency (fixed m, varying n)"
+set xlabel "Multicast set size (n)"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig14b.png"
+set datafile missing "?"
+plot "fig14b.dat" using 1:2 with linespoints title "8 pkts bin", \
+     "fig14b.dat" using 1:3 with linespoints title "8 pkts kbin", \
+     "fig14b.dat" using 1:4 with linespoints title "2 pkts bin", \
+     "fig14b.dat" using 1:5 with linespoints title "2 pkts kbin"

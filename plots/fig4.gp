@@ -1,0 +1,10 @@
+set title "Conventional vs smart NI (binomial, 3 dest, 1 packet)"
+set xlabel "NI architecture"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig4.png"
+set datafile missing "?"
+plot "fig4.dat" using 1:2 with linespoints title "conventional", \
+     "fig4.dat" using 1:3 with linespoints title "smart"

@@ -1,0 +1,10 @@
+set title "Binomial vs linear tree, 3 packets to 3 destinations"
+set xlabel "tree"
+set ylabel "steps"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig5.png"
+set datafile missing "?"
+plot "fig5.dat" using 1:2 with linespoints title "binomial", \
+     "fig5.dat" using 1:3 with linespoints title "linear"

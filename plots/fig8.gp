@@ -1,0 +1,9 @@
+set title "Pipelined packet completions (binomial, 7 dest, 3 packets)"
+set xlabel "packet"
+set ylabel "completion step"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig8.png"
+set datafile missing "?"
+plot "fig8.dat" using 1:2 with linespoints title "completion"

@@ -1,0 +1,215 @@
+//! Regenerates every figure of the paper as text data tables (and optional
+//! JSON sidecars for EXPERIMENTS.md).
+//!
+//! ```text
+//! figures [--quick] [--json DIR] [--gnuplot DIR] [FIG ...]
+//!   FIG ∈ {fig4, fig5, fig8, buffers, fig12a, fig12b,
+//!          fig13a, fig13b, fig14a, fig14b, disciplines, all}   (default: all)
+//!   --quick   2 topologies × 3 destination sets instead of the paper's 10 × 30
+//!   --json D  also write <D>/<fig>.json
+//! ```
+
+use optimcast::experiments::{self, EvalConfig, Figure};
+use std::io::Write as _;
+use std::time::Instant;
+
+const FIG_NAMES: [&str; 11] = [
+    "fig4", "fig5", "fig8", "buffers", "fig12a", "fig12b", "fig13a", "fig13b", "fig14a",
+    "fig14b", "disciplines",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json_dir: Option<String> = None;
+    let mut gnuplot_dir: Option<String> = None;
+    let mut figs: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a directory argument");
+                    std::process::exit(2);
+                }))
+            }
+            "--gnuplot" => {
+                gnuplot_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--gnuplot requires a directory argument");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [--quick] [--json DIR] [--gnuplot DIR] [FIG ...]\n\
+                     FIG: fig4 fig5 fig8 buffers fig12a fig12b fig13a fig13b fig14a fig14b \
+                     disciplines all"
+                );
+                return;
+            }
+            other => figs.push(other.to_string()),
+        }
+    }
+    if figs.is_empty() || figs.iter().any(|f| f == "all") {
+        figs = FIG_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+
+    let cfg = if quick {
+        EvalConfig::quick()
+    } else {
+        EvalConfig::paper()
+    };
+    println!(
+        "# optimcast figure regeneration ({} topologies x {} destination sets)",
+        cfg.topologies, cfg.dest_sets
+    );
+    println!("# network: 64 hosts, 16 switches x 8 ports; CCO ordering; FPFS smart NI\n");
+
+    for fig in figs {
+        let start = Instant::now();
+        let figure = match fig.as_str() {
+            "fig4" => experiments::fig4(&cfg.params),
+            "fig5" => experiments::fig5(),
+            "fig8" => experiments::fig8(),
+            "buffers" => experiments::buffer_figure(3),
+            "fig12a" => experiments::fig12a(),
+            "fig12b" => experiments::fig12b(),
+            "fig13a" => experiments::fig13a(&cfg),
+            "fig13b" => experiments::fig13b(&cfg),
+            "fig14a" => experiments::fig14a(&cfg),
+            "fig14b" => experiments::fig14b(&cfg),
+            "disciplines" => experiments::fig_disciplines(64),
+            other => {
+                eprintln!("unknown figure '{other}', skipping");
+                continue;
+            }
+        };
+        print_figure(&figure, start.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            write_json(dir, &figure);
+        }
+        if let Some(dir) = &gnuplot_dir {
+            write_gnuplot(dir, &figure);
+        }
+    }
+}
+
+/// Writes `<fig>.dat` (x then one column per series) and `<fig>.gp` (a
+/// ready-to-run gnuplot script reproducing the paper-style plot).
+fn write_gnuplot(dir: &str, fig: &Figure) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return;
+    }
+    let mut xs: Vec<f64> = Vec::new();
+    for s in &fig.series {
+        for &(x, _) in &s.points {
+            if !xs.iter().any(|&v| v == x) {
+                xs.push(x);
+            }
+        }
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let dat_path = format!("{dir}/{}.dat", fig.id);
+    let mut dat = String::new();
+    dat.push_str("# x");
+    for s in &fig.series {
+        dat.push_str(&format!("  \"{}\"", s.label));
+    }
+    dat.push('\n');
+    for &x in &xs {
+        dat.push_str(&format!("{x}"));
+        for s in &fig.series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => dat.push_str(&format!(" {y}")),
+                None => dat.push_str(" ?"),
+            }
+        }
+        dat.push('\n');
+    }
+    if let Err(e) = std::fs::write(&dat_path, dat) {
+        eprintln!("cannot write {dat_path}: {e}");
+        return;
+    }
+    let gp_path = format!("{dir}/{}.gp", fig.id);
+    let mut gp = String::new();
+    gp.push_str(&format!(
+        "set title \"{}\"\nset xlabel \"{}\"\nset ylabel \"{}\"\nset key left top\nset grid\n",
+        fig.title, fig.x_label, fig.y_label
+    ));
+    gp.push_str(&format!(
+        "set terminal pngcairo size 800,600\nset output \"{}.png\"\nset datafile missing \"?\"\nplot ",
+        fig.id
+    ));
+    let plots: Vec<String> = fig
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                "\"{}.dat\" using 1:{} with linespoints title \"{}\"",
+                fig.id,
+                i + 2,
+                s.label
+            )
+        })
+        .collect();
+    gp.push_str(&plots.join(", \\\n     "));
+    gp.push('\n');
+    if let Err(e) = std::fs::write(&gp_path, gp) {
+        eprintln!("cannot write {gp_path}: {e}");
+    } else {
+        println!("   wrote {dat_path} + {gp_path}\n");
+    }
+}
+
+/// Prints a figure as an aligned table: one row per x value, one column per
+/// series (the paper's gnuplot-style series).
+fn print_figure(fig: &Figure, elapsed: f64) {
+    println!("## {} — {}   [{elapsed:.2}s]", fig.id, fig.title);
+    // Collect the x axis (union of all series' x values, in first-series order).
+    let mut xs: Vec<f64> = Vec::new();
+    for s in &fig.series {
+        for &(x, _) in &s.points {
+            if !xs.contains(&x) {
+                xs.push(x);
+            }
+        }
+    }
+    print!("{:>24}", fig.x_label);
+    for s in &fig.series {
+        print!("{:>16}", s.label);
+    }
+    println!();
+    for &x in &xs {
+        print!("{x:>24.0}");
+        for s in &fig.series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => print!("{y:>16.2}"),
+                None => print!("{:>16}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("   ({})\n", fig.y_label);
+}
+
+fn write_json(dir: &str, fig: &Figure) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return;
+    }
+    let path = format!("{dir}/{}.json", fig.id);
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let body = serde_json::to_string_pretty(fig).expect("figure serializes");
+            if let Err(e) = f.write_all(body.as_bytes()) {
+                eprintln!("cannot write {path}: {e}");
+            } else {
+                println!("   wrote {path}\n");
+            }
+        }
+        Err(e) => eprintln!("cannot create {path}: {e}"),
+    }
+}

@@ -1,0 +1,286 @@
+//! `optimcast` — command-line front end to the library.
+//!
+//! ```text
+//! optimcast topo     [--switches S] [--ports P] [--hosts H] [--seed N] [--dot]
+//! optimcast route    [--seed N] <FROM> <TO>
+//! optimcast tree     --n N [--k K | --m M] [--render] [--dot] [--diagram]
+//! optimcast optimal  --n N --m M            # Theorem-3 optimal k
+//! optimcast table    --max-n N --max-m M    # the §4.3.1 lookup table
+//! optimcast simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]
+//!                    [--ordering cco|poc|random] [--ideal]
+//! ```
+
+use optimcast::core::schedule::ForwardingDiscipline;
+use optimcast::netsim::{run_workload, JobPayload, MulticastJob, TraceKind, WorkloadConfig};
+use optimcast::prelude::*;
+use optimcast::topology::ordering::{cco, poc};
+use std::collections::HashMap;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    let cmd = args.remove(0);
+    let (flags, positional) = parse_flags(args);
+    match cmd.as_str() {
+        "topo" => cmd_topo(&flags),
+        "route" => cmd_route(&flags, &positional),
+        "tree" => cmd_tree(&flags),
+        "optimal" => cmd_optimal(&flags),
+        "table" => cmd_table(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "optimcast — k-binomial multicast toolkit (Kesavan & Panda, ICPP 1997)\n\
+         commands:\n\
+         \u{20}  topo     [--switches S] [--ports P] [--hosts H] [--seed N]\n\
+         \u{20}  route    [--seed N] <FROM> <TO>\n\
+         \u{20}  tree     --n N [--k K | --m M] [--render]\n\
+         \u{20}  optimal  --n N --m M\n\
+         \u{20}  table    [--max-n N] [--max-m M]\n\
+         \u{20}  simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]\n\
+         \u{20}           [--ordering cco|poc|random] [--ideal] [--trace]"
+    );
+}
+
+fn parse_flags(args: Vec<String>) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.into_iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a);
+        }
+    }
+    (flags, positional)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("--{name}: {e}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn build_net(flags: &HashMap<String, String>) -> IrregularNetwork {
+    let cfg = IrregularConfig {
+        switches: get(flags, "switches", 16),
+        ports: get(flags, "ports", 8),
+        hosts: get(flags, "hosts", 64),
+    };
+    IrregularNetwork::generate(cfg, get(flags, "seed", 0u64))
+}
+
+fn cmd_topo(flags: &HashMap<String, String>) {
+    let net = build_net(flags);
+    let t = net.topology();
+    if flags.contains_key("dot") {
+        print!("{}", t.to_dot());
+        return;
+    }
+    println!("{}", net.describe());
+    println!("links: {} ({} switch-switch)", t.num_links(), t.link_pairs().len());
+    println!("up*/down* root: {}", net.routing().root());
+    for s in 0..t.num_switches() {
+        let sid = SwitchId(s);
+        let nbrs: Vec<String> = t
+            .switch_neighbors(sid)
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .collect();
+        println!(
+            "  {sid}: level {}, {} hosts, links to [{}]",
+            net.routing().level(sid),
+            t.switch_hosts(sid).len(),
+            nbrs.join(", ")
+        );
+    }
+}
+
+fn cmd_route(flags: &HashMap<String, String>, positional: &[String]) {
+    if positional.len() != 2 {
+        eprintln!("route needs <FROM> <TO>");
+        std::process::exit(2);
+    }
+    let net = build_net(flags);
+    let from = HostId(positional[0].parse().expect("FROM must be a host id"));
+    let to = HostId(positional[1].parse().expect("TO must be a host id"));
+    let route = net.route(from, to);
+    println!("{from} -> {to}: {} channels", route.len());
+    let t = net.topology();
+    for c in route {
+        let (a, b) = t.channel_endpoints(c);
+        println!("  {a} -> {b}");
+    }
+}
+
+fn cmd_tree(flags: &HashMap<String, String>) {
+    let n: u32 = get(flags, "n", 16);
+    let k = match flags.get("k") {
+        Some(v) => v.parse().expect("--k must be a number"),
+        None => {
+            let m: u32 = get(flags, "m", 1);
+            let opt = optimal_k(u64::from(n), m);
+            println!("optimal k for n={n}, m={m}: {} ({} steps)", opt.k, opt.steps);
+            opt.k
+        }
+    };
+    let tree = kbinomial_tree(n, k);
+    let m: u32 = get(flags, "m", 1);
+    let sched = fpfs_schedule(&tree, m);
+    println!(
+        "{k}-binomial tree over {n}: depth {}, root degree {}, {m}-packet FPFS completes in {} steps",
+        tree.depth(),
+        tree.root_degree(),
+        sched.total_steps()
+    );
+    if flags.contains_key("render") {
+        print!("{}", tree.render());
+    }
+    if flags.contains_key("dot") {
+        print!("{}", tree.to_dot());
+    }
+    if flags.contains_key("diagram") {
+        print!("{}", sched.step_diagram(&tree));
+    }
+}
+
+fn cmd_optimal(flags: &HashMap<String, String>) {
+    let n: u64 = get(flags, "n", 64);
+    let m: u32 = get(flags, "m", 8);
+    let opt = optimal_k(n, m);
+    println!("n={n} m={m}: optimal k = {}, {} steps", opt.k, opt.steps);
+    let p = SystemParams::paper_1997();
+    println!(
+        "contention-free latency: {:.2} us (t_s + steps*t_step + t_r)",
+        p.t_s + opt.steps as f64 * p.t_step() + p.t_r
+    );
+}
+
+fn cmd_table(flags: &HashMap<String, String>) {
+    let max_n: u64 = get(flags, "max-n", 64);
+    let max_m: u32 = get(flags, "max-m", 16);
+    let table = OptimalKTable::build(max_n, max_m);
+    println!("optimal-k table, n in 2..={max_n} (rows), m in 1..={max_m} (cols), {} bytes:", table.memory_bytes());
+    print!("{:>5}", "n\\m");
+    for m in 1..=max_m {
+        print!("{m:>3}");
+    }
+    println!();
+    for n in 2..=max_n {
+        print!("{n:>5}");
+        for m in 1..=max_m {
+            print!("{:>3}", table.lookup(n, m).unwrap());
+        }
+        println!();
+    }
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) {
+    let net = build_net(flags);
+    let dests: u32 = get(flags, "dests", 31);
+    let m: u32 = get(flags, "m", 8);
+    let ordering = match flags.get("ordering").map(String::as_str) {
+        None | Some("cco") => cco(&net),
+        Some("poc") => poc(&net),
+        Some("random") => Ordering::random(net.num_hosts(), get(flags, "seed", 0u64) + 1),
+        Some(o) => {
+            eprintln!("unknown ordering '{o}'");
+            std::process::exit(2);
+        }
+    };
+    let nic = match flags.get("nic").map(String::as_str) {
+        None | Some("fpfs") => NicKind::Smart(ForwardingDiscipline::Fpfs),
+        Some("fcfs") => NicKind::Smart(ForwardingDiscipline::Fcfs),
+        Some("conv") => NicKind::Conventional,
+        Some(o) => {
+            eprintln!("unknown nic '{o}'");
+            std::process::exit(2);
+        }
+    };
+    let contention = if flags.contains_key("ideal") {
+        ContentionMode::Ideal
+    } else {
+        ContentionMode::Wormhole
+    };
+    let params = SystemParams::paper_1997();
+    let dest_hosts: Vec<HostId> = (1..=dests).map(HostId).collect();
+    let chain = ordering.arrange(HostId(0), &dest_hosts);
+    let n = chain.len() as u32;
+    let opt = optimal_k(u64::from(n), m);
+    let tree = kbinomial_tree(n, opt.k);
+    let wl = run_workload(
+        &net,
+        &[MulticastJob {
+            tree: tree.clone(),
+            binding: chain.clone(),
+            packets: m,
+            start_us: 0.0,
+            nic,
+            payload: JobPayload::Replicated,
+        }],
+        &params,
+        WorkloadConfig {
+            contention,
+            timing: NiTiming::Handshake,
+            trace: flags.contains_key("trace"),
+        },
+    );
+    let out = &wl.jobs[0];
+    println!("{}", net.describe());
+    println!(
+        "multicast: {dests} dests, {m} packets, optimal k = {} -> {} predicted steps",
+        opt.k, opt.steps
+    );
+    println!(
+        "latency {:.2} us | {} sends, {} blocked, {:.1} us stalled | max fwd buffer {} pkts",
+        out.latency_us,
+        out.total_sends,
+        out.blocked_sends,
+        out.channel_wait_us,
+        out.max_ni_buffer[1..].iter().max().copied().unwrap_or(0)
+    );
+    if flags.contains_key("trace") {
+        println!("timeline ({} records):", wl.trace.len());
+        for r in &wl.trace {
+            match r.kind {
+                TraceKind::SendStart { from, to, packet, stalled_us } => {
+                    print!("  {:9.2} us  send  {from} -> {to}  pkt {packet}", r.t_us);
+                    if stalled_us > 0.0 {
+                        print!("  (stalled {stalled_us:.1} us)");
+                    }
+                    println!();
+                }
+                TraceKind::RecvDone { at, packet } => {
+                    println!("  {:9.2} us  recv  {at}  pkt {packet}", r.t_us);
+                }
+                TraceKind::HostDone { rank } => {
+                    println!("  {:9.2} us  done  {rank}", r.t_us);
+                }
+            }
+        }
+    }
+}

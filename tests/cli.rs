@@ -1,0 +1,82 @@
+//! End-to-end tests of the `optimcast` and `figures` binaries (the
+//! interfaces a downstream user drives first).
+
+use std::process::Command;
+
+fn optimcast(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_optimcast"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn optimal_subcommand() {
+    let (out, ok) = optimcast(&["optimal", "--n", "64", "--m", "8"]);
+    assert!(ok);
+    assert!(out.contains("optimal k = 2"), "{out}");
+    assert!(out.contains("22 steps"), "{out}");
+    assert!(out.contains("135.00 us"), "{out}");
+}
+
+#[test]
+fn tree_subcommand_with_diagram() {
+    let (out, ok) = optimcast(&["tree", "--n", "4", "--k", "2", "--m", "3", "--diagram"]);
+    assert!(ok);
+    // Paper Fig. 5(a) FPFS layout on the binomial tree.
+    assert!(out.contains("completes in 6 steps"), "{out}");
+    assert!(out.contains("r0 -> r2:"), "{out}");
+}
+
+#[test]
+fn tree_dot_output() {
+    let (out, ok) = optimcast(&["tree", "--n", "8", "--k", "3", "--dot"]);
+    assert!(ok);
+    assert!(out.contains("digraph multicast"), "{out}");
+    assert_eq!(out.matches(" -> ").count(), 7, "{out}");
+}
+
+#[test]
+fn simulate_subcommand() {
+    let (out, ok) = optimcast(&[
+        "simulate", "--dests", "7", "--m", "2", "--seed", "3", "--ideal",
+    ]);
+    assert!(ok);
+    assert!(out.contains("latency"), "{out}");
+    assert!(out.contains("0 blocked"), "{out}");
+}
+
+#[test]
+fn table_subcommand() {
+    let (out, ok) = optimcast(&["table", "--max-n", "8", "--max-m", "4"]);
+    assert!(ok);
+    // n=8 row: optimal k = 3, 3, 2, 2 for m = 1..4 (k=3 still ties at m=2:
+    // t1(8,3)+k = 3+3 = t1(8,2)+2 = 4+2, ties resolve to larger k).
+    let row = out.lines().find(|l| l.trim_start().starts_with("8 ")).unwrap();
+    assert!(row.contains("3  3  2  2"), "{row}");
+}
+
+#[test]
+fn topo_dot_output() {
+    let (out, ok) = optimcast(&["topo", "--switches", "2", "--ports", "4", "--hosts", "4", "--dot"]);
+    assert!(ok);
+    assert!(out.starts_with("graph topology"), "{out}");
+    assert!(out.contains("s0 -- s1") || out.contains("s1 -- s0"), "{out}");
+}
+
+#[test]
+fn figures_quick_analytic_subset() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--quick", "fig5", "fig12a"])
+        .output()
+        .expect("figures runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("## fig5"), "{text}");
+    assert!(text.contains("## fig12a"), "{text}");
+    assert!(text.contains("binomial"), "{text}");
+}

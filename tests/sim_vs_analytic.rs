@@ -1,0 +1,201 @@
+//! Cross-validation: the discrete-event simulator must agree with the
+//! analytic models of `optimcast-core` wherever the paper's assumptions
+//! (no channel contention) hold — exactly, not approximately.
+
+use optimcast::core::schedule::ForwardingDiscipline;
+use optimcast::prelude::*;
+
+fn params() -> SystemParams {
+    SystemParams::paper_1997()
+}
+
+fn ideal(nic: NicKind) -> RunConfig {
+    RunConfig {
+        nic,
+        contention: ContentionMode::Ideal,
+        timing: NiTiming::Handshake,
+    }
+}
+
+fn net64(seed: u64) -> IrregularNetwork {
+    IrregularNetwork::generate(IrregularConfig::default(), seed)
+}
+
+fn binding(n: u32) -> Vec<HostId> {
+    (0..n).map(HostId).collect()
+}
+
+#[test]
+fn fpfs_sim_equals_schedule_on_irregular_networks() {
+    let net = net64(17);
+    for n in [4u32, 16, 33, 64] {
+        for k in [1u32, 2, 3, 6] {
+            for m in [1u32, 4, 9] {
+                let tree = kbinomial_tree(n, k);
+                let sched = fpfs_schedule(&tree, m);
+                let out = run_multicast(
+                    &net,
+                    &tree,
+                    &binding(n),
+                    m,
+                    &params(),
+                    ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
+                );
+                let analytic = smart_latency_us(&sched, &params());
+                assert!(
+                    (out.latency_us - analytic).abs() < 1e-6,
+                    "n={n} k={k} m={m}: sim {} analytic {analytic}",
+                    out.latency_us
+                );
+                // Every destination's NI timeline matches the schedule.
+                for r in 1..n {
+                    let expect = params().t_s
+                        + f64::from(sched.message_completion(Rank(r))) * params().t_step();
+                    assert!(
+                        (out.ni_last_recv_us[r as usize] - expect).abs() < 1e-6,
+                        "n={n} k={k} m={m} rank {r}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fcfs_sim_equals_schedule_on_irregular_networks() {
+    let net = net64(18);
+    for n in [5u32, 16, 48] {
+        for m in [1u32, 3, 8] {
+            let tree = binomial_tree(n);
+            let sched = fcfs_schedule(&tree, m);
+            let out = run_multicast(
+                &net,
+                &tree,
+                &binding(n),
+                m,
+                &params(),
+                ideal(NicKind::Smart(ForwardingDiscipline::Fcfs)),
+            );
+            assert!(
+                (out.latency_us - smart_latency_us(&sched, &params())).abs() < 1e-6,
+                "n={n} m={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conventional_sim_equals_closed_form() {
+    let net = net64(19);
+    for n in [4u32, 8, 20, 64] {
+        for m in [1u32, 2, 6] {
+            for tree in [binomial_tree(n), linear_tree(n), kbinomial_tree(n, 2)] {
+                let out = run_multicast(
+                    &net,
+                    &tree,
+                    &binding(n),
+                    m,
+                    &params(),
+                    ideal(NicKind::Conventional),
+                );
+                let analytic = conventional_latency_us(&tree, m, &params());
+                assert!(
+                    (out.latency_us - analytic).abs() < 1e-6,
+                    "n={n} m={m}: sim {} analytic {analytic}",
+                    out.latency_us
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_visible_in_simulation() {
+    // Simulated latency grows linearly in m with slope bottleneck * t_step.
+    let net = net64(20);
+    for k in [1u32, 2, 4] {
+        let tree = kbinomial_tree(32, k);
+        let lat = |m: u32| {
+            run_multicast(
+                &net,
+                &tree,
+                &binding(32),
+                m,
+                &params(),
+                ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
+            )
+            .latency_us
+        };
+        let slope = lat(7) - lat(6);
+        let expected = f64::from(tree.max_degree()) * params().t_step();
+        assert!((slope - expected).abs() < 1e-6, "k={k}");
+    }
+}
+
+#[test]
+fn wormhole_contention_only_adds_latency() {
+    for seed in 0..6u64 {
+        let net = net64(seed);
+        let ordering = optimcast::topology::ordering::cco(&net);
+        let dests: Vec<HostId> = (1..48).map(HostId).collect();
+        let chain = ordering.arrange(HostId(0), &dests);
+        for m in [1u32, 8] {
+            let tree = kbinomial_tree(48, optimal_k(48, m).k);
+            let ideal_out = run_multicast(
+                &net,
+                &tree,
+                &chain,
+                m,
+                &params(),
+                ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
+            );
+            let worm = run_multicast(&net, &tree, &chain, m, &params(), RunConfig::default());
+            assert!(
+                worm.latency_us >= ideal_out.latency_us - 1e-9,
+                "seed {seed} m={m}"
+            );
+            // Contention delay is bounded by the total stall time observed.
+            assert!(
+                worm.latency_us - ideal_out.latency_us <= worm.channel_wait_us + 1e-9,
+                "seed {seed} m={m}: delta {} vs wait {}",
+                worm.latency_us - ideal_out.latency_us,
+                worm.channel_wait_us
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_timing_bounds() {
+    // Overlapped release can only speed things up, and by at most
+    // t_recv / t_step per step.
+    let net = net64(21);
+    let tree = binomial_tree(32);
+    for m in [1u32, 6] {
+        let hs = run_multicast(
+            &net,
+            &tree,
+            &binding(32),
+            m,
+            &params(),
+            ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
+        );
+        let ov = run_multicast(
+            &net,
+            &tree,
+            &binding(32),
+            m,
+            &params(),
+            RunConfig {
+                timing: NiTiming::Overlapped,
+                contention: ContentionMode::Ideal,
+                nic: NicKind::Smart(ForwardingDiscipline::Fpfs),
+            },
+        );
+        assert!(ov.latency_us <= hs.latency_us + 1e-9, "m={m}");
+        // Still bounded below by the critical path with t_send-spaced sends.
+        let floor = params().t_s + params().t_r
+            + f64::from(fpfs_schedule(&tree, m).total_steps()) * params().t_send;
+        assert!(ov.latency_us >= floor - 1e-9, "m={m}");
+    }
+}
