@@ -27,7 +27,7 @@ fn bench_contention_modes(c: &mut Criterion) {
             contention: mode,
             ..RunConfig::default()
         };
-        let out = run_multicast(&net, &tree, &chain, m, &params, cfgr);
+        let out = run_multicast(&net, &tree, &chain, m, &params, cfgr).unwrap();
         println!(
             "[contention] {name:>8}: latency {:.1} us ({} blocked, {:.1} us stalled)",
             out.latency_us, out.blocked_sends, out.channel_wait_us

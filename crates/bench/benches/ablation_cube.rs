@@ -17,7 +17,7 @@ fn bench_cubes(c: &mut Criterion) {
         let n = net.num_hosts();
         let chain: Vec<HostId> = (0..n).map(HostId).collect();
         let tree = kbinomial_tree(n, optimal_k(u64::from(n), m).k);
-        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default());
+        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default()).unwrap();
         println!(
             "[cube] {}: latency {:.1} us, {} blocked sends",
             net.describe(),
@@ -34,6 +34,7 @@ fn bench_cubes(c: &mut Criterion) {
                     &params,
                     RunConfig::default(),
                 )
+                .unwrap()
             })
         });
     }

@@ -24,7 +24,7 @@ fn bench_disciplines(c: &mut Criterion) {
             nic: NicKind::Smart(disc),
             ..RunConfig::default()
         };
-        let out = run_multicast(&net, &tree, &chain, m, &params, cfgr);
+        let out = run_multicast(&net, &tree, &chain, m, &params, cfgr).unwrap();
         let max_fwd_buf = out.max_ni_buffer[1..].iter().copied().max().unwrap_or(0);
         println!(
             "[discipline] {disc:?}: latency {:.1} us, max forwarding buffer {} pkts",

@@ -33,7 +33,7 @@ fn bench_orderings(c: &mut Criterion) {
     for (name, chain) in chains(&net) {
         let n = chain.len() as u32;
         let tree = kbinomial_tree(n, optimal_k(u64::from(n), m).k);
-        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default());
+        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default()).unwrap();
         println!(
             "[ordering] {name:>14}: latency {:.1} us, {} blocked sends, {:.1} us total stall",
             out.latency_us, out.blocked_sends, out.channel_wait_us
@@ -48,6 +48,7 @@ fn bench_orderings(c: &mut Criterion) {
                     &params,
                     RunConfig::default(),
                 )
+                .unwrap()
             })
         });
     }

@@ -6,8 +6,8 @@ mod common;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use optimcast::collectives::{
-    allgather_recursive_doubling_us, allgather_ring_us, barrier_us, broadcast,
-    gather_schedule, reduce_latency_us, scatter_schedule, OrderPolicy,
+    allgather_recursive_doubling_us, allgather_ring_us, barrier_us, broadcast, gather_schedule,
+    reduce_latency_us, scatter_schedule, OrderPolicy,
 };
 use optimcast::prelude::*;
 
@@ -32,7 +32,10 @@ fn bench_broadcast(c: &mut Criterion) {
 
 fn bench_scatter_gather(c: &mut Criterion) {
     let mut g = c.benchmark_group("collectives/scatter_gather");
-    for (name, tree) in [("chain64", linear_tree(64)), ("kbin64", kbinomial_tree(64, 2))] {
+    for (name, tree) in [
+        ("chain64", linear_tree(64)),
+        ("kbin64", kbinomial_tree(64, 2)),
+    ] {
         g.bench_function(format!("scatter_{name}_m8"), |b| {
             b.iter(|| scatter_schedule(black_box(&tree), 8, OrderPolicy::DeepestFirst))
         });
@@ -66,7 +69,9 @@ fn bench_analytic_collectives(c: &mut Criterion) {
     g.bench_function("reduce_n64_m8", |b| {
         b.iter(|| reduce_latency_us(black_box(64), 8, 2, 0.5, &params))
     });
-    g.bench_function("barrier_n64", |b| b.iter(|| barrier_us(black_box(64), &params)));
+    g.bench_function("barrier_n64", |b| {
+        b.iter(|| barrier_us(black_box(64), &params))
+    });
     g.finish();
 }
 

@@ -26,6 +26,7 @@ fn bench_single_runs(c: &mut Criterion) {
                     &cfg.params,
                     RunConfig::default(),
                 )
+                .unwrap()
             })
         });
     }

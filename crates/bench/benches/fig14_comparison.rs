@@ -27,6 +27,7 @@ fn bench_bin_vs_kbin(c: &mut Criterion) {
                         &cfg.params,
                         RunConfig::default(),
                     )
+                    .unwrap()
                 })
             });
         }
@@ -49,6 +50,7 @@ fn report_modelled_latencies(c: &mut Criterion) {
             &cfg.params,
             RunConfig::default(),
         )
+        .unwrap()
         .latency_us;
         let kbin = run_multicast(
             &inst.net,
@@ -58,6 +60,7 @@ fn report_modelled_latencies(c: &mut Criterion) {
             &cfg.params,
             RunConfig::default(),
         )
+        .unwrap()
         .latency_us;
         println!(
             "[fig14] 47 dest, m={m}: bin {bin:.1} us vs kbin {kbin:.1} us ({:.2}x)",

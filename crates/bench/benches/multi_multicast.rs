@@ -7,9 +7,7 @@ mod common;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use optimcast::netsim::{run_workload, MulticastJob, WorkloadConfig};
 use optimcast::prelude::*;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use optimcast_rng::{ChaCha8Rng, SliceRandom};
 
 fn make_jobs(net: &IrregularNetwork, jobs: usize, m: u32) -> Vec<MulticastJob> {
     let ordering = cco(net);
@@ -32,7 +30,7 @@ fn bench_workloads(c: &mut Criterion) {
     let mut g = c.benchmark_group("multi_multicast");
     for jobs in [1usize, 2, 4, 8] {
         let job_list = make_jobs(&net, jobs, 8);
-        let wl = run_workload(&net, &job_list, &params, WorkloadConfig::default());
+        let wl = run_workload(&net, &job_list, &params, WorkloadConfig::default()).unwrap();
         let avg = wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / jobs as f64;
         println!(
             "[multi] {jobs} jobs: avg latency {avg:.1} us, makespan {:.1} us, stall {:.1} us",

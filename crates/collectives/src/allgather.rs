@@ -23,10 +23,9 @@
 
 use optimcast_core::param_model::ParamModel;
 use optimcast_core::params::SystemParams;
-use serde::{Deserialize, Serialize};
 
 /// All-gather algorithm choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllgatherAlgo {
     /// `n − 1` neighbour rounds.
     Ring,
@@ -66,7 +65,10 @@ pub fn allgather_ring_us(n: u32, m: u32, model: &ParamModel) -> f64 {
 pub fn allgather_recursive_doubling_us(n: u32, m: u32, model: &ParamModel) -> f64 {
     assert!(n >= 1, "need at least one participant");
     assert!(m >= 1, "blocks have at least one packet");
-    assert!(n.is_power_of_two(), "recursive doubling needs power-of-two n");
+    assert!(
+        n.is_power_of_two(),
+        "recursive doubling needs power-of-two n"
+    );
     model.validate();
     if n == 1 {
         return 0.0;

@@ -43,23 +43,20 @@ pub fn broadcast<N: Network>(
     config: RunConfig,
 ) -> MulticastOutcome {
     let n = net.num_hosts();
-    assert_eq!(
-        ordering.len(),
-        n as usize,
-        "ordering must cover every host"
-    );
+    assert_eq!(ordering.len(), n as usize, "ordering must cover every host");
     let dests: Vec<HostId> = (0..n).map(HostId).filter(|&h| h != source).collect();
     let chain = ordering.arrange(source, &dests);
     let k = optimal_k(u64::from(n), m).k;
     let tree = kbinomial_tree(n, k);
     run_multicast(net, &tree, &chain, m, params, config)
+        .expect("broadcast constructs a valid single-job workload")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use optimcast_netsim::{ContentionMode, NiTiming, NicKind};
     use optimcast_core::schedule::ForwardingDiscipline;
+    use optimcast_netsim::{ContentionMode, NiTiming, NicKind};
     use optimcast_topology::cube::CubeNetwork;
     use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
     use optimcast_topology::ordering::{cco, dimension_ordered};

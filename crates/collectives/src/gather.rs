@@ -13,10 +13,9 @@
 
 use crate::scatter::{scatter_schedule_with_hops, OrderPolicy};
 use optimcast_core::tree::{MulticastTree, Rank};
-use serde::{Deserialize, Serialize};
 
 /// One hop of one packet towards the root.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GatherEvent {
     /// 1-based step of the transmission.
     pub step: u32,
@@ -31,7 +30,7 @@ pub struct GatherEvent {
 }
 
 /// The step schedule of a gather over a tree (built by reversing scatter).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GatherSchedule {
     events: Vec<GatherEvent>,
     total_steps: u32,

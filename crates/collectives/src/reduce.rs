@@ -21,10 +21,9 @@ use optimcast_core::optimal::{optimal_k, OptimalK};
 use optimcast_core::params::SystemParams;
 use optimcast_core::schedule::fpfs_schedule;
 use optimcast_core::tree::MulticastTree;
-use serde::{Deserialize, Serialize};
 
 /// A reduce plan: the tree and the per-packet combining cost.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReducePlan {
     /// The combining tree (children lists give the reverse receive order).
     pub tree: MulticastTree,
@@ -41,7 +40,10 @@ pub struct ReducePlan {
 ///
 /// Panics if `n == 0`, `m == 0`, or `gamma` is negative/NaN.
 pub fn optimal_reduce_k(n: u32, m: u32, gamma: f64) -> OptimalK {
-    assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be finite and >= 0");
+    assert!(
+        gamma.is_finite() && gamma >= 0.0,
+        "gamma must be finite and >= 0"
+    );
     // The combining cost multiplies every candidate's step count equally,
     // so the Theorem-3 optimum carries over unchanged.
     optimal_k(u64::from(n), m)
@@ -53,7 +55,10 @@ pub fn optimal_reduce_k(n: u32, m: u32, gamma: f64) -> OptimalK {
 ///
 /// Panics if `n == 0`, `m == 0`, `k == 0`, or `gamma` is invalid.
 pub fn reduce_plan(n: u32, m: u32, k: u32, gamma: f64) -> ReducePlan {
-    assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be finite and >= 0");
+    assert!(
+        gamma.is_finite() && gamma >= 0.0,
+        "gamma must be finite and >= 0"
+    );
     let tree = kbinomial_tree(n, k);
     let steps = fpfs_schedule(&tree, m).total_steps();
     ReducePlan { tree, gamma, steps }

@@ -24,10 +24,9 @@
 //! multicast result, where the chain is worst for short messages.
 
 use optimcast_core::tree::{MulticastTree, Rank};
-use serde::{Deserialize, Serialize};
 
 /// Send-order policy for personalized blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrderPolicy {
     /// Within each child's block: the child's own packets, then its
     /// descendants in preorder.
@@ -38,7 +37,7 @@ pub enum OrderPolicy {
 }
 
 /// The exact step schedule of a scatter over a tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScatterSchedule {
     /// `arrival[rank][pkt]`: step at which the packet addressed to `rank`
     /// reached `rank` (0 for the source's own data).
@@ -80,7 +79,7 @@ impl ScatterSchedule {
 }
 
 /// One hop of one packet away from the source (used by gather's reversal).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScatterHop {
     /// 1-based step of the transmission.
     pub step: u32,
@@ -140,7 +139,13 @@ pub fn scatter_schedule_with_hops(
                 ni_free = t;
                 arrival[dest.index()][pkt as usize] = t;
                 sends += 1;
-                hops.push(ScatterHop { step: t, from: u, to: c, dest, pkt });
+                hops.push(ScatterHop {
+                    step: t,
+                    from: u,
+                    to: c,
+                    dest,
+                    pkt,
+                });
             }
         }
     }
@@ -287,7 +292,11 @@ mod tests {
             let c = s.completion(Rank(r));
             assert!(c >= 1 && c <= s.total_steps());
         }
-        assert_eq!(s.completion(Rank::SOURCE), 0, "source already owns its data");
+        assert_eq!(
+            s.completion(Rank::SOURCE),
+            0,
+            "source already owns its data"
+        );
     }
 
     #[test]
@@ -349,6 +358,7 @@ pub fn simulate_scatter<N: optimcast_topology::Network>(
         params,
         config,
     )
+    .expect("scatter constructs a valid single-job workload")
     .jobs
     .swap_remove(0)
 }

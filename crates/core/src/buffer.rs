@@ -25,8 +25,6 @@
 //! many packets must be resident simultaneously), and
 //! [`BufferAnalysis`] packages the comparison for sweeps.
 
-use serde::{Deserialize, Serialize};
-
 /// FCFS residency time of any one packet at an intermediate node with `k`
 /// children and an `m`-packet message, in units of `t_sq`
 /// (`c_c = (k−1)·m + 1`). For `k = 1` this degenerates to a single copy's
@@ -63,7 +61,7 @@ pub fn resident_packets(residency: u64, m: u32) -> u64 {
 }
 
 /// Side-by-side buffer comparison for one `(k, m)` configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferAnalysis {
     /// Children of the intermediate node.
     pub k: u32,
@@ -123,7 +121,10 @@ mod tests {
     fn fpfs_never_exceeds_fcfs() {
         for k in 1..=10 {
             for m in 1..=64 {
-                assert!(fpfs_buffer_steps(k, m) <= fcfs_buffer_steps(k, m), "k={k} m={m}");
+                assert!(
+                    fpfs_buffer_steps(k, m) <= fcfs_buffer_steps(k, m),
+                    "k={k} m={m}"
+                );
             }
         }
     }
@@ -154,10 +155,7 @@ mod tests {
         for k in 2..=8u32 {
             let d1 = fcfs_buffer_steps(k, 2) - fcfs_buffer_steps(k, 1);
             for m in 2..=20 {
-                assert_eq!(
-                    fcfs_buffer_steps(k, m + 1) - fcfs_buffer_steps(k, m),
-                    d1
-                );
+                assert_eq!(fcfs_buffer_steps(k, m + 1) - fcfs_buffer_steps(k, m), d1);
             }
             assert_eq!(d1, u64::from(k) - 1);
         }

@@ -16,10 +16,9 @@
 
 use crate::coverage::{ceil_log2, coverage, min_steps, MAX_K};
 use crate::tree::{MulticastTree, Rank};
-use serde::{Deserialize, Serialize};
 
 /// The tree families the paper compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TreeKind {
     /// Chain: every vertex has one child (`k = 1`).
     Linear,

@@ -16,10 +16,9 @@
 use crate::params::SystemParams;
 use crate::schedule::Schedule;
 use crate::tree::{MulticastTree, Rank};
-use serde::{Deserialize, Serialize};
 
 /// Which network-interface architecture executes the multicast tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LatencyModel {
     /// Host processors forward every copy (conventional NI, §2.3).
     ConventionalNi,
@@ -114,7 +113,10 @@ mod tests {
         let tr = 12.5;
         let tstep = 5.0;
         assert!((conv - 2.0 * (ts + tstep + tr)).abs() < 1e-9, "conv={conv}");
-        assert!((smart - (ts + 2.0 * tstep + tr)).abs() < 1e-9, "smart={smart}");
+        assert!(
+            (smart - (ts + 2.0 * tstep + tr)).abs() < 1e-9,
+            "smart={smart}"
+        );
         assert!(smart < conv);
     }
 

@@ -21,10 +21,9 @@
 //! k = ⌈log₂ n⌉" (the conventional binomial tree).
 
 use crate::coverage::{ceil_log2, min_steps};
-use serde::{Deserialize, Serialize};
 
 /// Result of an optimal-`k` query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptimalK {
     /// The optimal child cap.
     pub k: u32,
@@ -96,7 +95,7 @@ pub fn linear_crossover(n: u64, max_m: u32) -> Option<u32> {
 /// `k ≤ ⌈log₂ n⌉ ≤ 63`), consistent with the paper's "less than
 /// `O(n · log n)` memory" feasibility argument — the optimal `k` is constant
 /// over long runs of `m` and converges to a small constant as `m` grows.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptimalKTable {
     max_n: u64,
     max_m: u32,
@@ -198,8 +197,7 @@ mod tests {
             for m in 1..=24u32 {
                 let got = optimal_k(n, m);
                 let hi = ceil_log2(n).max(1);
-                let all: Vec<(u32, u64)> =
-                    (1..=hi).map(|k| (k, total_steps(n, m, k))).collect();
+                let all: Vec<(u32, u64)> = (1..=hi).map(|k| (k, total_steps(n, m, k))).collect();
                 let min = all.iter().map(|&(_, s)| s).min().unwrap();
                 assert_eq!(got.steps, min, "n={n} m={m}");
                 let largest_min = all
@@ -371,7 +369,10 @@ pub fn optimal_k_fcfs(n: u32, m: u32) -> OptimalK {
         return OptimalK { k: 1, steps: 0 };
     }
     let hi = ceil_log2(u64::from(n)).max(1);
-    let mut best = OptimalK { k: 1, steps: u64::MAX };
+    let mut best = OptimalK {
+        k: 1,
+        steps: u64::MAX,
+    };
     for k in 1..=hi {
         let tree = kbinomial_tree(n, k);
         let steps = u64::from(fcfs_schedule(&tree, m).total_steps());
@@ -420,10 +421,7 @@ mod fcfs_tests {
         use crate::schedule::fcfs_schedule;
         // Tie plateau at n=16, m=2.
         for k in 2..=4 {
-            assert_eq!(
-                fcfs_schedule(&kbinomial_tree(16, k), 2).total_steps(),
-                8
-            );
+            assert_eq!(fcfs_schedule(&kbinomial_tree(16, k), 2).total_steps(), 8);
         }
         assert_eq!(optimal_k_fcfs(16, 2).k, 4, "tie resolves to largest k");
         // Earlier retreat to the chain under FCFS.

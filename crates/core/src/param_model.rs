@@ -23,10 +23,9 @@ use crate::coverage::ceil_log2;
 use crate::params::SystemParams;
 use crate::schedule::ForwardingDiscipline;
 use crate::tree::{MulticastTree, Rank};
-use serde::{Deserialize, Serialize};
 
 /// Machine parameters of the generalised model (all µs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParamModel {
     /// Sender NI occupancy per packet copy (`o_s`).
     pub send_overhead: f64,
@@ -79,13 +78,16 @@ impl ParamModel {
             ("latency", self.latency),
             ("gap", self.gap),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and >= 0, got {v}"
+            );
         }
     }
 }
 
 /// A continuous-time multicast schedule under the parameterized model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamSchedule {
     /// `recv[rank][packet]`: time the packet is fully received at the NI
     /// (0 for the source).
@@ -176,7 +178,7 @@ pub fn param_schedule(
 }
 
 /// Result of the generalised optimal-k search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParamOptimal {
     /// The minimising child cap.
     pub k: u32,
@@ -195,7 +197,10 @@ pub fn optimal_k_param(n: u32, m: u32, model: &ParamModel) -> ParamOptimal {
     assert!(n >= 1, "a multicast set has at least the source");
     assert!(m >= 1, "a message has at least one packet");
     if n == 1 {
-        return ParamOptimal { k: 1, total_us: 0.0 };
+        return ParamOptimal {
+            k: 1,
+            total_us: 0.0,
+        };
     }
     let hi = ceil_log2(u64::from(n)).max(1);
     let mut best = ParamOptimal {
@@ -314,9 +319,8 @@ mod tests {
         };
         let st = step();
         let n = 16;
-        let first_linear = |mdl: &ParamModel| {
-            (1u32..64).find(|&m| optimal_k_param(n, m, mdl).k == 1)
-        };
+        let first_linear =
+            |mdl: &ParamModel| (1u32..64).find(|&m| optimal_k_param(n, m, mdl).k == 1);
         let g = first_linear(&model).expect("gap model crosses to linear");
         let s = first_linear(&st).expect("step model crosses to linear");
         assert!(g <= s, "gap-dominated crossover {g} should not exceed {s}");

@@ -8,13 +8,11 @@
 //! `t_step = t_send + t_prop + t_recv`, with propagation folded into the
 //! constants (wormhole networks make it distance-insensitive).
 
-use serde::{Deserialize, Serialize};
-
 /// Timing and sizing parameters of the modelled system.
 ///
 /// All times are in microseconds. The [`Default`] instance is the paper's
 /// §5.2 configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     /// Software start-up overhead at the source host processor (`t_s`), µs.
     pub t_s: f64,

@@ -32,10 +32,9 @@
 //! `tests::theorem1_boundary_counterexample` documents this boundary.
 
 use crate::tree::{MulticastTree, Rank};
-use serde::{Deserialize, Serialize};
 
 /// Smart-NI forwarding discipline (paper §3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ForwardingDiscipline {
     /// First-Packet-First-Served: forward each packet to all children as it
     /// arrives.
@@ -46,7 +45,7 @@ pub enum ForwardingDiscipline {
 
 /// One packet transmission: `from`'s NI spends step `step` sending packet
 /// `packet` (0-based) to `to`'s NI; `to` holds it from step `step + 1` on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendEvent {
     /// 1-based step index occupied by this transmission.
     pub step: u32,
@@ -59,7 +58,7 @@ pub struct SendEvent {
 }
 
 /// A complete step-timed schedule of an `m`-packet multicast over a tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     discipline: ForwardingDiscipline,
     packets: u32,
@@ -127,7 +126,11 @@ impl Schedule {
 
     /// Sends performed by `rank`, in step order.
     pub fn sends_from(&self, rank: Rank) -> Vec<SendEvent> {
-        self.events.iter().copied().filter(|e| e.from == rank).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.from == rank)
+            .collect()
     }
 
     /// For each step `1..=total_steps()`, the number of packets buffered at
@@ -155,7 +158,11 @@ impl Schedule {
                     // Source packets materialise in the buffer only when the
                     // host has DMAed them; model that as "from its first
                     // send" for the source, "from arrival + 1" elsewhere.
-                    let start = if is_source { last.min(arr + 1) } else { arr + 1 };
+                    let start = if is_source {
+                        last.min(arr + 1)
+                    } else {
+                        arr + 1
+                    };
                     (start, last)
                 }
                 None => (arr + 1, arr + 1), // leaf: one step of residence
@@ -193,11 +200,7 @@ pub fn fcfs_schedule(tree: &MulticastTree, m: u32) -> Schedule {
 }
 
 /// Builds the schedule for either discipline.
-pub fn build_schedule(
-    tree: &MulticastTree,
-    m: u32,
-    discipline: ForwardingDiscipline,
-) -> Schedule {
+pub fn build_schedule(tree: &MulticastTree, m: u32, discipline: ForwardingDiscipline) -> Schedule {
     assert!(m >= 1, "a message has at least one packet");
     let n = tree.len();
     let mu = m as usize;
@@ -436,8 +439,7 @@ mod tests {
                 for m in [1u32, 2, 4, 8] {
                     let t = kbinomial_tree(n, k);
                     assert!(
-                        fpfs_schedule(&t, m).total_steps()
-                            <= fcfs_schedule(&t, m).total_steps(),
+                        fpfs_schedule(&t, m).total_steps() <= fcfs_schedule(&t, m).total_steps(),
                         "n={n} k={k} m={m}"
                     );
                 }

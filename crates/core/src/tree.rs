@@ -12,13 +12,10 @@
 //! order is what the paper's Fig. 11 construction pins down, so it is part of
 //! the tree's identity, not a presentation detail.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A participant's index in the multicast ordering; the source is rank 0.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Rank(pub u32);
 
 impl Rank {
@@ -48,7 +45,7 @@ impl From<u32> for Rank {
 ///
 /// Stored as parent pointers plus ordered child lists, indexed directly by
 /// rank (the arena has exactly one slot per participant).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MulticastTree {
     parent: Vec<Option<Rank>>,
     children: Vec<Vec<Rank>>,
@@ -130,7 +127,11 @@ impl MulticastTree {
     /// Maximum number of children over all vertices — the `k` for which this
     /// is (at most) a k-binomial tree.
     pub fn max_degree(&self) -> u32 {
-        self.children.iter().map(|c| c.len() as u32).max().unwrap_or(0)
+        self.children
+            .iter()
+            .map(|c| c.len() as u32)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Tree depth in edges (0 for a singleton).
@@ -296,10 +297,7 @@ mod tests {
         assert_eq!(t.depth(), 4);
         assert_eq!(t.max_degree(), 1);
         assert_eq!(t.subtree_sizes(), vec![5, 4, 3, 2, 1]);
-        assert_eq!(
-            t.dfs_preorder(),
-            (0..5).map(Rank).collect::<Vec<_>>()
-        );
+        assert_eq!(t.dfs_preorder(), (0..5).map(Rank).collect::<Vec<_>>());
     }
 
     #[test]
@@ -311,7 +309,10 @@ mod tests {
         t.validate().unwrap();
         assert_eq!(t.root_degree(), 5);
         assert_eq!(t.depth(), 1);
-        assert_eq!(t.root_children(), &[Rank(1), Rank(2), Rank(3), Rank(4), Rank(5)]);
+        assert_eq!(
+            t.root_children(),
+            &[Rank(1), Rank(2), Rank(3), Rank(4), Rank(5)]
+        );
     }
 
     #[test]
@@ -332,11 +333,7 @@ mod tests {
         t.attach(Rank::SOURCE, Rank(1));
         assert_eq!(
             t.edges(),
-            vec![
-                (Rank(0), Rank(2)),
-                (Rank(2), Rank(3)),
-                (Rank(0), Rank(1))
-            ]
+            vec![(Rank(0), Rank(2)), (Rank(2), Rank(3)), (Rank(0), Rank(1))]
         );
     }
 

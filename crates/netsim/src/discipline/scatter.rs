@@ -1,0 +1,155 @@
+//! Smart-NI personalized (scatter) forwarding.
+//!
+//! Every non-source rank receives its *own* packets: intermediate NIs relay
+//! each packet one hop toward its destination's subtree instead of
+//! replicating it. The whole payload is staged at the source NI; a relay
+//! occupies one forwarding-buffer slot from receive until its onward copy
+//! has left. The source injection order ([`PersonalizedOrder`]) is the
+//! policy under study in `optimcast-collectives::scatter`; intermediate
+//! nodes always forward in arrival order, as a real NI would.
+
+use super::ForwardingDiscipline;
+use crate::event::{Ev, SendItem};
+use crate::simulation::SimState;
+use crate::time::SimTime;
+use crate::workload::PersonalizedOrder;
+use optimcast_core::tree::{MulticastTree, Rank};
+
+/// The scatter (personalized payload) engine; stateless apart from the
+/// configured source order.
+pub(crate) struct Scatter {
+    pub order: PersonalizedOrder,
+}
+
+impl ForwardingDiscipline for Scatter {
+    fn kickoff(&self, st: &mut SimState<'_>, job: u32) {
+        let jobd = st.job(job);
+        let src_host = jobd.binding[0];
+        let items = source_order(&jobd.tree, jobd.packets, self.order);
+        let staged = items.len() as u32;
+        for (dest, p) in items {
+            let child = first_hop(&jobd.tree, dest);
+            st.enqueue_send(
+                src_host,
+                SendItem {
+                    job,
+                    packet: p,
+                    from: Rank::SOURCE,
+                    child,
+                    dest,
+                },
+            );
+        }
+        // The whole personalized payload is staged at the source NI.
+        if staged > 0 {
+            st.stage(src_host, staged);
+        }
+        st.queue.schedule(
+            SimTime::us(jobd.start_us + st.params.t_s),
+            Ev::TrySend(src_host),
+        );
+    }
+
+    fn on_recv_done(
+        &self,
+        st: &mut SimState<'_>,
+        now: SimTime,
+        job: u32,
+        at: Rank,
+        packet: u32,
+        dest: Rank,
+    ) {
+        let jobd = st.job(job);
+        if dest == at {
+            let part = &mut st.parts[job as usize][at.index()];
+            part.received += 1;
+            part.last_recv = now;
+            if part.received == jobd.packets {
+                st.finish_host(now, job, at);
+            }
+        } else {
+            // Relay the packet one hop toward its destination.
+            let next = next_hop_rank(&jobd.tree, at, dest);
+            let v_host = jobd.binding[at.index()];
+            st.stage(v_host, 1);
+            st.enqueue_send(
+                v_host,
+                SendItem {
+                    job,
+                    packet,
+                    from: at,
+                    child: next,
+                    dest,
+                },
+            );
+            st.queue.schedule(now, Ev::TrySend(v_host));
+        }
+    }
+
+    /// A relayed packet frees its buffer slot as soon as its onward copy is
+    /// out (exactly one copy per packet — no replication).
+    fn on_copy_released(&self, st: &mut SimState<'_>, item: SendItem) {
+        let h = st.jobs[item.job as usize].binding[item.from.index()];
+        st.unstage(h);
+    }
+}
+
+/// The source-order of a personalized payload: per root-child blocks (in
+/// child order), each block ordered by the policy.
+pub(crate) fn source_order(
+    tree: &MulticastTree,
+    m: u32,
+    order: PersonalizedOrder,
+) -> Vec<(Rank, u32)> {
+    let mut depths = vec![0u32; tree.len()];
+    for r in tree.dfs_preorder() {
+        if let Some(p) = tree.parent(r) {
+            depths[r.index()] = depths[p.index()] + 1;
+        }
+    }
+    let mut items = Vec::new();
+    for &c in tree.root_children() {
+        // Preorder of c's subtree.
+        let mut dests = Vec::new();
+        let mut stack = vec![c];
+        while let Some(r) = stack.pop() {
+            dests.push(r);
+            for &k in tree.children(r).iter().rev() {
+                stack.push(k);
+            }
+        }
+        if order == PersonalizedOrder::DeepestFirst {
+            dests.sort_by_key(|&r| std::cmp::Reverse(depths[r.index()]));
+        }
+        for d in dests {
+            for p in 0..m {
+                items.push((d, p));
+            }
+        }
+    }
+    items
+}
+
+/// The root child whose subtree contains `dest`.
+fn first_hop(tree: &MulticastTree, dest: Rank) -> Rank {
+    next_hop_rank(tree, Rank::SOURCE, dest)
+}
+
+/// The child of `at` on the tree path towards `dest`.
+///
+/// # Panics
+///
+/// Panics if `dest` is not in `at`'s strict subtree — an engine routing bug,
+/// impossible for destinations drawn from the validated tree.
+fn next_hop_rank(tree: &MulticastTree, at: Rank, dest: Rank) -> Rank {
+    let mut cur = dest;
+    loop {
+        let parent = tree
+            .parent(cur)
+            .unwrap_or_else(|| panic!("{dest} is not below {at}"));
+        if parent == at {
+            return cur;
+        }
+        cur = parent;
+    }
+}

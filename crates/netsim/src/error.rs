@@ -1,0 +1,148 @@
+//! Typed simulation errors.
+//!
+//! Workload validation failures — malformed bindings, impossible
+//! configurations — are reported as [`SimError`] values from
+//! [`crate::run_workload`] / [`crate::run_multicast`] instead of panics, so
+//! callers embedding the simulator (CLIs, services, property tests) can
+//! handle bad inputs without unwinding. Internal invariant violations
+//! (scheduling into the past, an event for a non-existent rank) still panic:
+//! they indicate simulator bugs, not caller mistakes.
+
+use optimcast_topology::graph::HostId;
+
+/// A rejected simulation input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The workload contains no jobs.
+    EmptyWorkload,
+    /// A job's message has zero packets.
+    ZeroPackets {
+        /// Offending job index.
+        job: usize,
+    },
+    /// A job's binding length differs from its tree size.
+    BindingMismatch {
+        /// Offending job index.
+        job: usize,
+        /// Hosts in the binding.
+        bound: usize,
+        /// Ranks in the tree.
+        ranks: usize,
+    },
+    /// A job starts before time zero.
+    NegativeStart {
+        /// Offending job index.
+        job: usize,
+        /// The (negative) start time in µs.
+        start_us: f64,
+    },
+    /// A personalized (scatter) payload was paired with a conventional NI,
+    /// which cannot relay per-destination packets.
+    PersonalizedNeedsSmartNic {
+        /// Offending job index.
+        job: usize,
+    },
+    /// A binding names a host outside the network.
+    HostOutOfRange {
+        /// Offending job index.
+        job: usize,
+        /// The out-of-range host.
+        host: HostId,
+        /// Number of hosts in the network.
+        hosts: usize,
+    },
+    /// A binding names the same host for two ranks of one job.
+    DuplicateHost {
+        /// Offending job index.
+        job: usize,
+        /// The host bound twice.
+        host: HostId,
+    },
+}
+
+// NegativeStart carries an f64 only for diagnostics; errors are still
+// comparable enough for tests via the derived PartialEq.
+impl Eq for SimError {}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EmptyWorkload => write!(f, "a workload has at least one job"),
+            SimError::ZeroPackets { job } => {
+                write!(f, "job {job}: a message has at least one packet")
+            }
+            SimError::BindingMismatch { job, bound, ranks } => write!(
+                f,
+                "job {job}: binding must cover every tree rank ({bound} hosts for {ranks} ranks)"
+            ),
+            SimError::NegativeStart { job, start_us } => {
+                write!(f, "job {job}: negative start time ({start_us} us)")
+            }
+            SimError::PersonalizedNeedsSmartNic { job } => {
+                write!(
+                    f,
+                    "job {job}: personalized payloads require smart NI support"
+                )
+            }
+            SimError::HostOutOfRange { job, host, hosts } => {
+                write!(f, "job {job}: host {host} not in network ({hosts} hosts)")
+            }
+            SimError::DuplicateHost { job, host } => {
+                write!(f, "job {job}: host {host} bound twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_job_and_cause() {
+        let cases: Vec<(SimError, &str)> = vec![
+            (SimError::EmptyWorkload, "at least one job"),
+            (SimError::ZeroPackets { job: 2 }, "job 2"),
+            (
+                SimError::BindingMismatch {
+                    job: 0,
+                    bound: 1,
+                    ranks: 3,
+                },
+                "cover every tree rank",
+            ),
+            (
+                SimError::NegativeStart {
+                    job: 1,
+                    start_us: -4.0,
+                },
+                "negative start",
+            ),
+            (
+                SimError::PersonalizedNeedsSmartNic { job: 0 },
+                "require smart NI",
+            ),
+            (
+                SimError::HostOutOfRange {
+                    job: 0,
+                    host: HostId(9),
+                    hosts: 4,
+                },
+                "not in network",
+            ),
+            (
+                SimError::DuplicateHost {
+                    job: 0,
+                    host: HostId(1),
+                },
+                "bound twice",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+        }
+    }
+}

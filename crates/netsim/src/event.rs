@@ -1,0 +1,59 @@
+//! Simulation event vocabulary shared by the component core and the
+//! forwarding engines.
+
+use optimcast_core::tree::Rank;
+use optimcast_topology::graph::HostId;
+
+/// A discrete simulation event.
+///
+/// Host-level events (`TrySend`, `SendRelease`) address physical hosts,
+/// because a host's NI send unit is shared by every job it participates in;
+/// the remaining events are scoped to one (job, rank).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    /// The host's send unit may dispatch its next queued packet.
+    TrySend(HostId),
+    /// A packet's head reached the receiving NI; queue it on the receive
+    /// unit.
+    Arrive {
+        job: u32,
+        to: Rank,
+        packet: u32,
+        from: Rank,
+        dest: Rank,
+    },
+    /// The receive unit finished pulling the packet in.
+    RecvDone {
+        job: u32,
+        at: Rank,
+        packet: u32,
+        from: Rank,
+        dest: Rank,
+    },
+    /// A conventional-NI host processor is ready to prepare its next child
+    /// message.
+    HostReady { job: u32, at: Rank },
+    /// A conventional-NI host finished `t_s` staging the message for one
+    /// child; enqueue its packets.
+    SendPrepared {
+        job: u32,
+        at: Rank,
+        child_idx: usize,
+    },
+    /// Overlapped timing: the send unit frees `t_send` after dispatch.
+    SendRelease(HostId),
+}
+
+/// A queued packet transmission.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SendItem {
+    pub job: u32,
+    pub packet: u32,
+    /// Sending participant (the child's parent in the job's tree).
+    pub from: Rank,
+    /// Next-hop rank the packet is transmitted to.
+    pub child: Rank,
+    /// Final destination rank (for personalized payloads; equals `child`
+    /// for replicated copies, whose identity is just the packet index).
+    pub dest: Rank,
+}

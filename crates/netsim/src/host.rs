@@ -1,0 +1,188 @@
+//! The host model: per-host NI send/receive units and forwarding-buffer
+//! occupancy.
+//!
+//! Each physical host owns one NI with an independent **send unit** (a FIFO
+//! of queued [`SendItem`]s, busy while a packet is on the wire under
+//! handshake timing), a **receive unit** (serializes arrivals, `t_recv`
+//! each), and a **forwarding buffer** whose occupancy high-water mark the
+//! paper's §3.3.2 buffer analysis is checked against. All jobs a host
+//! participates in share these units — that sharing *is* the node-contention
+//! model.
+
+use crate::event::SendItem;
+use crate::time::SimTime;
+use optimcast_topology::graph::HostId;
+use std::collections::VecDeque;
+
+/// One host's NI state.
+#[derive(Debug)]
+struct HostState {
+    send_queue: VecDeque<SendItem>,
+    send_busy: bool,
+    in_flight: Option<SendItem>,
+    recv_free: SimTime,
+    resident: u32,
+    max_resident: u32,
+}
+
+/// Send/receive-unit occupancy and buffer accounting for every host.
+#[derive(Debug)]
+pub(crate) struct HostModel {
+    hosts: Vec<HostState>,
+}
+
+impl HostModel {
+    pub fn new(n_hosts: usize) -> Self {
+        HostModel {
+            hosts: (0..n_hosts)
+                .map(|_| HostState {
+                    send_queue: VecDeque::new(),
+                    send_busy: false,
+                    in_flight: None,
+                    recv_free: SimTime::ZERO,
+                    resident: 0,
+                    max_resident: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a transmission to the host's send queue; returns the queue
+    /// depth after the push (for queue-depth observation).
+    pub fn enqueue(&mut self, h: HostId, item: SendItem) -> usize {
+        let q = &mut self.hosts[h.index()].send_queue;
+        q.push_back(item);
+        q.len()
+    }
+
+    /// Claims the send unit for the next queued item, if the unit is free
+    /// and work is pending.
+    pub fn try_dispatch(&mut self, h: HostId) -> Option<SendItem> {
+        let hs = &mut self.hosts[h.index()];
+        if hs.send_busy {
+            return None;
+        }
+        let item = hs.send_queue.pop_front()?;
+        hs.send_busy = true;
+        hs.in_flight = Some(item);
+        Some(item)
+    }
+
+    /// Frees the send unit, returning the transmission it was occupied by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission is in flight — an engine sequencing bug.
+    pub fn release_send_unit(&mut self, h: HostId) -> SendItem {
+        let hs = &mut self.hosts[h.index()];
+        let item = hs.in_flight.take().expect("release without in-flight send");
+        hs.send_busy = false;
+        item
+    }
+
+    /// Serializes an arrival on the receive unit: the receive completes
+    /// `t_recv` after the unit frees (or after `now`, whichever is later).
+    /// Returns `(completion, wait)` where `wait` is the time the packet
+    /// spent queued behind earlier receives.
+    pub fn occupy_recv_unit(&mut self, h: HostId, now: SimTime, t_recv: f64) -> (SimTime, f64) {
+        let hs = &mut self.hosts[h.index()];
+        let start = hs.recv_free.max(now);
+        let done = start + t_recv;
+        hs.recv_free = done;
+        (done, start - now)
+    }
+
+    /// Stages `n` packets in the host's forwarding buffer; returns the new
+    /// occupancy (for histogram observation).
+    pub fn stage(&mut self, h: HostId, n: u32) -> u32 {
+        let hs = &mut self.hosts[h.index()];
+        hs.resident += n;
+        hs.max_resident = hs.max_resident.max(hs.resident);
+        hs.resident
+    }
+
+    /// Releases one buffered packet (saturating — the conventional NI never
+    /// stages, so its releases are no-ops).
+    pub fn unstage(&mut self, h: HostId) {
+        let hs = &mut self.hosts[h.index()];
+        if hs.resident > 0 {
+            hs.resident -= 1;
+        }
+    }
+
+    /// The host's buffer high-water mark.
+    pub fn max_resident(&self, h: HostId) -> u32 {
+        self.hosts[h.index()].max_resident
+    }
+
+    /// Buffer high-water marks for every host, in host order.
+    pub fn all_max_resident(&self) -> Vec<u32> {
+        self.hosts.iter().map(|h| h.max_resident).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimcast_core::tree::Rank;
+
+    fn item(packet: u32) -> SendItem {
+        SendItem {
+            job: 0,
+            packet,
+            from: Rank::SOURCE,
+            child: Rank(1),
+            dest: Rank(1),
+        }
+    }
+
+    #[test]
+    fn send_unit_is_exclusive_and_fifo() {
+        let mut hm = HostModel::new(2);
+        let h = HostId(0);
+        assert_eq!(hm.enqueue(h, item(0)), 1);
+        assert_eq!(hm.enqueue(h, item(1)), 2);
+        let first = hm.try_dispatch(h).unwrap();
+        assert_eq!(first.packet, 0);
+        // Busy: no second dispatch until release.
+        assert!(hm.try_dispatch(h).is_none());
+        assert_eq!(hm.release_send_unit(h).packet, 0);
+        assert_eq!(hm.try_dispatch(h).unwrap().packet, 1);
+    }
+
+    #[test]
+    fn recv_unit_serializes() {
+        let mut hm = HostModel::new(1);
+        let h = HostId(0);
+        let (done1, wait1) = hm.occupy_recv_unit(h, SimTime::us(10.0), 2.5);
+        assert_eq!(done1, SimTime::us(12.5));
+        assert_eq!(wait1, 0.0);
+        // Second arrival at t=11 queues behind the first.
+        let (done2, wait2) = hm.occupy_recv_unit(h, SimTime::us(11.0), 2.5);
+        assert_eq!(done2, SimTime::us(15.0));
+        assert!((wait2 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_tracks_high_water() {
+        let mut hm = HostModel::new(1);
+        let h = HostId(0);
+        assert_eq!(hm.stage(h, 3), 3);
+        hm.unstage(h);
+        assert_eq!(hm.stage(h, 1), 3);
+        assert_eq!(hm.max_resident(h), 3);
+        assert_eq!(hm.all_max_resident(), vec![3]);
+        // Saturating release.
+        for _ in 0..5 {
+            hm.unstage(h);
+        }
+        assert_eq!(hm.stage(h, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without in-flight send")]
+    fn release_without_dispatch_is_a_bug() {
+        let mut hm = HostModel::new(1);
+        hm.release_send_unit(HostId(0));
+    }
+}

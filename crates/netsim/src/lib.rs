@@ -27,17 +27,25 @@
 //! the integration tests enforce. The overlapped mode
 //! ([`sim::NiTiming::Overlapped`]) relaxes this for ablation.
 
+pub mod bytes;
+mod channel;
+mod discipline;
 pub mod engine;
+pub mod error;
+mod event;
+mod host;
+pub mod observe;
 pub mod packet;
 pub mod sim;
+mod simulation;
 pub mod time;
 pub mod workload;
 
-pub use sim::{
-    run_multicast, ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig,
-};
-pub use workload::{
-    run_workload, JobPayload, MulticastJob, PersonalizedOrder, TraceKind, TraceRecord,
-    WorkloadConfig, WorkloadOutcome,
-};
+pub use error::SimError;
+pub use observe::{Observer, SimCounters};
+pub use sim::{run_multicast, ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig};
 pub use time::SimTime;
+pub use workload::{
+    run_workload, run_workload_observed, JobPayload, MulticastJob, PersonalizedOrder, TraceKind,
+    TraceRecord, WorkloadConfig, WorkloadOutcome,
+};

@@ -1,0 +1,361 @@
+//! The observability layer: one hook vocabulary, several sinks.
+//!
+//! The simulator core reports what happens — dispatches, receives,
+//! completions, stalls, queue/buffer occupancy — through the [`Observer`]
+//! trait. The `--trace` timeline ([`TraceCollector`]), the per-job outcome
+//! metrics ([`MetricsCollector`]), and the structured counters
+//! ([`CountersCollector`] → [`SimCounters`]) are three implementations of
+//! that one hook set; none of them can affect simulated timing, which the
+//! trace-neutrality integration test pins down.
+
+use crate::workload::{TraceKind, TraceRecord};
+use optimcast_core::tree::Rank;
+use optimcast_topology::graph::HostId;
+
+/// Receiver of simulation occurrences.
+///
+/// All methods default to no-ops so an implementation only handles what it
+/// cares about. Hooks receive plain values — an observer cannot perturb
+/// simulation state.
+pub trait Observer {
+    /// A transmission entered the network at `t_us` after `stalled_us` of
+    /// channel stall (0 when the route was free).
+    fn send_start(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        stalled_us: f64,
+    ) {
+        let _ = (t_us, job, from, to, packet, stalled_us);
+    }
+
+    /// A rank's NI finished receiving a packet.
+    fn recv_done(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
+        let _ = (t_us, job, at, packet);
+    }
+
+    /// A rank's host holds its complete message (timestamp may lie in the
+    /// simulated future: host completion is `t_r` after the last receive).
+    fn host_done(&mut self, t_us: f64, job: u32, rank: Rank) {
+        let _ = (t_us, job, rank);
+    }
+
+    /// An arrival waited `wait_us > 0` for the receive unit.
+    fn recv_unit_wait(&mut self, job: u32, wait_us: f64) {
+        let _ = (job, wait_us);
+    }
+
+    /// A transmission was appended to a host's send queue, leaving `depth`
+    /// entries pending.
+    fn send_enqueued(&mut self, host: HostId, depth: usize) {
+        let _ = (host, depth);
+    }
+
+    /// A host's forwarding buffer changed occupancy (grew to `resident`).
+    fn buffer_grew(&mut self, host: HostId, resident: u32) {
+        let _ = (host, resident);
+    }
+}
+
+/// Builds the `--trace` timeline.
+#[derive(Debug, Default)]
+pub(crate) struct TraceCollector {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceCollector {
+    /// The timeline ordered by timestamp (stable: simultaneous records keep
+    /// emission order). Some records carry future timestamps (host
+    /// completion at `now + t_r`), hence the final sort.
+    pub fn into_sorted(mut self) -> Vec<TraceRecord> {
+        self.records.sort_by(|a, b| {
+            a.t_us
+                .partial_cmp(&b.t_us)
+                .expect("trace times are never NaN")
+        });
+        self.records
+    }
+}
+
+impl Observer for TraceCollector {
+    fn send_start(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        stalled_us: f64,
+    ) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::SendStart {
+                from,
+                to,
+                packet,
+                stalled_us,
+            },
+        });
+    }
+
+    fn recv_done(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::RecvDone { at, packet },
+        });
+    }
+
+    fn host_done(&mut self, t_us: f64, job: u32, rank: Rank) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::HostDone { rank },
+        });
+    }
+}
+
+/// Accumulates the per-job outcome metrics (`channel_wait_us`,
+/// `blocked_sends`, `total_sends`).
+#[derive(Debug)]
+pub(crate) struct MetricsCollector {
+    pub channel_wait_us: f64,
+    pub waits_us: Vec<f64>,
+    pub blocked: Vec<u64>,
+    pub sends: Vec<u64>,
+}
+
+impl MetricsCollector {
+    pub fn new(jobs: usize) -> Self {
+        MetricsCollector {
+            channel_wait_us: 0.0,
+            waits_us: vec![0.0; jobs],
+            blocked: vec![0; jobs],
+            sends: vec![0; jobs],
+        }
+    }
+}
+
+impl Observer for MetricsCollector {
+    fn send_start(
+        &mut self,
+        _t_us: f64,
+        job: u32,
+        _from: Rank,
+        _to: Rank,
+        _packet: u32,
+        stalled_us: f64,
+    ) {
+        let j = job as usize;
+        self.sends[j] += 1;
+        if stalled_us > 0.0 {
+            self.channel_wait_us += stalled_us;
+            self.waits_us[j] += stalled_us;
+            self.blocked[j] += 1;
+        }
+    }
+}
+
+/// Structured aggregate counters of one workload run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimCounters {
+    /// Packet transmissions dispatched into the network.
+    pub total_sends: u64,
+    /// Sends that found at least one route channel busy.
+    pub blocked_sends: u64,
+    /// Packets forwarded by non-source NIs (replication or relay traffic).
+    pub packets_forwarded: u64,
+    /// Total sender stall time on busy channels (µs).
+    pub channel_stall_us: f64,
+    /// Arrivals that queued behind an earlier receive.
+    pub recv_unit_waits: u64,
+    /// Total arrival wait on busy receive units (µs).
+    pub recv_unit_wait_us: f64,
+    /// Deepest send queue observed on any host.
+    pub max_send_queue: usize,
+    /// `buffer_occupancy[n]` counts how often some host's forwarding buffer
+    /// grew to exactly `n` resident packets (index 0 unused: only growth is
+    /// sampled).
+    pub buffer_occupancy: Vec<u64>,
+    /// Discrete events processed.
+    pub events: u64,
+}
+
+/// Fills a [`SimCounters`].
+#[derive(Debug, Default)]
+pub(crate) struct CountersCollector {
+    pub counters: SimCounters,
+}
+
+impl Observer for CountersCollector {
+    fn send_start(
+        &mut self,
+        _t_us: f64,
+        _job: u32,
+        from: Rank,
+        _to: Rank,
+        _packet: u32,
+        stalled_us: f64,
+    ) {
+        let c = &mut self.counters;
+        c.total_sends += 1;
+        if from != Rank::SOURCE {
+            c.packets_forwarded += 1;
+        }
+        if stalled_us > 0.0 {
+            c.blocked_sends += 1;
+            c.channel_stall_us += stalled_us;
+        }
+    }
+
+    fn recv_unit_wait(&mut self, _job: u32, wait_us: f64) {
+        if wait_us > 0.0 {
+            self.counters.recv_unit_waits += 1;
+            self.counters.recv_unit_wait_us += wait_us;
+        }
+    }
+
+    fn send_enqueued(&mut self, _host: HostId, depth: usize) {
+        self.counters.max_send_queue = self.counters.max_send_queue.max(depth);
+    }
+
+    fn buffer_grew(&mut self, _host: HostId, resident: u32) {
+        let c = &mut self.counters;
+        let idx = resident as usize;
+        if c.buffer_occupancy.len() <= idx {
+            c.buffer_occupancy.resize(idx + 1, 0);
+        }
+        c.buffer_occupancy[idx] += 1;
+    }
+}
+
+/// The statically composed observer set of one run: outcome metrics and
+/// counters always; a trace timeline when requested; optionally one caller
+/// sink (`run_workload_observed`).
+pub(crate) struct ObserverHub<'a> {
+    pub metrics: MetricsCollector,
+    pub counters: CountersCollector,
+    pub trace: Option<TraceCollector>,
+    pub user: Option<&'a mut dyn Observer>,
+}
+
+impl<'a> ObserverHub<'a> {
+    pub fn new(jobs: usize, trace: bool, user: Option<&'a mut dyn Observer>) -> Self {
+        ObserverHub {
+            metrics: MetricsCollector::new(jobs),
+            counters: CountersCollector::default(),
+            trace: trace.then(TraceCollector::default),
+            user,
+        }
+    }
+
+    /// Applies `f` to every installed observer.
+    fn each(&mut self, mut f: impl FnMut(&mut dyn Observer)) {
+        f(&mut self.metrics);
+        f(&mut self.counters);
+        if let Some(t) = self.trace.as_mut() {
+            f(t);
+        }
+        if let Some(u) = self.user.as_deref_mut() {
+            f(u);
+        }
+    }
+
+    pub fn send_start(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        stalled_us: f64,
+    ) {
+        self.each(|o| o.send_start(t_us, job, from, to, packet, stalled_us));
+    }
+
+    pub fn recv_done(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
+        self.each(|o| o.recv_done(t_us, job, at, packet));
+    }
+
+    pub fn host_done(&mut self, t_us: f64, job: u32, rank: Rank) {
+        self.each(|o| o.host_done(t_us, job, rank));
+    }
+
+    pub fn recv_unit_wait(&mut self, job: u32, wait_us: f64) {
+        self.each(|o| o.recv_unit_wait(job, wait_us));
+    }
+
+    pub fn send_enqueued(&mut self, host: HostId, depth: usize) {
+        self.each(|o| o.send_enqueued(host, depth));
+    }
+
+    pub fn buffer_grew(&mut self, host: HostId, resident: u32) {
+        self.each(|o| o.buffer_grew(host, resident));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_classify_sends_and_stalls() {
+        let mut c = CountersCollector::default();
+        c.send_start(0.0, 0, Rank::SOURCE, Rank(1), 0, 0.0);
+        c.send_start(5.0, 0, Rank(1), Rank(2), 0, 2.5);
+        let k = &c.counters;
+        assert_eq!(k.total_sends, 2);
+        assert_eq!(k.packets_forwarded, 1);
+        assert_eq!(k.blocked_sends, 1);
+        assert!((k.channel_stall_us - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_histogram_grows_on_demand() {
+        let mut c = CountersCollector::default();
+        c.buffer_grew(HostId(0), 2);
+        c.buffer_grew(HostId(1), 2);
+        c.buffer_grew(HostId(0), 4);
+        assert_eq!(c.counters.buffer_occupancy, vec![0, 0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn trace_collector_sorts_stably() {
+        let mut t = TraceCollector::default();
+        t.host_done(10.0, 0, Rank(3)); // future-dated completion
+        t.recv_done(5.0, 0, Rank(1), 0);
+        t.recv_done(5.0, 0, Rank(2), 0);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out[0].kind,
+            TraceKind::RecvDone {
+                at: Rank(1),
+                packet: 0
+            }
+        );
+        assert_eq!(
+            out[1].kind,
+            TraceKind::RecvDone {
+                at: Rank(2),
+                packet: 0
+            }
+        );
+        assert_eq!(out[2].kind, TraceKind::HostDone { rank: Rank(3) });
+    }
+
+    #[test]
+    fn metrics_split_by_job() {
+        let mut m = MetricsCollector::new(2);
+        m.send_start(0.0, 0, Rank::SOURCE, Rank(1), 0, 0.0);
+        m.send_start(1.0, 1, Rank::SOURCE, Rank(1), 0, 3.0);
+        assert_eq!(m.sends, vec![1, 1]);
+        assert_eq!(m.blocked, vec![0, 1]);
+        assert!((m.waits_us[1] - 3.0).abs() < 1e-12);
+        assert!((m.channel_wait_us - 3.0).abs() < 1e-12);
+    }
+}

@@ -8,7 +8,7 @@
 //! is implemented for real (zero-copy via [`bytes::Bytes`]) so the NI model
 //! rests on a working packetization substrate.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// One fixed-size fragment of a message. `index` is its position in the
 /// message; the last packet may be shorter than the network's packet size.
@@ -152,9 +152,8 @@ impl Reassembly {
     /// Panics if the message is not yet complete.
     pub fn assemble(self) -> Bytes {
         assert!(self.is_complete(), "message incomplete");
-        let mut buf = Vec::with_capacity(
-            self.slots.iter().map(|s| s.as_ref().unwrap().len()).sum(),
-        );
+        let mut buf =
+            Vec::with_capacity(self.slots.iter().map(|s| s.as_ref().unwrap().len()).sum());
         for s in self.slots {
             buf.extend_from_slice(&s.unwrap());
         }
@@ -230,7 +229,10 @@ mod tests {
         };
         assert!(matches!(
             r.accept(p),
-            Err(ReassemblyError::TotalMismatch { expected: 2, got: 3 })
+            Err(ReassemblyError::TotalMismatch {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 

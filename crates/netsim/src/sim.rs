@@ -27,16 +27,16 @@
 //! * Each destination's host spends `t_r` after its NI has received the last
 //!   packet; the multicast latency is the latest such completion.
 
+use crate::error::SimError;
 use crate::workload::{run_workload, JobPayload, MulticastJob, WorkloadConfig};
 use optimcast_core::params::SystemParams;
 use optimcast_core::schedule::ForwardingDiscipline;
 use optimcast_core::tree::MulticastTree;
 use optimcast_topology::graph::HostId;
 use optimcast_topology::Network;
-use serde::{Deserialize, Serialize};
 
 /// Network-interface architecture for a run (paper §2.3 vs §2.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NicKind {
     /// Host processors forward every copy (conventional NI).
     Conventional,
@@ -46,7 +46,7 @@ pub enum NicKind {
 }
 
 /// Whether transmissions contend for physical channels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContentionMode {
     /// Infinite network capacity: transfers never block (the paper's
     /// analytic step model).
@@ -57,7 +57,7 @@ pub enum ContentionMode {
 }
 
 /// Send-unit release policy (see module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NiTiming {
     /// Release on receiver handshake — one paper step per send (default).
     Handshake,
@@ -66,7 +66,7 @@ pub enum NiTiming {
 }
 
 /// Full configuration of a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// NI architecture.
     pub nic: NicKind,
@@ -89,7 +89,7 @@ impl Default for RunConfig {
 }
 
 /// Results and metrics of one simulated multicast.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MulticastOutcome {
     /// Multicast latency in µs: the latest destination-host completion.
     pub latency_us: f64,
@@ -118,10 +118,10 @@ pub struct MulticastOutcome {
 /// [`crate::workload::run_workload`]; all analytic-exactness tests in this
 /// module therefore validate the workload engine too.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `m == 0`, the binding length differs from the tree size, a
-/// bound host is out of range, or the binding repeats a host.
+/// Returns a [`SimError`] if `m == 0`, the binding length differs from the
+/// tree size, a bound host is out of range, or the binding repeats a host.
 pub fn run_multicast<N: Network>(
     net: &N,
     tree: &MulticastTree,
@@ -129,7 +129,7 @@ pub fn run_multicast<N: Network>(
     m: u32,
     params: &SystemParams,
     config: RunConfig,
-) -> MulticastOutcome {
+) -> Result<MulticastOutcome, SimError> {
     let job = MulticastJob {
         tree: tree.clone(),
         binding: binding.to_vec(),
@@ -147,10 +147,10 @@ pub fn run_multicast<N: Network>(
             timing: config.timing,
             trace: false,
         },
-    );
+    )?;
     let mut out = wl.jobs.into_iter().next().expect("one job in, one out");
     out.events = wl.events;
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -206,7 +206,8 @@ mod tests {
                     m,
                     &params(),
                     smart_ideal(ForwardingDiscipline::Fpfs),
-                );
+                )
+                .unwrap();
                 let analytic = smart_latency_us(&sched, &params());
                 assert!(
                     (out.latency_us - analytic).abs() < 1e-6,
@@ -239,7 +240,8 @@ mod tests {
                 m,
                 &params(),
                 smart_ideal(ForwardingDiscipline::Fcfs),
-            );
+            )
+            .unwrap();
             let analytic = smart_latency_us(&sched, &params());
             assert!(
                 (out.latency_us - analytic).abs() < 1e-6,
@@ -265,7 +267,8 @@ mod tests {
                     contention: ContentionMode::Ideal,
                     timing: NiTiming::Handshake,
                 },
-            );
+            )
+            .unwrap();
             let analytic = conventional_latency_us(&tree, m, &params());
             assert!(
                 (out.latency_us - analytic).abs() < 1e-6,
@@ -289,6 +292,7 @@ mod tests {
                 &p,
                 smart_ideal(ForwardingDiscipline::Fpfs),
             )
+            .unwrap()
             .latency_us
         };
         assert!((run(binomial_tree(4)) - (12.5 + 30.0 + 12.5)).abs() < 1e-6);
@@ -306,7 +310,8 @@ mod tests {
             4,
             &params(),
             smart_ideal(ForwardingDiscipline::Fpfs),
-        );
+        )
+        .unwrap();
         let conv = run_multicast(
             &net,
             &tree,
@@ -318,7 +323,8 @@ mod tests {
                 contention: ContentionMode::Ideal,
                 timing: NiTiming::Handshake,
             },
-        );
+        )
+        .unwrap();
         assert!(smart.latency_us < conv.latency_us);
     }
 
@@ -336,7 +342,8 @@ mod tests {
             4,
             &params(),
             smart_ideal(ForwardingDiscipline::Fpfs),
-        );
+        )
+        .unwrap();
         let worm = run_multicast(
             &net,
             &tree,
@@ -347,7 +354,8 @@ mod tests {
                 contention: ContentionMode::Wormhole,
                 ..smart_ideal(ForwardingDiscipline::Fpfs)
             },
-        );
+        )
+        .unwrap();
         assert_eq!(worm.blocked_sends, 0);
         assert!((worm.latency_us - ideal.latency_us).abs() < 1e-9);
     }
@@ -358,7 +366,8 @@ mod tests {
         let tree = kbinomial_tree(24, 2);
         let binding: Vec<HostId> = (0..24).map(|i| HostId(i * 2)).collect();
         for disc in [ForwardingDiscipline::Fpfs, ForwardingDiscipline::Fcfs] {
-            let ideal = run_multicast(&net, &tree, &binding, 6, &params(), smart_ideal(disc));
+            let ideal =
+                run_multicast(&net, &tree, &binding, 6, &params(), smart_ideal(disc)).unwrap();
             let worm = run_multicast(
                 &net,
                 &tree,
@@ -369,7 +378,8 @@ mod tests {
                     contention: ContentionMode::Wormhole,
                     ..smart_ideal(disc)
                 },
-            );
+            )
+            .unwrap();
             assert!(worm.latency_us >= ideal.latency_us - 1e-9);
         }
     }
@@ -389,7 +399,8 @@ mod tests {
             m,
             &params(),
             smart_ideal(ForwardingDiscipline::Fpfs),
-        );
+        )
+        .unwrap();
         let fcfs = run_multicast(
             &net,
             &tree,
@@ -397,7 +408,8 @@ mod tests {
             m,
             &params(),
             smart_ideal(ForwardingDiscipline::Fcfs),
-        );
+        )
+        .unwrap();
         assert!(fpfs.max_ni_buffer[inner.index()] <= 2);
         assert_eq!(fcfs.max_ni_buffer[inner.index()], m);
     }
@@ -413,7 +425,8 @@ mod tests {
             4,
             &params(),
             smart_ideal(ForwardingDiscipline::Fpfs),
-        );
+        )
+        .unwrap();
         let ov = run_multicast(
             &net,
             &tree,
@@ -424,7 +437,8 @@ mod tests {
                 timing: NiTiming::Overlapped,
                 ..smart_ideal(ForwardingDiscipline::Fpfs)
             },
-        );
+        )
+        .unwrap();
         assert!(ov.latency_us <= hs.latency_us + 1e-9);
         assert!(ov.latency_us < hs.latency_us, "t_send < t_step must help");
     }
@@ -440,7 +454,8 @@ mod tests {
             2,
             &params(),
             RunConfig::default(),
-        );
+        )
+        .unwrap();
         // Hypercube id-order binomial multicast is contention-free.
         assert_eq!(out.blocked_sends, 0);
         let sched = fpfs_schedule(&tree, 2);
@@ -453,8 +468,8 @@ mod tests {
         let net = IrregularNetwork::generate(IrregularConfig::default(), 8);
         let tree = kbinomial_tree(40, 2);
         let binding: Vec<HostId> = (0..40).map(HostId).collect();
-        let a = run_multicast(&net, &tree, &binding, 8, &params(), RunConfig::default());
-        let b = run_multicast(&net, &tree, &binding, 8, &params(), RunConfig::default());
+        let a = run_multicast(&net, &tree, &binding, 8, &params(), RunConfig::default()).unwrap();
+        let b = run_multicast(&net, &tree, &binding, 8, &params(), RunConfig::default()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -469,7 +484,8 @@ mod tests {
             5,
             &params(),
             smart_ideal(ForwardingDiscipline::Fpfs),
-        );
+        )
+        .unwrap();
         assert_eq!(out.total_sends, 7 * 5);
     }
 
@@ -484,39 +500,57 @@ mod tests {
             3,
             &params(),
             RunConfig::default(),
-        );
+        )
+        .unwrap();
         assert!((out.latency_us - 25.0).abs() < 1e-9);
         assert_eq!(out.total_sends, 0);
     }
 
     #[test]
-    #[should_panic(expected = "bound twice")]
-    fn duplicate_binding_panics() {
+    fn duplicate_binding_is_an_error() {
         let net = crossbar(4);
         let tree = linear_tree(3);
-        run_multicast(
+        let err = run_multicast(
             &net,
             &tree,
             &[HostId(0), HostId(1), HostId(1)],
             1,
             &params(),
             RunConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::DuplicateHost {
+                job: 0,
+                host: HostId(1)
+            }
         );
+        assert!(err.to_string().contains("bound twice"));
     }
 
     #[test]
-    #[should_panic(expected = "cover every tree rank")]
-    fn short_binding_panics() {
+    fn short_binding_is_an_error() {
         let net = crossbar(4);
         let tree = linear_tree(3);
-        run_multicast(
+        let err = run_multicast(
             &net,
             &tree,
             &[HostId(0)],
             1,
             &params(),
             RunConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BindingMismatch {
+                job: 0,
+                bound: 1,
+                ranks: 3
+            }
         );
+        assert!(err.to_string().contains("cover every tree rank"));
     }
 }
 
@@ -541,7 +575,7 @@ mod doc_like_tests {
         let m = params.packets_for(1024);
         let k = optimal_k(chain.len() as u64, m).k;
         let tree = optimcast_core::builders::kbinomial_tree(chain.len() as u32, k);
-        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default());
+        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default()).unwrap();
         assert!(out.latency_us > 0.0);
         assert_eq!(out.total_sends, 31 * u64::from(m));
     }
@@ -566,13 +600,10 @@ mod doc_like_tests {
             2,
             &SystemParams::paper_1997(),
             RunConfig::default(),
-        );
+        )
+        .unwrap();
         // latency is the max host completion.
-        let max = out
-            .host_done_us
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let max = out.host_done_us.iter().copied().fold(0.0f64, f64::max);
         assert_eq!(out.latency_us, max);
         // NI receive always precedes host completion by exactly t_r.
         for r in 1..8 {

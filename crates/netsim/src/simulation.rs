@@ -1,0 +1,421 @@
+//! The component-based simulator core.
+//!
+//! [`Simulation`] wires the pieces together and owns the event loop:
+//!
+//! * [`crate::host::HostModel`] — NI send/receive units and
+//!   forwarding-buffer occupancy, shared across jobs (node contention);
+//! * [`crate::channel::ChannelManager`] — wormhole route reservation
+//!   (channel contention);
+//! * [`crate::discipline`] — one [`ForwardingDiscipline`] engine per job,
+//!   selected from its `(NicKind, JobPayload)`;
+//! * [`crate::observe::ObserverHub`] — metrics, counters, and the optional
+//!   trace timeline, all fed from the same hooks.
+//!
+//! The core handles what every engine shares — dispatching queued sends
+//! through channel reservation, serializing arrivals on receive units,
+//! handshake send-unit release — and delegates policy to the engines. Event
+//! scheduling order is part of the simulator's contract: ties in simulated
+//! time resolve by insertion order, so the golden-equivalence tests pin the
+//! exact sequence this module produces.
+
+use crate::channel::ChannelManager;
+use crate::discipline::ForwardingDiscipline;
+use crate::discipline::{conventional::Conventional, fcfs::Fcfs, fpfs::Fpfs, scatter::Scatter};
+use crate::engine::EventQueue;
+use crate::error::SimError;
+use crate::event::{Ev, SendItem};
+use crate::host::HostModel;
+use crate::observe::{Observer, ObserverHub};
+use crate::sim::{MulticastOutcome, NiTiming, NicKind};
+use crate::time::SimTime;
+use crate::workload::{JobPayload, MulticastJob, WorkloadConfig, WorkloadOutcome};
+use optimcast_core::params::SystemParams;
+use optimcast_core::tree::Rank;
+use optimcast_topology::graph::{ChannelId, HostId};
+use optimcast_topology::Network;
+
+/// Per-(job, rank) participant state.
+pub(crate) struct PartState {
+    /// Packets received so far (for personalized payloads: own packets).
+    pub received: u32,
+    /// NI completion time of the latest received packet.
+    pub last_recv: SimTime,
+    /// Host completion time, once the full message is in.
+    pub host_done: Option<SimTime>,
+    /// Replicated payloads: outstanding copies per packet at this rank's NI
+    /// (the packet leaves the forwarding buffer when its count hits zero).
+    pub copies_left: Vec<u32>,
+    /// Conventional NI: index of the child message being prepared.
+    pub conv_child: usize,
+    /// Conventional NI: packets of the current child message still in
+    /// flight.
+    pub conv_pending: u32,
+}
+
+/// All mutable simulation state, shared with the engines.
+///
+/// Kept separate from the engine table so the event loop can hold `&mut
+/// SimState` and `&dyn ForwardingDiscipline` simultaneously (disjoint field
+/// borrows).
+pub(crate) struct SimState<'a> {
+    pub jobs: &'a [MulticastJob],
+    pub params: &'a SystemParams,
+    pub config: WorkloadConfig,
+    /// `routes[job][rank]`: channel route from `rank`'s parent to `rank`.
+    pub routes: Vec<Vec<Vec<ChannelId>>>,
+    pub hosts: HostModel,
+    pub parts: Vec<Vec<PartState>>,
+    pub channels: ChannelManager,
+    pub queue: EventQueue<Ev>,
+    pub obs: ObserverHub<'a>,
+}
+
+impl<'a> SimState<'a> {
+    /// The job's descriptor, borrowed for the workload's lifetime (not the
+    /// state borrow), so engines can read it while mutating state.
+    pub fn job(&self, job: u32) -> &'a MulticastJob {
+        &self.jobs[job as usize]
+    }
+
+    /// The physical host bound to `(job, rank)`.
+    pub fn host_of(&self, job: u32, r: Rank) -> HostId {
+        self.jobs[job as usize].binding[r.index()]
+    }
+
+    /// Queues a transmission on the host's send unit (with queue-depth
+    /// observation).
+    pub fn enqueue_send(&mut self, h: HostId, item: SendItem) {
+        let depth = self.hosts.enqueue(h, item);
+        self.obs.send_enqueued(h, depth);
+    }
+
+    /// Stages `n` packets in the host's forwarding buffer (with occupancy
+    /// observation).
+    pub fn stage(&mut self, h: HostId, n: u32) {
+        let resident = self.hosts.stage(h, n);
+        self.obs.buffer_grew(h, resident);
+    }
+
+    /// Releases one staged packet.
+    pub fn unstage(&mut self, h: HostId) {
+        self.hosts.unstage(h);
+    }
+
+    /// Marks `(job, rank)` complete `t_r` after its last receive; returns
+    /// the completion time.
+    pub fn finish_host(&mut self, now: SimTime, job: u32, rank: Rank) -> SimTime {
+        let done = now + self.params.t_r;
+        self.parts[job as usize][rank.index()].host_done = Some(done);
+        self.obs.host_done(done.as_us(), job, rank);
+        done
+    }
+}
+
+/// Rejects malformed workloads with a typed error (the former panic set).
+pub(crate) fn validate<N: Network>(net: &N, jobs: &[MulticastJob]) -> Result<(), SimError> {
+    if jobs.is_empty() {
+        return Err(SimError::EmptyWorkload);
+    }
+    let n_hosts = net.num_hosts() as usize;
+    for (j, job) in jobs.iter().enumerate() {
+        if job.packets < 1 {
+            return Err(SimError::ZeroPackets { job: j });
+        }
+        if job.binding.len() != job.tree.len() {
+            return Err(SimError::BindingMismatch {
+                job: j,
+                bound: job.binding.len(),
+                ranks: job.tree.len(),
+            });
+        }
+        // NaN must be rejected too: it would poison the event-queue order.
+        if job.start_us < 0.0 || job.start_us.is_nan() {
+            return Err(SimError::NegativeStart {
+                job: j,
+                start_us: job.start_us,
+            });
+        }
+        if matches!(job.payload, JobPayload::Personalized { .. })
+            && !matches!(job.nic, NicKind::Smart(_))
+        {
+            return Err(SimError::PersonalizedNeedsSmartNic { job: j });
+        }
+        let mut seen = vec![false; n_hosts];
+        for &h in &job.binding {
+            if h.index() >= n_hosts {
+                return Err(SimError::HostOutOfRange {
+                    job: j,
+                    host: h,
+                    hosts: n_hosts,
+                });
+            }
+            if seen[h.index()] {
+                return Err(SimError::DuplicateHost { job: j, host: h });
+            }
+            seen[h.index()] = true;
+        }
+    }
+    Ok(())
+}
+
+/// Selects the forwarding engine for a job's `(NicKind, JobPayload)`.
+fn engine_for(job: &MulticastJob) -> Box<dyn ForwardingDiscipline> {
+    use optimcast_core::schedule::ForwardingDiscipline as Kind;
+    match (job.nic, job.payload) {
+        (NicKind::Smart(Kind::Fpfs), JobPayload::Replicated) => Box::new(Fpfs),
+        (NicKind::Smart(Kind::Fcfs), JobPayload::Replicated) => Box::new(Fcfs),
+        (NicKind::Smart(_), JobPayload::Personalized { order }) => Box::new(Scatter { order }),
+        (NicKind::Conventional, JobPayload::Replicated) => Box::new(Conventional),
+        (NicKind::Conventional, JobPayload::Personalized { .. }) => {
+            unreachable!("validate() rejects personalized payloads on conventional NIs")
+        }
+    }
+}
+
+/// One workload execution: the engine table plus all mutable state.
+pub(crate) struct Simulation<'a> {
+    st: SimState<'a>,
+    engines: Vec<Box<dyn ForwardingDiscipline>>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Validates the workload and assembles the components.
+    pub fn new<N: Network>(
+        net: &N,
+        jobs: &'a [MulticastJob],
+        params: &'a SystemParams,
+        config: WorkloadConfig,
+        user_observer: Option<&'a mut dyn Observer>,
+    ) -> Result<Self, SimError> {
+        validate(net, jobs)?;
+        let routes = jobs
+            .iter()
+            .map(|job| {
+                (0..job.tree.len())
+                    .map(|r| match job.tree.parent(Rank(r as u32)) {
+                        Some(p) => net.route(job.binding[p.index()], job.binding[r]),
+                        None => Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let parts = jobs
+            .iter()
+            .map(|job| {
+                (0..job.tree.len())
+                    .map(|_| PartState {
+                        received: 0,
+                        last_recv: SimTime::ZERO,
+                        host_done: None,
+                        copies_left: vec![0; job.packets as usize],
+                        conv_child: 0,
+                        conv_pending: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        let engines = jobs.iter().map(engine_for).collect();
+        Ok(Simulation {
+            st: SimState {
+                jobs,
+                params,
+                config,
+                routes,
+                hosts: HostModel::new(net.num_hosts() as usize),
+                parts,
+                channels: ChannelManager::new(config.contention, net.num_channels() as usize),
+                queue: EventQueue::new(),
+                obs: ObserverHub::new(jobs.len(), config.trace, user_observer),
+            },
+            engines,
+        })
+    }
+
+    /// Runs the workload to completion and collects the outcome.
+    pub fn run(mut self) -> WorkloadOutcome {
+        for j in 0..self.st.jobs.len() {
+            self.engines[j].kickoff(&mut self.st, j as u32);
+        }
+        while let Some((now, ev)) = self.st.queue.pop() {
+            match ev {
+                Ev::TrySend(h) => self.handle_try_send(now, h),
+                Ev::Arrive {
+                    job,
+                    to,
+                    packet,
+                    from,
+                    dest,
+                } => self.handle_arrive(now, job, to, packet, from, dest),
+                Ev::RecvDone {
+                    job,
+                    at,
+                    packet,
+                    from,
+                    dest,
+                } => self.handle_recv_done(now, job, at, packet, from, dest),
+                Ev::HostReady { job, at } => {
+                    self.engines[job as usize].on_host_ready(&mut self.st, now, job, at)
+                }
+                Ev::SendPrepared { job, at, child_idx } => self.engines[job as usize]
+                    .on_send_prepared(&mut self.st, now, job, at, child_idx),
+                Ev::SendRelease(h) => self.release_send_unit(now, h),
+            }
+        }
+        self.collect()
+    }
+
+    /// Dispatches the host's next queued transmission, if its send unit is
+    /// free: reserve the route (stalling on busy channels under wormhole
+    /// contention), notify observers, and schedule the arrival.
+    fn handle_try_send(&mut self, now: SimTime, h: HostId) {
+        let st = &mut self.st;
+        let Some(item) = st.hosts.try_dispatch(h) else {
+            return;
+        };
+        let j = item.job as usize;
+        let route = &st.routes[j][item.child.index()];
+        debug_assert!(!route.is_empty());
+        debug_assert_eq!(st.jobs[j].tree.parent(item.child), Some(item.from));
+        let hold = st.params.t_send + st.params.t_prop;
+        let t0 = st.channels.reserve(route, now, hold);
+        st.obs.send_start(
+            t0.as_us(),
+            item.job,
+            item.from,
+            item.child,
+            item.packet,
+            t0 - now,
+        );
+        let arrival = t0 + st.params.t_send + st.params.t_prop;
+        st.queue.schedule(
+            arrival,
+            Ev::Arrive {
+                job: item.job,
+                to: item.child,
+                packet: item.packet,
+                from: item.from,
+                dest: item.dest,
+            },
+        );
+        if st.config.timing == NiTiming::Overlapped {
+            st.queue.schedule(t0 + st.params.t_send, Ev::SendRelease(h));
+        }
+    }
+
+    /// Serializes the arrival on the receiver's NI receive unit.
+    fn handle_arrive(
+        &mut self,
+        now: SimTime,
+        job: u32,
+        to: Rank,
+        packet: u32,
+        from: Rank,
+        dest: Rank,
+    ) {
+        let st = &mut self.st;
+        let h = st.host_of(job, to);
+        let (done, wait) = st.hosts.occupy_recv_unit(h, now, st.params.t_recv);
+        if wait > 0.0 {
+            st.obs.recv_unit_wait(job, wait);
+        }
+        st.queue.schedule(
+            done,
+            Ev::RecvDone {
+                job,
+                at: to,
+                packet,
+                from,
+                dest,
+            },
+        );
+    }
+
+    /// A packet finished arriving: complete the sender's handshake, deliver
+    /// the sender acknowledgement, then hand the packet to the receiving
+    /// job's engine.
+    fn handle_recv_done(
+        &mut self,
+        now: SimTime,
+        job: u32,
+        at: Rank,
+        packet: u32,
+        from: Rank,
+        dest: Rank,
+    ) {
+        let j = job as usize;
+        if self.st.config.timing == NiTiming::Handshake {
+            let u_host = self.st.host_of(job, from);
+            self.release_send_unit(now, u_host);
+        }
+        self.engines[j].sender_ack(&mut self.st, now, job, from);
+        self.st.obs.recv_done(now.as_us(), job, at, packet);
+        self.engines[j].on_recv_done(&mut self.st, now, job, at, packet, dest);
+    }
+
+    /// Frees the host's send unit, applies the released job's buffer policy,
+    /// and lets the host dispatch its next queued packet.
+    fn release_send_unit(&mut self, now: SimTime, h: HostId) {
+        let item = self.st.hosts.release_send_unit(h);
+        self.engines[item.job as usize].on_copy_released(&mut self.st, item);
+        self.st.queue.schedule(now, Ev::TrySend(h));
+    }
+
+    /// Collects per-job outcomes and workload aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank never completed — the simulator never deadlocks
+    /// on validated input, so this indicates an engine bug.
+    fn collect(self) -> WorkloadOutcome {
+        let Simulation { st, .. } = self;
+        let params = st.params;
+        let mut outcomes = Vec::with_capacity(st.jobs.len());
+        let mut makespan = 0.0f64;
+        for (j, job) in st.jobs.iter().enumerate() {
+            let n = job.tree.len();
+            let mut host_done = vec![0.0f64; n];
+            let mut last_recv = vec![0.0f64; n];
+            let mut latency = if n == 1 { params.t_s + params.t_r } else { 0.0 };
+            for r in 1..n {
+                let p = &st.parts[j][r];
+                let done = p
+                    .host_done
+                    .unwrap_or_else(|| panic!("job {j}: rank {r} never completed"));
+                host_done[r] = done.as_us() - job.start_us;
+                last_recv[r] = p.last_recv.as_us() - job.start_us;
+                latency = latency.max(host_done[r]);
+            }
+            makespan = makespan.max(latency + job.start_us);
+            let max_ni_buffer = job
+                .binding
+                .iter()
+                .map(|&h| st.hosts.max_resident(h))
+                .collect();
+            outcomes.push(MulticastOutcome {
+                latency_us: latency,
+                host_done_us: host_done,
+                ni_last_recv_us: last_recv,
+                channel_wait_us: st.obs.metrics.waits_us[j],
+                blocked_sends: st.obs.metrics.blocked[j],
+                total_sends: st.obs.metrics.sends[j],
+                max_ni_buffer,
+                events: 0, // aggregate reported at workload level
+            });
+        }
+        let mut counters = st.obs.counters.counters;
+        counters.events = st.queue.processed();
+        WorkloadOutcome {
+            jobs: outcomes,
+            makespan_us: makespan,
+            channel_wait_us: st.obs.metrics.channel_wait_us,
+            max_host_buffer: st.hosts.all_max_resident(),
+            events: st.queue.processed(),
+            counters,
+            trace: st
+                .obs
+                .trace
+                .map(crate::observe::TraceCollector::into_sorted)
+                .unwrap_or_default(),
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Golden-equivalence snapshots for the simulator core.
+//!
+//! These pin the exact `WorkloadOutcome` (latency, stalls, buffer
+//! high-water, send counts, event counts, completion-time checksums) of
+//! three fixed-seed scenarios — single-job FPFS, a mixed-discipline
+//! multi-job workload, and a scatter pair — as produced by the pre-refactor
+//! monolithic event loop. The component-based simulator must reproduce
+//! every number bit-for-bit: any drift here means the refactor changed
+//! simulated behaviour, not just code structure.
+
+use optimcast_core::builders::{binomial_tree, kbinomial_tree};
+use optimcast_core::params::SystemParams;
+use optimcast_core::schedule::ForwardingDiscipline;
+use optimcast_netsim::workload::{MulticastJob, PersonalizedOrder};
+use optimcast_netsim::*;
+use optimcast_topology::graph::HostId;
+use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
+
+fn hosts(r: std::ops::Range<u32>) -> Vec<HostId> {
+    r.map(HostId).collect()
+}
+
+/// One job's pinned numbers.
+#[derive(Debug, PartialEq)]
+struct JobGold {
+    latency_us: f64,
+    channel_wait_us: f64,
+    blocked_sends: u64,
+    total_sends: u64,
+    max_ni_buffer: u32,
+    /// Checksum of per-rank host completion times.
+    host_done_sum: f64,
+    /// Checksum of per-rank NI last-receive times.
+    ni_last_recv_sum: f64,
+}
+
+/// The workload-level pinned numbers.
+#[derive(Debug, PartialEq)]
+struct WorkloadGold {
+    makespan_us: f64,
+    channel_wait_us: f64,
+    host_buffer_sum: u32,
+    host_buffer_max: u32,
+    events: u64,
+}
+
+fn job_gold(j: &MulticastOutcome) -> JobGold {
+    JobGold {
+        latency_us: j.latency_us,
+        channel_wait_us: j.channel_wait_us,
+        blocked_sends: j.blocked_sends,
+        total_sends: j.total_sends,
+        max_ni_buffer: *j.max_ni_buffer.iter().max().unwrap(),
+        host_done_sum: j.host_done_us.iter().sum(),
+        ni_last_recv_sum: j.ni_last_recv_us.iter().sum(),
+    }
+}
+
+fn wl_gold(wl: &WorkloadOutcome) -> WorkloadGold {
+    WorkloadGold {
+        makespan_us: wl.makespan_us,
+        channel_wait_us: wl.channel_wait_us,
+        host_buffer_sum: wl.max_host_buffer.iter().sum(),
+        host_buffer_max: *wl.max_host_buffer.iter().max().unwrap(),
+        events: wl.events,
+    }
+}
+
+/// Scenario 1 (topology seed 11): one FPFS job over a 2-binomial tree.
+#[test]
+fn golden_single_fpfs() {
+    let n = IrregularNetwork::generate(IrregularConfig::default(), 11);
+    let wl = run_workload(
+        &n,
+        &[MulticastJob::fpfs(kbinomial_tree(40, 2), hosts(0..40), 5)],
+        &SystemParams::paper_1997(),
+        WorkloadConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        job_gold(&wl.jobs[0]),
+        JobGold {
+            latency_us: 100.0,
+            channel_wait_us: 9.0,
+            blocked_sends: 3,
+            total_sends: 195,
+            max_ni_buffer: 5,
+            host_done_sum: 3595.0,
+            ni_last_recv_sum: 3107.5,
+        }
+    );
+    assert_eq!(
+        wl_gold(&wl),
+        WorkloadGold {
+            makespan_us: 100.0,
+            channel_wait_us: 9.0,
+            host_buffer_sum: 42,
+            host_buffer_max: 5,
+            events: 711,
+        }
+    );
+}
+
+/// Scenario 2 (topology seed 12): FPFS + FCFS + conventional jobs with
+/// staggered starts on overlapping host ranges.
+#[test]
+fn golden_multi_job_mixed_disciplines() {
+    let n = IrregularNetwork::generate(IrregularConfig::default(), 12);
+    let mut j_fcfs = MulticastJob::fpfs(binomial_tree(24), hosts(20..44), 4);
+    j_fcfs.nic = NicKind::Smart(ForwardingDiscipline::Fcfs);
+    j_fcfs.start_us = 40.0;
+    let mut j_conv = MulticastJob::fpfs(binomial_tree(16), hosts(48..64), 3);
+    j_conv.nic = NicKind::Conventional;
+    j_conv.start_us = 80.0;
+    let wl = run_workload(
+        &n,
+        &[
+            MulticastJob::fpfs(kbinomial_tree(32, 3), hosts(0..32), 4),
+            j_fcfs,
+            j_conv,
+        ],
+        &SystemParams::paper_1997(),
+        WorkloadConfig::default(),
+    )
+    .unwrap();
+    let golds = [
+        JobGold {
+            latency_us: 169.0,
+            channel_wait_us: 19.0,
+            blocked_sends: 9,
+            total_sends: 124,
+            max_ni_buffer: 6,
+            host_done_sum: 3238.0,
+            ni_last_recv_sum: 2850.5,
+        },
+        JobGold {
+            latency_us: 109.0,
+            channel_wait_us: 9.0,
+            blocked_sends: 6,
+            total_sends: 92,
+            max_ni_buffer: 6,
+            host_done_sum: 1742.0,
+            ni_last_recv_sum: 1454.5,
+        },
+        JobGold {
+            latency_us: 160.0,
+            channel_wait_us: 0.0,
+            blocked_sends: 0,
+            total_sends: 45,
+            max_ni_buffer: 0,
+            host_done_sum: 1747.5,
+            ni_last_recv_sum: 1560.0,
+        },
+    ];
+    for (i, gold) in golds.iter().enumerate() {
+        assert_eq!(&job_gold(&wl.jobs[i]), gold, "job {i} drifted");
+    }
+    assert_eq!(
+        wl_gold(&wl),
+        WorkloadGold {
+            makespan_us: 240.0,
+            channel_wait_us: 28.0,
+            host_buffer_sum: 64,
+            host_buffer_max: 6,
+            events: 939,
+        }
+    );
+}
+
+/// Scenario 3 (topology seed 13): two personalized (scatter) jobs, one per
+/// source ordering, the second starting mid-flight of the first.
+#[test]
+fn golden_scatter_pair() {
+    let n = IrregularNetwork::generate(IrregularConfig::default(), 13);
+    let s1 = MulticastJob::scatter(
+        kbinomial_tree(24, 2),
+        hosts(0..24),
+        3,
+        PersonalizedOrder::OwnFirst,
+    );
+    let mut s2 = MulticastJob::scatter(
+        binomial_tree(24),
+        hosts(24..48),
+        3,
+        PersonalizedOrder::DeepestFirst,
+    );
+    s2.start_us = 25.0;
+    let wl = run_workload(
+        &n,
+        &[s1, s2],
+        &SystemParams::paper_1997(),
+        WorkloadConfig::default(),
+    )
+    .unwrap();
+    let golds = [
+        JobGold {
+            latency_us: 380.0,
+            channel_wait_us: 0.0,
+            blocked_sends: 0,
+            total_sends: 246,
+            max_ni_buffer: 69,
+            host_done_sum: 5010.0,
+            ni_last_recv_sum: 4722.5,
+        },
+        JobGold {
+            latency_us: 382.0,
+            channel_wait_us: 28.0,
+            blocked_sends: 24,
+            total_sends: 198,
+            max_ni_buffer: 69,
+            host_done_sum: 5196.0,
+            ni_last_recv_sum: 4908.5,
+        },
+    ];
+    for (i, gold) in golds.iter().enumerate() {
+        assert_eq!(&job_gold(&wl.jobs[i]), gold, "job {i} drifted");
+    }
+    assert_eq!(
+        wl_gold(&wl),
+        WorkloadGold {
+            makespan_us: 407.0,
+            channel_wait_us: 28.0,
+            host_buffer_sum: 188,
+            host_buffer_max: 69,
+            events: 1640,
+        }
+    );
+}

@@ -111,10 +111,7 @@ pub fn is_contention_free<N: Network>(net: &N, chain: &[HostId]) -> bool {
 /// Counts pairwise channel conflicts among a set of simultaneously active
 /// unicast transfers (e.g. all sends of one multicast step).
 pub fn concurrent_conflicts<N: Network>(net: &N, transfers: &[(HostId, HostId)]) -> u64 {
-    let routes: Vec<Vec<ChannelId>> = transfers
-        .iter()
-        .map(|&(f, t)| net.route(f, t))
-        .collect();
+    let routes: Vec<Vec<ChannelId>> = transfers.iter().map(|&(f, t)| net.route(f, t)).collect();
     let mut conflicts = 0;
     for i in 0..routes.len() {
         for j in i + 1..routes.len() {
@@ -175,11 +172,29 @@ mod tests {
     fn same_direction_crossing_contends() {
         let net = Tiny::new();
         // h0 -> h2 and h1 -> h3 both cross s0 -> s1.
-        assert!(routes_contend(&net, HostId(0), HostId(2), HostId(1), HostId(3)));
+        assert!(routes_contend(
+            &net,
+            HostId(0),
+            HostId(2),
+            HostId(1),
+            HostId(3)
+        ));
         // Opposite directions do not contend.
-        assert!(!routes_contend(&net, HostId(0), HostId(2), HostId(3), HostId(1)));
+        assert!(!routes_contend(
+            &net,
+            HostId(0),
+            HostId(2),
+            HostId(3),
+            HostId(1)
+        ));
         // Distinct ejections to distinct hosts do not contend.
-        assert!(!routes_contend(&net, HostId(0), HostId(1), HostId(2), HostId(3)));
+        assert!(!routes_contend(
+            &net,
+            HostId(0),
+            HostId(1),
+            HostId(2),
+            HostId(3)
+        ));
     }
 
     #[test]
@@ -233,8 +248,7 @@ mod tests {
         let net = Tiny::new();
         let grouped: Vec<HostId> = [0u32, 1, 2, 3].into_iter().map(HostId).collect();
         assert!(is_contention_free(&net, &grouped));
-        let interleaved: Vec<HostId> =
-            [0u32, 2, 1, 3].into_iter().map(HostId).collect();
+        let interleaved: Vec<HostId> = [0u32, 2, 1, 3].into_iter().map(HostId).collect();
         assert!(!is_contention_free(&net, &interleaved));
     }
 

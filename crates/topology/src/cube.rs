@@ -11,10 +11,9 @@
 
 use crate::graph::{ChannelId, HostId, SwitchId, Topology};
 use crate::Network;
-use serde::{Deserialize, Serialize};
 
 /// A k-ary n-cube: `arity^dims` processors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CubeNetwork {
     arity: u32,
     dims: u32,
@@ -242,10 +241,7 @@ mod tests {
                     continue;
                 }
                 assert_eq!(r[0], c.topology().injection_channel(HostId(a)));
-                assert_eq!(
-                    *r.last().unwrap(),
-                    c.topology().ejection_channel(HostId(b))
-                );
+                assert_eq!(*r.last().unwrap(), c.topology().ejection_channel(HostId(b)));
                 for w in r.windows(2) {
                     let (_, x) = c.topology().channel_endpoints(w[0]);
                     let (y, _) = c.topology().channel_endpoints(w[1]);

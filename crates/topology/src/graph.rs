@@ -7,13 +7,10 @@
 //! messages crossing the same physical cable in opposite directions do not
 //! contend.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A processor (host) identifier, dense `0..num_hosts`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct HostId(pub u32);
 
 impl HostId {
@@ -31,9 +28,7 @@ impl fmt::Display for HostId {
 }
 
 /// A switch identifier, dense `0..num_switches`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SwitchId(pub u32);
 
 impl SwitchId {
@@ -51,7 +46,7 @@ impl fmt::Display for SwitchId {
 }
 
 /// A bidirectional link identifier, dense `0..num_links`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -75,7 +70,7 @@ impl LinkId {
 }
 
 /// A directed channel: one direction of a bidirectional link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(pub u32);
 
 impl ChannelId {
@@ -105,7 +100,7 @@ impl ChannelId {
 }
 
 /// One end of a link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// A processor.
     Host(HostId),
@@ -123,7 +118,7 @@ impl fmt::Display for Endpoint {
 }
 
 /// A bidirectional link between two endpoints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Link {
     /// First endpoint (the `forward` channel's source).
     pub a: Endpoint,
@@ -137,7 +132,7 @@ pub struct Link {
 /// * every host is attached to exactly one switch via its own access link;
 /// * switch–switch links connect distinct switches;
 /// * port counts are tracked per switch (hosts + switch links).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     num_switches: u32,
     links: Vec<Link>,
@@ -171,7 +166,10 @@ impl Topology {
     ///
     /// Panics if `switch` is out of range.
     pub fn add_host(&mut self, switch: SwitchId) -> HostId {
-        assert!(switch.index() < self.num_switches as usize, "no such switch");
+        assert!(
+            switch.index() < self.num_switches as usize,
+            "no such switch"
+        );
         let host = HostId(self.host_switch.len() as u32);
         let link = LinkId(self.links.len() as u32);
         self.links.push(Link {
@@ -192,8 +190,14 @@ impl Topology {
     /// Panics if the switches are equal or out of range.
     pub fn add_switch_link(&mut self, s1: SwitchId, s2: SwitchId) -> LinkId {
         assert_ne!(s1, s2, "self-links are not allowed");
-        assert!(s1.index() < self.num_switches as usize, "no such switch {s1}");
-        assert!(s2.index() < self.num_switches as usize, "no such switch {s2}");
+        assert!(
+            s1.index() < self.num_switches as usize,
+            "no such switch {s1}"
+        );
+        assert!(
+            s2.index() < self.num_switches as usize,
+            "no such switch {s2}"
+        );
         let link = LinkId(self.links.len() as u32);
         self.links.push(Link {
             a: Endpoint::Switch(s1),

@@ -11,13 +11,10 @@
 use crate::graph::{HostId, SwitchId, Topology};
 use crate::updown::UpDownRouting;
 use crate::Network;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use optimcast_rng::{ChaCha8Rng, Rng, SliceRandom};
 
 /// Shape of a random irregular network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IrregularConfig {
     /// Number of switches.
     pub switches: u32,
@@ -101,7 +98,9 @@ impl IrregularNetwork {
     /// Panics if the configuration is unrealisable (see
     /// [`IrregularConfig::validate`]).
     pub fn generate(config: IrregularConfig, seed: u64) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("bad config: {e}"));
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut topo = Topology::new(config.switches);
 
@@ -147,10 +146,8 @@ impl IrregularNetwork {
 
         // 2. Extra random links until ports (or distinct pairs) run out.
         //    Parallel links between the same switch pair are not added.
-        let mut linked: std::collections::HashSet<(u32, u32)> = topo
-            .link_pairs()
-            .into_iter()
-            .collect();
+        let mut linked: std::collections::HashSet<(u32, u32)> =
+            topo.link_pairs().into_iter().collect();
         loop {
             let open: Vec<u32> = (0..config.switches)
                 .filter(|&s| free[s as usize] > 0)

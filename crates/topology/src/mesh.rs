@@ -11,10 +11,9 @@
 use crate::graph::{ChannelId, HostId, SwitchId, Topology};
 use crate::ordering::Ordering;
 use crate::Network;
-use serde::{Deserialize, Serialize};
 
 /// A k-ary n-mesh: `arity^dims` processors, one per router, no wraparound.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeshNetwork {
     arity: u32,
     dims: u32,
@@ -237,11 +236,7 @@ mod tests {
                 // Manhattan distance + inject/eject.
                 let ca = m.coords(HostId(a));
                 let cb = m.coords(HostId(b));
-                let dist: u32 = ca
-                    .iter()
-                    .zip(&cb)
-                    .map(|(&x, &y)| x.abs_diff(y))
-                    .sum();
+                let dist: u32 = ca.iter().zip(&cb).map(|(&x, &y)| x.abs_diff(y)).sum();
                 assert_eq!(r.len(), dist as usize + 2, "{a}->{b}");
             }
         }

@@ -20,13 +20,10 @@ use crate::cube::CubeNetwork;
 use crate::graph::{HostId, SwitchId};
 use crate::irregular::IrregularNetwork;
 use crate::Network;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use optimcast_rng::{ChaCha8Rng, SliceRandom};
 
 /// A total ordering of all hosts of a network.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ordering {
     order: Vec<HostId>,
     /// Position of each host in `order`.
@@ -180,13 +177,7 @@ mod tests {
 
     #[test]
     fn arrange_sorts_and_rotates() {
-        let o = Ordering::from_order(vec![
-            HostId(3),
-            HostId(1),
-            HostId(4),
-            HostId(0),
-            HostId(2),
-        ]);
+        let o = Ordering::from_order(vec![HostId(3), HostId(1), HostId(4), HostId(0), HostId(2)]);
         // Participants 0, 2, 4 with source 4: sorted by position = [4, 0, 2]
         // (positions 2, 3, 4); source already first.
         assert_eq!(
@@ -216,18 +207,14 @@ mod tests {
         let topo = net.topology();
         for s in 0..topo.num_switches() {
             let hosts = topo.switch_hosts(SwitchId(s));
-            let mut positions: Vec<u32> =
-                hosts.iter().map(|&h| o.position(h)).collect();
+            let mut positions: Vec<u32> = hosts.iter().map(|&h| o.position(h)).collect();
             positions.sort_unstable();
             for w in positions.windows(2) {
                 assert_eq!(w[1], w[0] + 1, "switch {s} hosts not contiguous");
             }
         }
         // Root switch's hosts come first.
-        assert_eq!(
-            o.hosts()[0],
-            topo.switch_hosts(net.routing().root())[0]
-        );
+        assert_eq!(o.hosts()[0], topo.switch_hosts(net.routing().root())[0]);
     }
 
     #[test]
@@ -250,7 +237,10 @@ mod tests {
         let o = switch_grouped(net.topology());
         assert_eq!(o.len(), 64);
         // Hosts 0..3 are on switch 0 by generation order.
-        assert_eq!(&o.hosts()[0..4], &[HostId(0), HostId(1), HostId(2), HostId(3)]);
+        assert_eq!(
+            &o.hosts()[0..4],
+            &[HostId(0), HostId(1), HostId(2), HostId(3)]
+        );
     }
 }
 

@@ -14,11 +14,10 @@
 //! insertion order), so every query returns the same path.
 
 use crate::graph::{ChannelId, Endpoint, HostId, LinkId, SwitchId, Topology};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Precomputed up\*/down\* routing state for one topology.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpDownRouting {
     root: SwitchId,
     level: Vec<u32>,
@@ -197,9 +196,7 @@ impl UpDownRouting {
                     .copied()
                     .filter(|&st| seen[st])
                     .min_by_key(|&st| self.path_len(&pred, st))
-                    .unwrap_or_else(|| {
-                        panic!("no legal up*/down* path from s{from} to s{to}")
-                    });
+                    .unwrap_or_else(|| panic!("no legal up*/down* path from s{from} to s{to}"));
                 let mut path = Vec::new();
                 let mut cur = goal;
                 while let Some((prev, c)) = pred[cur] {
@@ -430,7 +427,10 @@ mod distance_tests {
                     }
                     let legal = routing.switch_path(SwitchId(a), SwitchId(b)).len() as u32;
                     let free = bfs_dist(topo, SwitchId(a), SwitchId(b));
-                    assert!(legal >= free, "seed {seed}: {a}->{b} legal {legal} < {free}");
+                    assert!(
+                        legal >= free,
+                        "seed {seed}: {a}->{b} legal {legal} < {free}"
+                    );
                     assert!(
                         legal <= 2 * max_level.max(1),
                         "seed {seed}: {a}->{b} legal {legal} exceeds tree bound"

@@ -8,8 +8,8 @@
 
 use optimcast::collectives::{
     allgather_recursive_doubling_us, allgather_ring_us, barrier_us, broadcast,
-    broadcast_latency_us, gather_schedule, optimal_reduce_k, reduce_latency_us,
-    scatter_schedule, OrderPolicy,
+    broadcast_latency_us, gather_schedule, optimal_reduce_k, reduce_latency_us, scatter_schedule,
+    OrderPolicy,
 };
 use optimcast::core::param_model::ParamModel;
 use optimcast::prelude::*;
@@ -74,5 +74,9 @@ fn main() {
     );
 
     // Barrier.
-    println!("barrier   : {:.1} us (dissemination, {} rounds)", barrier_us(n, &params), 6);
+    println!(
+        "barrier   : {:.1} us (dissemination, {} rounds)",
+        barrier_us(n, &params),
+        6
+    );
 }

@@ -16,7 +16,7 @@ fn broadcast(net: &CubeNetwork, m: u32, policy_k: Option<u32>) -> (f64, u64, u32
     let chain = ordering.arrange(HostId(0), &dests);
     let k = policy_k.unwrap_or_else(|| optimal_k(u64::from(n), m).k);
     let tree = kbinomial_tree(n, k);
-    let out = run_multicast(net, &tree, &chain, m, &params, RunConfig::default());
+    let out = run_multicast(net, &tree, &chain, m, &params, RunConfig::default()).unwrap();
     (out.latency_us, out.blocked_sends, k)
 }
 

@@ -21,12 +21,28 @@ fn main() {
         let reduce = comm.reduce(bytes, 0.5);
         let allgather = comm.allgather(bytes / 8);
         println!("payload {bytes:>5} B:");
-        println!("  bcast     {:>9.1} us  ({} blocked sends)", bcast.latency_us, bcast.blocked_sends);
-        println!("  scatter   {:>9.1} us  ({} B per rank)", scatter.latency_us, bytes / 8);
-        println!("  gather    {:>9.1} us  (analytic mirror)", gather.latency_us);
-        println!("  reduce    {:>9.1} us  (gamma = 0.5 us/pkt)", reduce.latency_us);
+        println!(
+            "  bcast     {:>9.1} us  ({} blocked sends)",
+            bcast.latency_us, bcast.blocked_sends
+        );
+        println!(
+            "  scatter   {:>9.1} us  ({} B per rank)",
+            scatter.latency_us,
+            bytes / 8
+        );
+        println!(
+            "  gather    {:>9.1} us  (analytic mirror)",
+            gather.latency_us
+        );
+        println!(
+            "  reduce    {:>9.1} us  (gamma = 0.5 us/pkt)",
+            reduce.latency_us
+        );
         println!("  allgather {:>9.1} us", allgather.latency_us);
     }
     let barrier = comm.barrier();
-    println!("\nbarrier     {:>9.1} us  ({} dissemination rounds)", barrier.latency_us, barrier.steps);
+    println!(
+        "\nbarrier     {:>9.1} us  ({} dissemination rounds)",
+        barrier.latency_us, barrier.steps
+    );
 }

@@ -9,9 +9,7 @@
 
 use optimcast::netsim::{run_workload, MulticastJob, WorkloadConfig};
 use optimcast::prelude::*;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use optimcast_rng::{ChaCha8Rng, SliceRandom};
 
 fn main() {
     let jobs: usize = std::env::args()
@@ -45,7 +43,10 @@ fn main() {
         "{jobs} concurrent multicasts, {} dests each, {m} packets, shared 64-host network\n",
         dests
     );
-    for (name, k) in [("optimal k-binomial", None), ("binomial baseline ", Some(5))] {
+    for (name, k) in [
+        ("optimal k-binomial", None),
+        ("binomial baseline ", Some(5)),
+    ] {
         let mut rng = rng.clone();
         let job_list = make_jobs(&mut rng, k);
         // Solo reference: each job run alone.
@@ -58,14 +59,14 @@ fn main() {
                     &params,
                     WorkloadConfig::default(),
                 )
+                .unwrap()
                 .jobs[0]
                     .latency_us
             })
             .collect();
-        let wl = run_workload(&net, &job_list, &params, WorkloadConfig::default());
+        let wl = run_workload(&net, &job_list, &params, WorkloadConfig::default()).unwrap();
         let avg_solo = solo.iter().sum::<f64>() / solo.len() as f64;
-        let avg_conc =
-            wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / wl.jobs.len() as f64;
+        let avg_conc = wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / wl.jobs.len() as f64;
         println!(
             "{name}: solo avg {avg_solo:8.2} us -> concurrent avg {avg_conc:8.2} us \
              (x{:.2} slowdown), makespan {:.2} us, {:.1} us total stall",

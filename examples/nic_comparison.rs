@@ -25,8 +25,14 @@ fn main() {
 
     let configs = [
         ("conventional NI", NicKind::Conventional),
-        ("smart NI, FCFS ", NicKind::Smart(ForwardingDiscipline::Fcfs)),
-        ("smart NI, FPFS ", NicKind::Smart(ForwardingDiscipline::Fpfs)),
+        (
+            "smart NI, FCFS ",
+            NicKind::Smart(ForwardingDiscipline::Fcfs),
+        ),
+        (
+            "smart NI, FPFS ",
+            NicKind::Smart(ForwardingDiscipline::Fpfs),
+        ),
     ];
     println!(
         "{:>18} {:>12} {:>28}",
@@ -43,7 +49,8 @@ fn main() {
                 nic,
                 ..RunConfig::default()
             },
-        );
+        )
+        .unwrap();
         // Intermediate nodes only: the source NI legitimately stages the
         // whole message; the §3.3.2 comparison is about forwarding buffers.
         let max_buf = out.max_ni_buffer[1..].iter().copied().max().unwrap_or(0);

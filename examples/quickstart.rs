@@ -30,7 +30,11 @@ fn main() {
         "message : {message_bytes} B = {m} packets of {} B",
         params.packet_bytes
     );
-    println!("set     : {} participants (1 source + {} dests)\n", n, n - 1);
+    println!(
+        "set     : {} participants (1 source + {} dests)\n",
+        n,
+        n - 1
+    );
 
     // Theorem 3: the optimal child cap for (n, m).
     let opt = optimal_k(u64::from(n), m);
@@ -46,7 +50,7 @@ fn main() {
     ] {
         let sched = fpfs_schedule(&tree, m);
         let analytic = smart_latency_us(&sched, &params);
-        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default());
+        let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default()).unwrap();
         println!(
             "{name}: simulated {:7.2} us  (analytic contention-free {:7.2} us, \
              {} steps, {} blocked sends)",

@@ -11,10 +11,9 @@ use optimcast_core::schedule::Schedule;
 use optimcast_topology::contention::share_channel;
 use optimcast_topology::graph::HostId;
 use optimcast_topology::Network;
-use serde::{Deserialize, Serialize};
 
 /// Per-step and aggregate conflict counts for a schedule embedding.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConflictReport {
     /// Conflicting transmission pairs per step (index 0 = step 1).
     pub per_step: Vec<u64>,

@@ -10,12 +10,22 @@
 //! ```
 
 use optimcast::experiments::{self, EvalConfig, Figure};
+use optimcast::jsonout::ToJson;
 use std::io::Write as _;
 use std::time::Instant;
 
 const FIG_NAMES: [&str; 11] = [
-    "fig4", "fig5", "fig8", "buffers", "fig12a", "fig12b", "fig13a", "fig13b", "fig14a",
-    "fig14b", "disciplines",
+    "fig4",
+    "fig5",
+    "fig8",
+    "buffers",
+    "fig12a",
+    "fig12b",
+    "fig13a",
+    "fig13b",
+    "fig14a",
+    "fig14b",
+    "disciplines",
 ];
 
 fn main() {
@@ -105,7 +115,7 @@ fn write_gnuplot(dir: &str, fig: &Figure) {
     let mut xs: Vec<f64> = Vec::new();
     for s in &fig.series {
         for &(x, _) in &s.points {
-            if !xs.iter().any(|&v| v == x) {
+            if !xs.contains(&x) {
                 xs.push(x);
             }
         }
@@ -203,7 +213,7 @@ fn write_json(dir: &str, fig: &Figure) {
     let path = format!("{dir}/{}.json", fig.id);
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            let body = serde_json::to_string_pretty(fig).expect("figure serializes");
+            let body = fig.to_json().to_string_pretty();
             if let Err(e) = f.write_all(body.as_bytes()) {
                 eprintln!("cannot write {path}: {e}");
             } else {

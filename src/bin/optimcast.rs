@@ -7,11 +7,14 @@
 //! optimcast optimal  --n N --m M            # Theorem-3 optimal k
 //! optimcast table    --max-n N --max-m M    # the §4.3.1 lookup table
 //! optimcast simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]
-//!                    [--ordering cco|poc|random] [--ideal]
+//!                    [--ordering cco|poc|random] [--ideal] [--trace] [--json]
 //! ```
 
 use optimcast::core::schedule::ForwardingDiscipline;
-use optimcast::netsim::{run_workload, JobPayload, MulticastJob, TraceKind, WorkloadConfig};
+use optimcast::jsonout::Json;
+use optimcast::netsim::{
+    run_workload, JobPayload, MulticastJob, TraceKind, WorkloadConfig, WorkloadOutcome,
+};
 use optimcast::prelude::*;
 use optimcast::topology::ordering::{cco, poc};
 use std::collections::HashMap;
@@ -50,7 +53,7 @@ fn usage() {
          \u{20}  optimal  --n N --m M\n\
          \u{20}  table    [--max-n N] [--max-m M]\n\
          \u{20}  simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]\n\
-         \u{20}           [--ordering cco|poc|random] [--ideal] [--trace]"
+         \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]"
     );
 }
 
@@ -102,7 +105,11 @@ fn cmd_topo(flags: &HashMap<String, String>) {
         return;
     }
     println!("{}", net.describe());
-    println!("links: {} ({} switch-switch)", t.num_links(), t.link_pairs().len());
+    println!(
+        "links: {} ({} switch-switch)",
+        t.num_links(),
+        t.link_pairs().len()
+    );
     println!("up*/down* root: {}", net.routing().root());
     for s in 0..t.num_switches() {
         let sid = SwitchId(s);
@@ -144,7 +151,10 @@ fn cmd_tree(flags: &HashMap<String, String>) {
         None => {
             let m: u32 = get(flags, "m", 1);
             let opt = optimal_k(u64::from(n), m);
-            println!("optimal k for n={n}, m={m}: {} ({} steps)", opt.k, opt.steps);
+            println!(
+                "optimal k for n={n}, m={m}: {} ({} steps)",
+                opt.k, opt.steps
+            );
             opt.k
         }
     };
@@ -184,7 +194,10 @@ fn cmd_table(flags: &HashMap<String, String>) {
     let max_n: u64 = get(flags, "max-n", 64);
     let max_m: u32 = get(flags, "max-m", 16);
     let table = OptimalKTable::build(max_n, max_m);
-    println!("optimal-k table, n in 2..={max_n} (rows), m in 1..={max_m} (cols), {} bytes:", table.memory_bytes());
+    println!(
+        "optimal-k table, n in 2..={max_n} (rows), m in 1..={max_m} (cols), {} bytes:",
+        table.memory_bytes()
+    );
     print!("{:>5}", "n\\m");
     for m in 1..=max_m {
         print!("{m:>3}");
@@ -203,6 +216,19 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
     let net = build_net(flags);
     let dests: u32 = get(flags, "dests", 31);
     let m: u32 = get(flags, "m", 8);
+    let n_hosts = net.num_hosts();
+    if dests >= n_hosts {
+        eprintln!(
+            "simulate: --dests {dests} requires at least {} hosts, but the network has {n_hosts} \
+             (raise --hosts/--switches)",
+            dests + 1
+        );
+        std::process::exit(1);
+    }
+    if m == 0 {
+        eprintln!("simulate: --m must be at least 1 packet");
+        std::process::exit(1);
+    }
     let ordering = match flags.get("ordering").map(String::as_str) {
         None | Some("cco") => cco(&net),
         Some("poc") => poc(&net),
@@ -248,8 +274,20 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
             timing: NiTiming::Handshake,
             trace: flags.contains_key("trace"),
         },
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("simulate: {e}");
+        std::process::exit(1);
+    });
     let out = &wl.jobs[0];
+    let c = &wl.counters;
+    if flags.contains_key("json") {
+        print!(
+            "{}",
+            simulate_json(&wl, opt.k, opt.steps).to_string_pretty()
+        );
+        return;
+    }
     println!("{}", net.describe());
     println!(
         "multicast: {dests} dests, {m} packets, optimal k = {} -> {} predicted steps",
@@ -263,11 +301,38 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
         out.channel_wait_us,
         out.max_ni_buffer[1..].iter().max().copied().unwrap_or(0)
     );
+    println!(
+        "counters: {} forwarded | {} recv-unit waits ({:.1} us) | send queue depth <= {} | {} events",
+        c.packets_forwarded,
+        c.recv_unit_waits,
+        c.recv_unit_wait_us,
+        c.max_send_queue,
+        c.events
+    );
+    let histo: Vec<String> = c
+        .buffer_occupancy
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &n)| n > 0)
+        .map(|(depth, n)| format!("{depth}:{n}"))
+        .collect();
+    if !histo.is_empty() {
+        println!(
+            "buffer occupancy (pkts:times grown to): {}",
+            histo.join(" ")
+        );
+    }
     if flags.contains_key("trace") {
         println!("timeline ({} records):", wl.trace.len());
         for r in &wl.trace {
             match r.kind {
-                TraceKind::SendStart { from, to, packet, stalled_us } => {
+                TraceKind::SendStart {
+                    from,
+                    to,
+                    packet,
+                    stalled_us,
+                } => {
                     print!("  {:9.2} us  send  {from} -> {to}  pkt {packet}", r.t_us);
                     if stalled_us > 0.0 {
                         print!("  (stalled {stalled_us:.1} us)");
@@ -283,4 +348,40 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
             }
         }
     }
+}
+
+/// The `simulate --json` document: headline metrics plus the structured
+/// counters, machine-readable for scripting around the CLI.
+fn simulate_json(wl: &WorkloadOutcome, k: u32, steps: u64) -> Json {
+    let out = &wl.jobs[0];
+    let c = &wl.counters;
+    Json::obj(vec![
+        ("optimal_k", Json::from(u64::from(k))),
+        ("predicted_steps", Json::from(steps)),
+        ("latency_us", Json::from(out.latency_us)),
+        ("makespan_us", Json::from(wl.makespan_us)),
+        (
+            "counters",
+            Json::obj(vec![
+                ("total_sends", Json::from(c.total_sends)),
+                ("blocked_sends", Json::from(c.blocked_sends)),
+                ("packets_forwarded", Json::from(c.packets_forwarded)),
+                ("channel_stall_us", Json::from(c.channel_stall_us)),
+                ("recv_unit_waits", Json::from(c.recv_unit_waits)),
+                ("recv_unit_wait_us", Json::from(c.recv_unit_wait_us)),
+                ("max_send_queue", Json::from(c.max_send_queue as u64)),
+                (
+                    "buffer_occupancy",
+                    Json::Arr(c.buffer_occupancy.iter().map(|&n| Json::from(n)).collect()),
+                ),
+                ("events", Json::from(c.events)),
+            ]),
+        ),
+        (
+            "max_ni_buffer",
+            Json::from(u64::from(
+                out.max_ni_buffer[1..].iter().max().copied().unwrap_or(0),
+            )),
+        ),
+    ])
 }

@@ -23,8 +23,8 @@ use crate::topology::irregular::{IrregularConfig, IrregularNetwork};
 use crate::topology::ordering::{cco, Ordering};
 use crate::topology::Network;
 use optimcast_collectives::{
-    allgather_latency_us, barrier_us, gather_schedule, reduce_latency_us, scatter,
-    AllgatherAlgo, OrderPolicy,
+    allgather_latency_us, barrier_us, gather_schedule, reduce_latency_us, scatter, AllgatherAlgo,
+    OrderPolicy,
 };
 use optimcast_core::builders::kbinomial_tree;
 use optimcast_core::optimal::optimal_k;
@@ -123,6 +123,7 @@ impl<N: Network> Communicator<N> {
         let n = chain.len() as u32;
         let tree = kbinomial_tree(n, optimal_k(u64::from(n), m).k);
         run_multicast(&self.net, &tree, &chain, m, &self.params, self.config)
+            .expect("arranged chains form valid bindings")
     }
 
     /// Simulated scatter: `root` sends each other host its own
@@ -162,9 +163,7 @@ impl<N: Network> Communicator<N> {
         let sched = gather_schedule(&tree, m, OrderPolicy::DeepestFirst);
         let steps = sched.total_steps();
         AnalyticOutcome {
-            latency_us: self.params.t_s
-                + f64::from(steps) * self.params.t_step()
-                + self.params.t_r,
+            latency_us: self.params.t_s + f64::from(steps) * self.params.t_step() + self.params.t_r,
             steps,
         }
     }

@@ -20,16 +20,13 @@ use optimcast_core::params::SystemParams;
 use optimcast_core::schedule::fpfs_schedule;
 use optimcast_core::tree::MulticastTree;
 use optimcast_netsim::{run_multicast, RunConfig};
+use optimcast_rng::{ChaCha8Rng, SliceRandom};
 use optimcast_topology::graph::HostId;
 use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
 use optimcast_topology::ordering::{cco, Ordering};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// Evaluation methodology parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalConfig {
     /// System timing/sizing parameters.
     pub params: SystemParams,
@@ -85,7 +82,7 @@ impl EvalConfig {
 }
 
 /// Which multicast tree a run uses (the paper's comparison axes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TreePolicy {
     /// Chain tree (`k = 1`).
     Linear,
@@ -103,9 +100,7 @@ impl TreePolicy {
         match self {
             TreePolicy::Linear => linear_tree(n),
             TreePolicy::Binomial => binomial_tree(n),
-            TreePolicy::OptimalKBinomial => {
-                kbinomial_tree(n, optimal_k(u64::from(n), m).k)
-            }
+            TreePolicy::OptimalKBinomial => kbinomial_tree(n, optimal_k(u64::from(n), m).k),
             TreePolicy::FixedK(k) => kbinomial_tree(n, k),
         }
     }
@@ -122,7 +117,7 @@ impl TreePolicy {
 }
 
 /// One labelled data series of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label (e.g. "47 dest kbin").
     pub label: String,
@@ -131,7 +126,7 @@ pub struct Series {
 }
 
 /// A reproduced figure: labelled series plus axis metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Paper artifact id, e.g. "fig14a".
     pub id: String,
@@ -207,7 +202,8 @@ pub fn avg_latency(
         for s in 0..cfg.dest_sets {
             let chain = sample_chain(&net, &ordering, cfg.set_seed(t, s), dests);
             let tree = policy.tree(chain.len() as u32, m);
-            let out = run_multicast(&net, &tree, &chain, m, &cfg.params, run);
+            let out = run_multicast(&net, &tree, &chain, m, &cfg.params, run)
+                .expect("sampled chains form valid bindings");
             sum += out.latency_us;
         }
         sum / f64::from(cfg.dest_sets)
@@ -218,16 +214,17 @@ pub fn avg_latency(
 /// Maps `f` over `0..n` on scoped threads (one per index), preserving order.
 fn parallel_map<T: Send>(n: u32, f: impl Fn(u32) -> T + Sync) -> Vec<T> {
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in out.iter_mut().enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(t as u32));
             });
         }
-    })
-    .expect("experiment worker panicked");
-    out.into_iter().map(|s| s.expect("worker filled slot")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
 }
 
 /// The destination counts the paper sweeps in Figs. 12(a)/13(a).
@@ -522,14 +519,20 @@ pub fn fig_disciplines(n: u32) -> Figure {
         x_label: "Number of packets (m)".into(),
         y_label: "steps at optimal k".into(),
         series: vec![
-            Series { label: "FPFS".into(), points: fpfs },
-            Series { label: "FCFS".into(), points: fcfs },
+            Series {
+                label: "FPFS".into(),
+                points: fpfs,
+            },
+            Series {
+                label: "FCFS".into(),
+                points: fcfs,
+            },
         ],
     }
 }
 
 /// Summary statistics of a latency sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Mean latency (µs).
     pub mean: f64,
@@ -559,7 +562,9 @@ pub fn latency_stats(
             .map(|s| {
                 let chain = sample_chain(&net, &ordering, cfg.set_seed(t, s), dests);
                 let tree = policy.tree(chain.len() as u32, m);
-                run_multicast(&net, &tree, &chain, m, &cfg.params, run).latency_us
+                run_multicast(&net, &tree, &chain, m, &cfg.params, run)
+                    .expect("sampled chains form valid bindings")
+                    .latency_us
             })
             .collect()
     });

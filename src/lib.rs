@@ -41,7 +41,7 @@
 //! let opt = optimal_k(chain.len() as u64, m);
 //! let tree = kbinomial_tree(chain.len() as u32, opt.k);
 //!
-//! let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default());
+//! let out = run_multicast(&net, &tree, &chain, m, &params, RunConfig::default()).unwrap();
 //! assert!(out.latency_us > 0.0);
 //! ```
 
@@ -53,6 +53,7 @@ pub use optimcast_topology as topology;
 pub mod analysis;
 pub mod comm;
 pub mod experiments;
+pub mod jsonout;
 
 /// One-stop imports for applications.
 pub mod prelude {

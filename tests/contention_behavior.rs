@@ -23,7 +23,8 @@ fn hypercube_single_packet_contention_free() {
         let chain: Vec<HostId> = (0..n).map(HostId).collect();
         for k in 1..=dims {
             let tree = kbinomial_tree(n, k);
-            let out = run_multicast(&net, &tree, &chain, 1, &params(), RunConfig::default());
+            let out =
+                run_multicast(&net, &tree, &chain, 1, &params(), RunConfig::default()).unwrap();
             assert_eq!(out.blocked_sends, 0, "dims={dims} k={k}");
             let analytic = smart_latency_us(&fpfs_schedule(&tree, 1), &params());
             assert!((out.latency_us - analytic).abs() < 1e-6);
@@ -46,10 +47,13 @@ fn pipelining_induces_bounded_nested_contention() {
     let chain: Vec<HostId> = (0..64).map(HostId).collect();
     let m = 16;
     let tree = kbinomial_tree(64, 2);
-    let out = run_multicast(&net, &tree, &chain, m, &params(), RunConfig::default());
+    let out = run_multicast(&net, &tree, &chain, m, &params(), RunConfig::default()).unwrap();
     let analytic = smart_latency_us(&fpfs_schedule(&tree, m), &params());
     // Overhead exists (nested conflicts are real)...
-    assert!(out.blocked_sends > 0, "expected some nested-pipeline blocking");
+    assert!(
+        out.blocked_sends > 0,
+        "expected some nested-pipeline blocking"
+    );
     // ...but stays within a few percent of the contention-free prediction.
     assert!(
         out.latency_us <= analytic * 1.10,
@@ -70,11 +74,13 @@ fn cco_contends_less_than_random_ordering_end_to_end() {
         let tree = binomial_tree(64);
         let c = ordering::cco(&net);
         let chain_c = c.arrange(HostId(0), &(1..64).map(HostId).collect::<Vec<_>>());
-        let out_c = run_multicast(&net, &tree, &chain_c, m, &params(), RunConfig::default());
+        let out_c =
+            run_multicast(&net, &tree, &chain_c, m, &params(), RunConfig::default()).unwrap();
         cco_wait += out_c.channel_wait_us;
         let r = Ordering::random(64, seed + 4242);
         let chain_r = r.arrange(HostId(0), &(1..64).map(HostId).collect::<Vec<_>>());
-        let out_r = run_multicast(&net, &tree, &chain_r, m, &params(), RunConfig::default());
+        let out_r =
+            run_multicast(&net, &tree, &chain_r, m, &params(), RunConfig::default()).unwrap();
         rnd_wait += out_r.channel_wait_us;
     }
     assert!(
@@ -106,7 +112,8 @@ fn both_disciplines_respect_floors_under_contention() {
                 nic: NicKind::Smart(disc),
                 ..RunConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             out.latency_us >= floor - 1e-6,
             "{disc:?}: {} < floor {floor}",
@@ -126,11 +133,15 @@ fn static_analysis_predicts_dynamic_blocking_single_packet() {
         let tree = binomial_tree(chain.len() as u32);
         let sched = fpfs_schedule(&tree, 1);
         let report = schedule_conflicts(&net, &sched, &chain);
-        let out = run_multicast(&net, &tree, &chain, 1, &params(), RunConfig::default());
+        let out = run_multicast(&net, &tree, &chain, 1, &params(), RunConfig::default()).unwrap();
         if report.is_contention_free() {
             assert_eq!(out.blocked_sends, 0, "seed {seed}");
         } else {
-            assert!(out.blocked_sends > 0, "seed {seed}: static found {}", report.total);
+            assert!(
+                out.blocked_sends > 0,
+                "seed {seed}: static found {}",
+                report.total
+            );
         }
     }
 }

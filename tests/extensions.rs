@@ -22,11 +22,12 @@ fn mesh_snake_single_packet_contention_free() {
     for (arity, dims) in [(4u32, 2u32), (8, 2), (4, 3)] {
         let net = MeshNetwork::new(arity, dims);
         let n = net.num_hosts();
-        let chain = snake_ordering(&net)
-            .arrange(HostId(0), &(1..n).map(HostId).collect::<Vec<_>>());
+        let chain =
+            snake_ordering(&net).arrange(HostId(0), &(1..n).map(HostId).collect::<Vec<_>>());
         for k in [1u32, 2, 3] {
             let tree = kbinomial_tree(n, k);
-            let out = run_multicast(&net, &tree, &chain, 1, &params(), RunConfig::default());
+            let out =
+                run_multicast(&net, &tree, &chain, 1, &params(), RunConfig::default()).unwrap();
             assert_eq!(out.blocked_sends, 0, "{arity}-ary {dims}-mesh k={k}");
             let analytic = smart_latency_us(&fpfs_schedule(&tree, 1), &params());
             assert!((out.latency_us - analytic).abs() < 1e-6);
@@ -40,8 +41,7 @@ fn mesh_snake_single_packet_contention_free() {
 fn mesh_kbinomial_beats_binomial_for_long_messages() {
     let net = MeshNetwork::new(8, 2); // 64 processors
     let n = net.num_hosts();
-    let chain = snake_ordering(&net)
-        .arrange(HostId(0), &(1..n).map(HostId).collect::<Vec<_>>());
+    let chain = snake_ordering(&net).arrange(HostId(0), &(1..n).map(HostId).collect::<Vec<_>>());
     let m = 16;
     let lat = |k: u32| {
         run_multicast(
@@ -52,6 +52,7 @@ fn mesh_kbinomial_beats_binomial_for_long_messages() {
             &params(),
             RunConfig::default(),
         )
+        .unwrap()
         .latency_us
     };
     let bin = lat(6);
@@ -79,9 +80,11 @@ fn poc_blocking_no_worse_than_cco() {
         let tree = kbinomial_tree(24, 2);
         let chain_p = poc(&net).arrange(HostId(0), &dests);
         poc_wait += run_multicast(&net, &tree, &chain_p, 8, &params(), RunConfig::default())
+            .unwrap()
             .channel_wait_us;
         let chain_c = cco(&net).arrange(HostId(0), &dests);
         cco_wait += run_multicast(&net, &tree, &chain_c, 8, &params(), RunConfig::default())
+            .unwrap()
             .channel_wait_us;
     }
     assert!(
@@ -134,7 +137,8 @@ fn param_model_overlapped_matches_simulator_on_chains() {
                     contention: ContentionMode::Ideal,
                     ..RunConfig::default()
                 },
-            );
+            )
+            .unwrap();
             let expect = ps.latency_us(&p);
             assert!(
                 (out.latency_us - expect).abs() < 1e-6,
@@ -173,6 +177,7 @@ fn overlapped_recommendation_wins_under_overlapped_timing() {
                 ..RunConfig::default()
             },
         )
+        .unwrap()
         .latency_us
     };
     for m in [4u32, 8, 16] {
@@ -215,7 +220,8 @@ fn scatter_pipeline_cross_validates() {
             timing: NiTiming::Handshake,
             trace: false,
         },
-    );
+    )
+    .unwrap();
     let expect = p.t_s + f64::from(sched.total_steps()) * p.t_step() + p.t_r;
     assert!((out.jobs[0].latency_us - expect).abs() < 1e-6);
 }
@@ -231,11 +237,8 @@ fn workload_interference_monotone() {
         (0..count)
             .map(|i| {
                 let src = HostId((i as u32 * 7) % 64);
-                let dests: Vec<HostId> = (0..64)
-                    .map(HostId)
-                    .filter(|&h| h != src)
-                    .take(31)
-                    .collect();
+                let dests: Vec<HostId> =
+                    (0..64).map(HostId).filter(|&h| h != src).take(31).collect();
                 let chain = ordering.arrange(src, &dests);
                 MulticastJob::fpfs(kbinomial_tree(32, 2), chain, 8)
             })
@@ -243,7 +246,7 @@ fn workload_interference_monotone() {
     };
     let mut prev_avg = 0.0;
     for count in [1usize, 2, 4] {
-        let wl = run_workload(&net, &mk(count), &p, WorkloadConfig::default());
+        let wl = run_workload(&net, &mk(count), &p, WorkloadConfig::default()).unwrap();
         let avg = wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / count as f64;
         assert!(
             avg >= prev_avg - 1e-9,
@@ -281,12 +284,16 @@ fn scales_to_256_hosts() {
             contention: ContentionMode::Ideal,
             ..RunConfig::default()
         },
-    );
+    )
+    .unwrap();
     let analytic = smart_latency_us(&fpfs_schedule(&tree, m), &params());
     assert!((ideal.latency_us - analytic).abs() < 1e-6);
-    let worm = run_multicast(&net, &tree, &chain, m, &params(), RunConfig::default());
+    let worm = run_multicast(&net, &tree, &chain, m, &params(), RunConfig::default()).unwrap();
     assert!(worm.latency_us >= ideal.latency_us - 1e-9);
-    assert!(worm.latency_us < analytic * 3.0, "contention overhead bounded");
+    assert!(
+        worm.latency_us < analytic * 3.0,
+        "contention overhead bounded"
+    );
 }
 
 /// The FCFS per-message counter works with interleaved messages: two FCFS
@@ -309,7 +316,8 @@ fn fcfs_multi_message_counters() {
         &[mk(binding_a), mk(binding_b)],
         &params(),
         WorkloadConfig::default(),
-    );
+    )
+    .unwrap();
     for (i, out) in wl.jobs.iter().enumerate() {
         for r in 1..32 {
             assert!(out.host_done_us[r] > 0.0, "job {i} rank {r} incomplete");
@@ -335,7 +343,7 @@ fn engine_throughput_sanity() {
     let chain = ordering.arrange(HostId(0), &dests);
     let tree = kbinomial_tree(256, 2);
     let start = std::time::Instant::now();
-    let out = run_multicast(&net, &tree, &chain, 32, &params(), RunConfig::default());
+    let out = run_multicast(&net, &tree, &chain, 32, &params(), RunConfig::default()).unwrap();
     let wall = start.elapsed();
     assert!(out.events > 0);
     assert!(

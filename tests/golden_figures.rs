@@ -3,9 +3,7 @@
 //! change legitimately moves them, update these values alongside
 //! EXPERIMENTS.md.)
 
-use optimcast::experiments::{
-    avg_latency, fig12a, fig12b, fig5, fig8, EvalConfig, TreePolicy,
-};
+use optimcast::experiments::{avg_latency, fig12a, fig12b, fig5, fig8, EvalConfig, TreePolicy};
 use optimcast::prelude::*;
 
 /// Analytic figures are parameter-exact.

@@ -36,7 +36,13 @@ fn improvement_grows_with_packet_count() {
     let c = cfg();
     let ratio = |m: u32| {
         avg_latency(&c, TreePolicy::Binomial, 47, m, RunConfig::default())
-            / avg_latency(&c, TreePolicy::OptimalKBinomial, 47, m, RunConfig::default())
+            / avg_latency(
+                &c,
+                TreePolicy::OptimalKBinomial,
+                47,
+                m,
+                RunConfig::default(),
+            )
     };
     let r2 = ratio(2);
     let r8 = ratio(8);
@@ -74,7 +80,13 @@ fn latency_grows_linearly_once_k_converges() {
     let c = cfg();
     // For 63 dests the optimal k is 2 from m = 4 onwards (Fig. 12). The
     // marginal per-packet latency is then constant: 2 steps = 10 us.
-    let l8 = avg_latency(&c, TreePolicy::OptimalKBinomial, 63, 8, RunConfig::default());
+    let l8 = avg_latency(
+        &c,
+        TreePolicy::OptimalKBinomial,
+        63,
+        8,
+        RunConfig::default(),
+    );
     let l16 = avg_latency(
         &c,
         TreePolicy::OptimalKBinomial,
@@ -135,7 +147,10 @@ fn fig12a_crossover_order() {
     if let Some(c31) = first_k1("31 dest") {
         assert!(c15 < c31);
     }
-    assert!(first_k1("63 dest").is_none(), "63 dest stays above k=1 to m=32");
+    assert!(
+        first_k1("63 dest").is_none(),
+        "63 dest stays above k=1 to m=32"
+    );
 }
 
 /// Fig. 12(b): for m = 1 the curve is the ceiling log; for m = 4, 8 it

@@ -163,7 +163,7 @@ proptest! {
                 contention: ContentionMode::Ideal,
                 timing: NiTiming::Handshake,
             },
-        );
+        ).unwrap();
         let analytic = smart_latency_us(&fpfs_schedule(&tree, m), &SystemParams::paper_1997());
         prop_assert!((out.latency_us - analytic).abs() < 1e-6);
     }

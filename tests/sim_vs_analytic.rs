@@ -40,7 +40,8 @@ fn fpfs_sim_equals_schedule_on_irregular_networks() {
                     m,
                     &params(),
                     ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
-                );
+                )
+                .unwrap();
                 let analytic = smart_latency_us(&sched, &params());
                 assert!(
                     (out.latency_us - analytic).abs() < 1e-6,
@@ -75,7 +76,8 @@ fn fcfs_sim_equals_schedule_on_irregular_networks() {
                 m,
                 &params(),
                 ideal(NicKind::Smart(ForwardingDiscipline::Fcfs)),
-            );
+            )
+            .unwrap();
             assert!(
                 (out.latency_us - smart_latency_us(&sched, &params())).abs() < 1e-6,
                 "n={n} m={m}"
@@ -97,7 +99,8 @@ fn conventional_sim_equals_closed_form() {
                     m,
                     &params(),
                     ideal(NicKind::Conventional),
-                );
+                )
+                .unwrap();
                 let analytic = conventional_latency_us(&tree, m, &params());
                 assert!(
                     (out.latency_us - analytic).abs() < 1e-6,
@@ -124,6 +127,7 @@ fn theorem2_visible_in_simulation() {
                 &params(),
                 ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
             )
+            .unwrap()
             .latency_us
         };
         let slope = lat(7) - lat(6);
@@ -148,8 +152,10 @@ fn wormhole_contention_only_adds_latency() {
                 m,
                 &params(),
                 ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
-            );
-            let worm = run_multicast(&net, &tree, &chain, m, &params(), RunConfig::default());
+            )
+            .unwrap();
+            let worm =
+                run_multicast(&net, &tree, &chain, m, &params(), RunConfig::default()).unwrap();
             assert!(
                 worm.latency_us >= ideal_out.latency_us - 1e-9,
                 "seed {seed} m={m}"
@@ -179,7 +185,8 @@ fn overlapped_timing_bounds() {
             m,
             &params(),
             ideal(NicKind::Smart(ForwardingDiscipline::Fpfs)),
-        );
+        )
+        .unwrap();
         let ov = run_multicast(
             &net,
             &tree,
@@ -191,10 +198,12 @@ fn overlapped_timing_bounds() {
                 contention: ContentionMode::Ideal,
                 nic: NicKind::Smart(ForwardingDiscipline::Fpfs),
             },
-        );
+        )
+        .unwrap();
         assert!(ov.latency_us <= hs.latency_us + 1e-9, "m={m}");
         // Still bounded below by the critical path with t_send-spaced sends.
-        let floor = params().t_s + params().t_r
+        let floor = params().t_s
+            + params().t_r
             + f64::from(fpfs_schedule(&tree, m).total_steps()) * params().t_send;
         assert!(ov.latency_us >= floor - 1e-9, "m={m}");
     }

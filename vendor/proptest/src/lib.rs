@@ -1,0 +1,227 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored crate reimplements exactly the subset of proptest's API the
+//! workspace uses — the [`proptest!`] test macro, `prop_assert!` /
+//! `prop_assert_eq!`, integer-range strategies, and `proptest::bool::ANY` —
+//! on top of the workspace's own deterministic [`optimcast_rng`] generator.
+//!
+//! Semantics: each `proptest!` test runs [`CASES`] deterministic cases drawn
+//! from a seed derived from the test's module path and name. A failing case
+//! panics with the drawn inputs (no shrinking — cases are small enough here
+//! that raw inputs are directly debuggable). If the real proptest becomes
+//! installable, deleting this crate and restoring the crates.io dependency
+//! is a drop-in swap.
+
+use optimcast_rng::{ChaCha8Rng, Rng};
+
+/// Number of random cases each property runs.
+pub const CASES: u32 = 96;
+
+/// The RNG handed to strategies, seeded per test.
+pub struct TestRunnerRng(ChaCha8Rng);
+
+impl TestRunnerRng {
+    /// Deterministic per-test RNG: the seed is an FNV-1a hash of the test's
+    /// fully qualified name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunnerRng(ChaCha8Rng::seed_from_u64(h))
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.0.bounded_u64(bound)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRunnerRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRunnerRng) -> $t {
+                let lo = self.start as u64;
+                let hi = self.end as u64;
+                assert!(lo < hi, "empty strategy range");
+                (lo + rng.below(hi - lo)) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRunnerRng) -> $t {
+                let lo = *self.start() as u64;
+                let hi = *self.end() as u64;
+                assert!(lo <= hi, "empty strategy range");
+                (lo + rng.below(hi - lo + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRunnerRng};
+
+    /// Uniform `true` / `false`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn sample(&self, rng: &mut TestRunnerRng) -> ::core::primitive::bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strategy, ..) { body } }`.
+///
+/// Each listed function becomes a `#[test]` running [`CASES`](crate::CASES)
+/// deterministic cases. `prop_assert*` failures abort the case with the
+/// drawn inputs in the panic message.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRunnerRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        let inputs: ::std::vec::Vec<::std::string::String> = ::std::vec![
+                            $(::std::format!("{} = {:?}", stringify!($arg), $arg)),+
+                        ];
+                        ::std::panic!(
+                            "property failed at case {}/{}: {}\n  inputs: {}",
+                            case + 1,
+                            $crate::CASES,
+                            msg,
+                            inputs.join(", ")
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", args..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a), stringify!($b), lhs, rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "{} ({:?} vs {:?})", ::std::format!($($fmt)+), lhs, rhs
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a), stringify!($b), lhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::std::result::Result::Err(::std::format!(
+                "{} (both {:?})", ::std::format!($($fmt)+), lhs
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// The harness draws in-range values and runs every case.
+        #[test]
+        fn ranges_respected(a in 3u32..10, b in 0u64..=4, flip in crate::bool::ANY) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!(u8::from(flip) <= 1);
+        }
+    }
+
+    proptest! {
+        /// prop_assert_eq compares by value.
+        #[test]
+        fn eq_macros(x in 1usize..50) {
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn always_fails(v in 0u32..4) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}
