@@ -6,11 +6,11 @@
 mod common;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use optimcast::experiments::{avg_latency, sample_instance, EvalConfig, TreePolicy};
 use optimcast::prelude::*;
+use optimcast::sweep::sample_instance;
 
 fn bench_single_runs(c: &mut Criterion) {
-    let cfg = EvalConfig::paper();
+    let cfg = SweepBuilder::paper().config().unwrap();
     let mut g = c.benchmark_group("fig13/single_run");
     for (dests, m) in [(15u32, 1u32), (15, 32), (63, 8), (63, 32)] {
         let inst = sample_instance(&cfg, 0, 0, dests);
@@ -23,7 +23,7 @@ fn bench_single_runs(c: &mut Criterion) {
                     &tree,
                     black_box(&inst.chain),
                     m,
-                    &cfg.params,
+                    cfg.params(),
                     RunConfig::default(),
                 )
                 .unwrap()
@@ -34,21 +34,18 @@ fn bench_single_runs(c: &mut Criterion) {
 }
 
 fn bench_averaged_point(c: &mut Criterion) {
-    let cfg = EvalConfig {
-        topologies: 2,
-        dest_sets: 3,
-        ..EvalConfig::paper()
-    };
+    let sweep = SweepBuilder::quick().build().unwrap();
     c.benchmark_group("fig13/averaged_point")
         .bench_function("dests47_m8_2x3", |b| {
             b.iter(|| {
-                avg_latency(
-                    &cfg,
-                    TreePolicy::OptimalKBinomial,
-                    black_box(47),
-                    black_box(8),
-                    RunConfig::default(),
-                )
+                sweep
+                    .avg_latency(
+                        TreePolicy::OptimalKBinomial,
+                        black_box(47),
+                        black_box(8),
+                        RunConfig::default(),
+                    )
+                    .unwrap()
             })
         });
 }

@@ -6,11 +6,11 @@
 mod common;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use optimcast::experiments::{sample_instance, EvalConfig, TreePolicy};
 use optimcast::prelude::*;
+use optimcast::sweep::sample_instance;
 
 fn bench_bin_vs_kbin(c: &mut Criterion) {
-    let cfg = EvalConfig::paper();
+    let cfg = SweepBuilder::paper().config().unwrap();
     let mut g = c.benchmark_group("fig14/bin_vs_kbin");
     for (dests, m) in [(15u32, 8u32), (47, 8), (47, 32)] {
         let inst = sample_instance(&cfg, 1, 1, dests);
@@ -24,7 +24,7 @@ fn bench_bin_vs_kbin(c: &mut Criterion) {
                         &tree,
                         black_box(&inst.chain),
                         m,
-                        &cfg.params,
+                        cfg.params(),
                         RunConfig::default(),
                     )
                     .unwrap()
@@ -38,7 +38,7 @@ fn bench_bin_vs_kbin(c: &mut Criterion) {
 /// Prints the modelled latencies as a side effect so bench logs double as a
 /// figure sanity check (who wins, by what factor).
 fn report_modelled_latencies(c: &mut Criterion) {
-    let cfg = EvalConfig::paper();
+    let cfg = SweepBuilder::paper().config().unwrap();
     let inst = sample_instance(&cfg, 1, 1, 47);
     let n = inst.chain.len() as u32;
     for m in [8u32, 32] {
@@ -47,7 +47,7 @@ fn report_modelled_latencies(c: &mut Criterion) {
             &TreePolicy::Binomial.tree(n, m),
             &inst.chain,
             m,
-            &cfg.params,
+            cfg.params(),
             RunConfig::default(),
         )
         .unwrap()
@@ -57,7 +57,7 @@ fn report_modelled_latencies(c: &mut Criterion) {
             &TreePolicy::OptimalKBinomial.tree(n, m),
             &inst.chain,
             m,
-            &cfg.params,
+            cfg.params(),
             RunConfig::default(),
         )
         .unwrap()

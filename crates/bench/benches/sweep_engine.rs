@@ -1,0 +1,50 @@
+//! Sweep-engine microbenchmarks: memoized vs direct construction of the
+//! per-cell inputs, and a full quick-methodology figure grid at one and two
+//! workers (on a multi-core host the second shows the parallel speedup; on
+//! any host both produce bit-identical figures).
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::prelude::*;
+use optimcast::sweep::PointSpec;
+
+fn bench_memoized_lookups(c: &mut Criterion) {
+    let sweep = SweepBuilder::quick().build().unwrap();
+    // Warm the caches once; the bench then measures pure lookup cost.
+    let _ = sweep.topology(0);
+    let _ = sweep.tree(TreePolicy::OptimalKBinomial, 48, 8);
+    let mut g = c.benchmark_group("sweep/memo");
+    g.bench_function("topology_hit", |b| b.iter(|| sweep.topology(black_box(0))));
+    g.bench_function("tree_hit", |b| {
+        b.iter(|| sweep.tree(TreePolicy::OptimalKBinomial, black_box(48), black_box(8)))
+    });
+    g.bench_function("tree_build_direct", |b| {
+        b.iter(|| TreePolicy::OptimalKBinomial.tree(black_box(48), black_box(8)))
+    });
+    g.finish();
+}
+
+fn bench_grid_by_workers(c: &mut Criterion) {
+    let specs: Vec<PointSpec> = [1u32, 8, 32]
+        .into_iter()
+        .map(|m| PointSpec::new(TreePolicy::OptimalKBinomial, 47, m))
+        .collect();
+    let mut g = c.benchmark_group("sweep/grid_quick_3pts");
+    for workers in [1usize, 2] {
+        g.bench_function(format!("workers{workers}"), |b| {
+            b.iter(|| {
+                let sweep = SweepBuilder::quick().parallelism(workers).build().unwrap();
+                sweep.grid(black_box(&specs)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_memoized_lookups, bench_grid_by_workers
+}
+criterion_main!(benches);

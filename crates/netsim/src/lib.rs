@@ -43,7 +43,10 @@ pub mod workload;
 
 pub use error::SimError;
 pub use observe::{Observer, SimCounters};
-pub use sim::{run_multicast, ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig};
+pub use sim::{
+    run_multicast, run_multicast_shared, ContentionMode, MulticastOutcome, NiTiming, NicKind,
+    RunConfig,
+};
 pub use time::SimTime;
 pub use workload::{
     run_workload, run_workload_observed, JobPayload, MulticastJob, PersonalizedOrder, TraceKind,

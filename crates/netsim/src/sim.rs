@@ -130,8 +130,34 @@ pub fn run_multicast<N: Network>(
     params: &SystemParams,
     config: RunConfig,
 ) -> Result<MulticastOutcome, SimError> {
+    run_multicast_shared(
+        net,
+        std::sync::Arc::new(tree.clone()),
+        binding,
+        m,
+        params,
+        config,
+    )
+}
+
+/// As [`run_multicast`], but taking the tree by shared ownership so callers
+/// holding a memoized `Arc<MulticastTree>` (e.g. a sweep engine running the
+/// same tree over thousands of sampled chains) avoid deep-cloning the arena
+/// on every run.
+///
+/// # Errors
+///
+/// Same contract as [`run_multicast`].
+pub fn run_multicast_shared<N: Network>(
+    net: &N,
+    tree: std::sync::Arc<MulticastTree>,
+    binding: &[HostId],
+    m: u32,
+    params: &SystemParams,
+    config: RunConfig,
+) -> Result<MulticastOutcome, SimError> {
     let job = MulticastJob {
-        tree: tree.clone(),
+        tree,
         binding: binding.to_vec(),
         packets: m,
         start_us: 0.0,

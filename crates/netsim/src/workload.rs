@@ -28,6 +28,7 @@ use optimcast_core::schedule::ForwardingDiscipline;
 use optimcast_core::tree::{MulticastTree, Rank};
 use optimcast_topology::graph::HostId;
 use optimcast_topology::Network;
+use std::sync::Arc;
 
 /// What the job's packets carry (replication vs personalization).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +60,10 @@ pub enum PersonalizedOrder {
 /// One multicast job within a workload.
 #[derive(Debug, Clone)]
 pub struct MulticastJob {
-    /// The multicast tree over ranks (rank 0 = source).
-    pub tree: MulticastTree,
+    /// The multicast tree over ranks (rank 0 = source), shared by reference
+    /// count so sweep engines can reuse one memoized tree across thousands
+    /// of jobs without deep-cloning the arena.
+    pub tree: Arc<MulticastTree>,
     /// Physical host of each rank. Must be duplicate-free *within* the job;
     /// different jobs may (and usually do) share hosts.
     pub binding: Vec<HostId>,
@@ -75,10 +78,11 @@ pub struct MulticastJob {
 }
 
 impl MulticastJob {
-    /// A smart-FPFS multicast job starting at time zero.
-    pub fn fpfs(tree: MulticastTree, binding: Vec<HostId>, packets: u32) -> Self {
+    /// A smart-FPFS multicast job starting at time zero. Accepts either an
+    /// owned [`MulticastTree`] or a shared `Arc<MulticastTree>`.
+    pub fn fpfs(tree: impl Into<Arc<MulticastTree>>, binding: Vec<HostId>, packets: u32) -> Self {
         MulticastJob {
-            tree,
+            tree: tree.into(),
             binding,
             packets,
             start_us: 0.0,
@@ -89,13 +93,13 @@ impl MulticastJob {
 
     /// A smart-NI scatter job starting at time zero.
     pub fn scatter(
-        tree: MulticastTree,
+        tree: impl Into<Arc<MulticastTree>>,
         binding: Vec<HostId>,
         packets: u32,
         order: PersonalizedOrder,
     ) -> Self {
         MulticastJob {
-            tree,
+            tree: tree.into(),
             binding,
             packets,
             start_us: 0.0,

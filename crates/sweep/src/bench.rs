@@ -1,0 +1,168 @@
+//! The `bench-sweep` measurement: serial vs parallel engine throughput.
+//!
+//! Runs every simulated figure twice — once at one worker, once at the
+//! requested worker count — on fresh engines (cold caches both times, so
+//! the comparison is fair), byte-compares the emitted figure JSON as a
+//! built-in determinism check, and reports cells/sec, wall time, and the
+//! cache hit rate in the shared figure JSON schema (`BENCH_sweep.json`).
+
+use crate::config::SweepBuilder;
+use crate::error::SweepError;
+use crate::figure::{Figure, FigureId, Series};
+use crate::json::{Json, ToJson};
+use crate::memo::CacheStats;
+use std::time::Instant;
+
+/// The outcome of one serial-vs-parallel sweep benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Worker count of the parallel run.
+    pub threads: usize,
+    /// `(point, topology)` cells evaluated per run.
+    pub cells: usize,
+    /// Wall time of the one-worker run (seconds).
+    pub serial_seconds: f64,
+    /// Wall time of the `threads`-worker run (seconds).
+    pub parallel_seconds: f64,
+    /// Cache counters of the parallel run.
+    pub cache: CacheStats,
+    /// Whether the parallel figure JSON was byte-identical to the serial
+    /// output (the engine's core guarantee; `false` is a bug).
+    pub identical: bool,
+    /// Topologies per point of the benchmarked configuration.
+    pub topologies: u32,
+    /// Destination sets per topology of the benchmarked configuration.
+    pub dest_sets: u32,
+}
+
+impl BenchReport {
+    /// Cells per second of the one-worker run.
+    pub fn serial_cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.serial_seconds
+    }
+
+    /// Cells per second of the parallel run.
+    pub fn parallel_cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.parallel_seconds
+    }
+
+    /// Parallel speedup over serial (1.0 = no gain).
+    pub fn speedup(&self) -> f64 {
+        self.serial_seconds / self.parallel_seconds
+    }
+
+    /// Renders the report in the shared JSON schema: a `meta` object with
+    /// the raw measurements plus a [`Figure`]-shaped throughput chart.
+    pub fn to_json(&self) -> Json {
+        let chart = Figure {
+            id: "bench_sweep".into(),
+            title: "Sweep engine throughput, serial vs parallel".into(),
+            x_label: "workers".into(),
+            y_label: "cells/sec".into(),
+            series: vec![Series {
+                label: "throughput".into(),
+                points: vec![
+                    (1.0, self.serial_cells_per_sec()),
+                    (self.threads as f64, self.parallel_cells_per_sec()),
+                ],
+            }],
+        };
+        Json::obj(vec![
+            ("id", Json::from("bench_sweep")),
+            (
+                "meta",
+                Json::obj(vec![
+                    ("threads", Json::from(self.threads)),
+                    ("cells", Json::from(self.cells)),
+                    ("topologies", Json::from(self.topologies)),
+                    ("dest_sets", Json::from(self.dest_sets)),
+                    ("serial_seconds", Json::from(self.serial_seconds)),
+                    ("parallel_seconds", Json::from(self.parallel_seconds)),
+                    (
+                        "serial_cells_per_sec",
+                        Json::from(self.serial_cells_per_sec()),
+                    ),
+                    (
+                        "parallel_cells_per_sec",
+                        Json::from(self.parallel_cells_per_sec()),
+                    ),
+                    ("speedup", Json::from(self.speedup())),
+                    ("cache_hits", Json::from(self.cache.hits)),
+                    ("cache_misses", Json::from(self.cache.misses)),
+                    ("cache_hit_rate", Json::from(self.cache.hit_rate())),
+                    ("identical", Json::from(self.identical)),
+                ]),
+            ),
+            ("figure", chart.to_json()),
+        ])
+    }
+}
+
+/// Runs the benchmark: every simulated figure, serial then at `threads`
+/// workers, from the configuration in `base` (its own parallelism setting
+/// is overridden).
+///
+/// # Errors
+///
+/// [`SweepError`] if the configuration is invalid or a figure cannot be
+/// sampled on its network.
+pub fn bench_sweep(base: &SweepBuilder, threads: usize) -> Result<BenchReport, SweepError> {
+    let run = |workers: usize| -> Result<(Vec<String>, f64, CacheStats, usize), SweepError> {
+        let sweep = (*base).parallelism(workers).build()?;
+        let topologies = sweep.config().topologies() as usize;
+        let start = Instant::now();
+        let mut outputs = Vec::new();
+        let mut cells = 0;
+        for id in FigureId::ALL {
+            if !id.simulated() {
+                continue;
+            }
+            let fig = sweep.figure(id)?;
+            cells += fig.series.iter().map(|s| s.points.len()).sum::<usize>() * topologies;
+            outputs.push(fig.to_json().to_string_pretty());
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        Ok((outputs, seconds, sweep.cache_stats(), cells))
+    };
+
+    let cfg = (*base).parallelism(1).config()?;
+    let (serial_out, serial_seconds, _, cells) = run(1)?;
+    let (parallel_out, parallel_seconds, cache, _) = run(threads)?;
+    Ok(BenchReport {
+        threads,
+        cells,
+        serial_seconds,
+        parallel_seconds,
+        cache,
+        identical: serial_out == parallel_out,
+        topologies: cfg.topologies(),
+        dest_sets: cfg.dest_sets(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_is_deterministic_and_counts_cells() {
+        let report = bench_sweep(&SweepBuilder::quick(), 2).unwrap();
+        assert!(report.identical, "parallel output drifted from serial");
+        assert_eq!(report.threads, 2);
+        assert_eq!((report.topologies, report.dest_sets), (2, 3));
+        // 4 simulated figures on the quick config (2 topologies):
+        // fig13a 4×11, fig13b 4×9, fig14a 4×11, fig14b 4×9 points.
+        assert_eq!(report.cells, (44 + 36 + 44 + 36) * 2);
+        assert!(report.serial_seconds > 0.0 && report.parallel_seconds > 0.0);
+        assert!(report.cache.hits > 0, "sweep must hit the memo layer");
+        let json = report.to_json();
+        assert_eq!(
+            json.get("meta").unwrap().get("cells"),
+            Some(&Json::Int(320))
+        );
+        // The embedded chart follows the shared figure schema.
+        let chart = Figure::from_json(json.get("figure").unwrap()).unwrap();
+        assert_eq!(chart.id, "bench_sweep");
+        assert_eq!(chart.series[0].points.len(), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Validated sweep configuration and its builder.
+//!
+//! [`SweepBuilder`] is the only way to obtain a [`SweepConfig`], so every
+//! configuration the engine sees has passed validation — the engine itself
+//! never has to second-guess sample counts or network shapes.
+
+use crate::engine::Sweep;
+use crate::error::SweepError;
+use optimcast_core::params::SystemParams;
+use optimcast_topology::irregular::IrregularConfig;
+
+/// A validated evaluation-methodology configuration (§5.2).
+///
+/// Constructed exclusively by [`SweepBuilder::config`] /
+/// [`SweepBuilder::build`]; fields are read through accessors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    params: SystemParams,
+    net: IrregularConfig,
+    topologies: u32,
+    dest_sets: u32,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl SweepConfig {
+    /// System timing/sizing parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Shape of the random irregular networks.
+    pub fn net(&self) -> IrregularConfig {
+        self.net
+    }
+
+    /// Number of random topologies averaged per point (paper: 10).
+    pub fn topologies(&self) -> u32 {
+        self.topologies
+    }
+
+    /// Number of random destination sets per topology (paper: 30).
+    pub fn dest_sets(&self) -> u32 {
+        self.dest_sets
+    }
+
+    /// Base RNG seed; every sample seed derives deterministically from it.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Worker threads the engine may use. Thread count never changes
+    /// results — only wall time.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Samples per data point (`topologies × dest_sets`).
+    pub fn samples(&self) -> u32 {
+        self.topologies * self.dest_sets
+    }
+
+    /// Seed of random topology `t`. The derivation is the historic
+    /// `EvalConfig` scheme, so sweeps reproduce the committed
+    /// `results/*.json` bit-identically.
+    pub fn topology_seed(&self, t: u32) -> u64 {
+        self.base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(t))
+    }
+
+    /// Seed of destination set `s` on topology `t`.
+    pub fn set_seed(&self, t: u32, s: u32) -> u64 {
+        self.topology_seed(t)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(u64::from(s))
+    }
+}
+
+/// Builder for [`SweepConfig`] / [`Sweep`] with validated setters — the
+/// replacement for free-form `EvalConfig` struct mutation.
+///
+/// ```
+/// use optimcast_sweep::{FigureId, SweepBuilder};
+///
+/// let sweep = SweepBuilder::quick().parallelism(2).build().unwrap();
+/// let fig = sweep.figure(FigureId::Fig12a).unwrap();
+/// assert_eq!(fig.id, "fig12a");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepBuilder {
+    params: SystemParams,
+    net: IrregularConfig,
+    topologies: u32,
+    dest_sets: u32,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl Default for SweepBuilder {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SweepBuilder {
+    /// The paper's full methodology: 10 topologies × 30 destination sets on
+    /// the 64-host/16-switch/8-port platform, single-threaded.
+    pub fn paper() -> Self {
+        SweepBuilder {
+            params: SystemParams::paper_1997(),
+            net: IrregularConfig::default(),
+            topologies: 10,
+            dest_sets: 30,
+            base_seed: 1997,
+            threads: 1,
+        }
+    }
+
+    /// A reduced methodology for tests and smoke runs
+    /// (2 topologies × 3 destination sets).
+    pub fn quick() -> Self {
+        SweepBuilder {
+            topologies: 2,
+            dest_sets: 3,
+            ..Self::paper()
+        }
+    }
+
+    /// Sets the system timing/sizing parameters.
+    pub fn params(mut self, params: SystemParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the random-network shape (validated at [`Self::build`]).
+    pub fn network(mut self, net: IrregularConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the number of random topologies per point (validated ≥ 1).
+    pub fn topologies(mut self, topologies: u32) -> Self {
+        self.topologies = topologies;
+        self
+    }
+
+    /// Sets the number of destination sets per topology (validated ≥ 1).
+    pub fn dest_sets(mut self, dest_sets: u32) -> Self {
+        self.dest_sets = dest_sets;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads (validated ≥ 1). Results are
+    /// bit-identical for every thread count.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Uses every core the host exposes.
+    pub fn parallelism_auto(self) -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.parallelism(n)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::ZeroTopologies`], [`SweepError::ZeroDestSets`],
+    /// [`SweepError::ZeroThreads`], [`SweepError::InvalidNetwork`], or
+    /// [`SweepError::NotEnoughHosts`].
+    pub fn config(self) -> Result<SweepConfig, SweepError> {
+        if self.topologies == 0 {
+            return Err(SweepError::ZeroTopologies);
+        }
+        if self.dest_sets == 0 {
+            return Err(SweepError::ZeroDestSets);
+        }
+        if self.threads == 0 {
+            return Err(SweepError::ZeroThreads);
+        }
+        self.net.validate().map_err(SweepError::InvalidNetwork)?;
+        if self.net.hosts < 2 {
+            return Err(SweepError::NotEnoughHosts {
+                hosts: self.net.hosts,
+            });
+        }
+        Ok(SweepConfig {
+            params: self.params,
+            net: self.net,
+            topologies: self.topologies,
+            dest_sets: self.dest_sets,
+            base_seed: self.base_seed,
+            threads: self.threads,
+        })
+    }
+
+    /// Validates and constructs the [`Sweep`] engine.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::config`].
+    pub fn build(self) -> Result<Sweep, SweepError> {
+        Ok(Sweep::from_config(self.config()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = SweepBuilder::paper().config().unwrap();
+        assert_eq!(cfg.topologies(), 10);
+        assert_eq!(cfg.dest_sets(), 30);
+        assert_eq!(cfg.base_seed(), 1997);
+        assert_eq!(cfg.threads(), 1);
+        assert_eq!(cfg.samples(), 300);
+    }
+
+    #[test]
+    fn nonsense_rejected() {
+        assert_eq!(
+            SweepBuilder::paper().topologies(0).config(),
+            Err(SweepError::ZeroTopologies)
+        );
+        assert_eq!(
+            SweepBuilder::paper().dest_sets(0).config(),
+            Err(SweepError::ZeroDestSets)
+        );
+        assert_eq!(
+            SweepBuilder::paper().parallelism(0).config(),
+            Err(SweepError::ZeroThreads)
+        );
+        let bad_net = IrregularConfig {
+            switches: 2,
+            ports: 1,
+            hosts: 4,
+        };
+        assert!(matches!(
+            SweepBuilder::paper().network(bad_net).config(),
+            Err(SweepError::InvalidNetwork(_))
+        ));
+        let lone = IrregularConfig {
+            switches: 1,
+            ports: 4,
+            hosts: 1,
+        };
+        assert_eq!(
+            SweepBuilder::paper().network(lone).config(),
+            Err(SweepError::NotEnoughHosts { hosts: 1 })
+        );
+    }
+
+    #[test]
+    fn seeds_match_legacy_evalconfig_scheme() {
+        let cfg = SweepBuilder::quick().config().unwrap();
+        // Locked constants: changing these silently invalidates every
+        // committed results/*.json golden.
+        assert_eq!(
+            cfg.topology_seed(0),
+            1997u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        );
+        assert_ne!(cfg.topology_seed(0), cfg.topology_seed(1));
+        assert_ne!(cfg.set_seed(0, 0), cfg.set_seed(0, 1));
+        assert_ne!(cfg.set_seed(0, 1), cfg.set_seed(1, 0));
+    }
+}

@@ -1,0 +1,387 @@
+//! The deterministic parallel sweep engine.
+//!
+//! The unit of parallel work is a **cell**: one `(point, topology)` pair,
+//! where a point is a `(policy, dests, m)` sweep coordinate. Each cell
+//! evaluates its point's `dest_sets` samples *sequentially* on its topology
+//! (the same floating-point order the historic serial runner used), and the
+//! reduction sums per-topology means in topology-index order — so the
+//! result is bit-identical for every worker count, pinned by golden tests
+//! against the committed `results/*.json`.
+//!
+//! Workers pull cells from a shared atomic counter (self-scheduling chunk
+//! queue) and stamp results into index-addressed slots; only wall time
+//! depends on the thread count.
+
+use crate::config::SweepConfig;
+use crate::error::SweepError;
+use crate::memo::{CacheStats, SweepCache, TopologyEntry};
+use crate::sampling::{sample_chain, TreePolicy};
+use optimcast_core::tree::MulticastTree;
+use optimcast_netsim::{run_multicast_shared, RunConfig};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// One sweep coordinate: a tree policy evaluated at `(dests, m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointSpec {
+    /// Tree policy under test.
+    pub policy: TreePolicy,
+    /// Destination count (participants = `dests + 1`).
+    pub dests: u32,
+    /// Packets in the message.
+    pub m: u32,
+    /// Simulator configuration (NI, contention, timing).
+    pub run: RunConfig,
+}
+
+impl PointSpec {
+    /// A point under the paper's default run configuration (smart FPFS NI,
+    /// wormhole contention, handshake timing).
+    pub fn new(policy: TreePolicy, dests: u32, m: u32) -> Self {
+        PointSpec {
+            policy,
+            dests,
+            m,
+            run: RunConfig::default(),
+        }
+    }
+}
+
+/// Summary statistics of a latency sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Mean latency (µs).
+    pub mean: f64,
+    /// Sample standard deviation (µs); 0 for a single sample.
+    pub std: f64,
+    /// Fastest observed run (µs).
+    pub min: f64,
+    /// Slowest observed run (µs).
+    pub max: f64,
+    /// Number of samples (topologies × destination sets).
+    pub samples: u32,
+}
+
+/// The sweep engine: a validated configuration plus the memoization layer,
+/// built by [`crate::SweepBuilder::build`].
+#[derive(Debug)]
+pub struct Sweep {
+    cfg: SweepConfig,
+    cache: SweepCache,
+}
+
+impl Sweep {
+    /// Wraps an already-validated configuration (only [`SweepConfig`]s from
+    /// the builder exist, so no re-validation is needed).
+    pub fn from_config(cfg: SweepConfig) -> Self {
+        Sweep {
+            cfg,
+            cache: SweepCache::default(),
+        }
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    /// Hit/miss counters of the memoization layer so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The memoized `(network, ordering)` of topology index `t`.
+    pub fn topology(&self, t: u32) -> Arc<TopologyEntry> {
+        self.cache.topology(&self.cfg, t)
+    }
+
+    /// The memoized tree of `policy` at `(n, m)`; repeated lookups of the
+    /// same resolved `(n, k)` return the same allocation.
+    pub fn tree(&self, policy: TreePolicy, n: u32, m: u32) -> Arc<MulticastTree> {
+        self.cache.tree(policy, n, m)
+    }
+
+    /// Evaluates a grid of sweep points, fanning `points × topologies`
+    /// cells out across the configured workers. Returns the §5.2 averaged
+    /// latency (µs) per point, in input order — bit-identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::TooManyDests`] or [`SweepError::ZeroPackets`] if a
+    /// point cannot be sampled on the configured network.
+    pub fn grid(&self, specs: &[PointSpec]) -> Result<Vec<f64>, SweepError> {
+        let hosts = self.cfg.net().hosts;
+        for spec in specs {
+            if spec.m == 0 {
+                return Err(SweepError::ZeroPackets);
+            }
+            if spec.dests >= hosts {
+                return Err(SweepError::TooManyDests {
+                    dests: spec.dests,
+                    hosts,
+                });
+            }
+        }
+        let topologies = self.cfg.topologies() as usize;
+        let means = self.run_cells(specs.len() * topologies, |cell| {
+            let spec = &specs[cell / topologies];
+            self.topology_mean(spec, (cell % topologies) as u32)
+        });
+        Ok(means
+            .chunks_exact(topologies)
+            .map(|per_topology| per_topology.iter().sum::<f64>() / topologies as f64)
+            .collect())
+    }
+
+    /// Average simulated multicast latency (µs) of one point, following the
+    /// §5.2 averaging methodology.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::grid`].
+    pub fn avg_latency(
+        &self,
+        policy: TreePolicy,
+        dests: u32,
+        m: u32,
+        run: RunConfig,
+    ) -> Result<f64, SweepError> {
+        Ok(self.grid(&[PointSpec {
+            policy,
+            dests,
+            m,
+            run,
+        }])?[0])
+    }
+
+    /// As [`Self::avg_latency`], but returning full per-sample statistics —
+    /// useful for judging whether a figure's differences exceed sampling
+    /// noise.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::grid`].
+    pub fn latency_stats(
+        &self,
+        policy: TreePolicy,
+        dests: u32,
+        m: u32,
+        run: RunConfig,
+    ) -> Result<LatencyStats, SweepError> {
+        let hosts = self.cfg.net().hosts;
+        if m == 0 {
+            return Err(SweepError::ZeroPackets);
+        }
+        if dests >= hosts {
+            return Err(SweepError::TooManyDests { dests, hosts });
+        }
+        let spec = PointSpec {
+            policy,
+            dests,
+            m,
+            run,
+        };
+        let per_topology: Vec<Vec<f64>> = self.run_cells(self.cfg.topologies() as usize, |t| {
+            self.topology_samples(&spec, t as u32)
+        });
+        let all: Vec<f64> = per_topology.into_iter().flatten().collect();
+        let nsamp = all.len() as f64;
+        let mean = all.iter().sum::<f64>() / nsamp;
+        let var = if all.len() > 1 {
+            all.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nsamp - 1.0)
+        } else {
+            0.0
+        };
+        Ok(LatencyStats {
+            mean,
+            std: var.sqrt(),
+            min: all.iter().copied().fold(f64::INFINITY, f64::min),
+            max: all.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            samples: all.len() as u32,
+        })
+    }
+
+    /// Sanity bound used by tests and the figures binary: the largest
+    /// improvement factor of the optimal k-binomial tree over the binomial
+    /// tree across an m sweep at `dests` destinations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::grid`].
+    pub fn improvement_factor(&self, dests: u32) -> Result<f64, SweepError> {
+        let mut specs = Vec::new();
+        for m in crate::sampling::m_axis() {
+            specs.push(PointSpec::new(TreePolicy::Binomial, dests, m));
+            specs.push(PointSpec::new(TreePolicy::OptimalKBinomial, dests, m));
+        }
+        let means = self.grid(&specs)?;
+        Ok(means
+            .chunks_exact(2)
+            .map(|pair| pair[0] / pair[1])
+            .fold(0.0, f64::max))
+    }
+
+    /// Maps an arbitrary per-topology evaluation over all configured
+    /// topologies on the worker pool, preserving topology order. The
+    /// closure receives the memoized `(network, CCO ordering)` entry; this
+    /// is the extension point for workloads the figure grid does not cover
+    /// (multi-source multicasts, custom job mixes) without touching the
+    /// engine.
+    pub fn map_topologies<T: Send>(&self, f: impl Fn(u32, &TopologyEntry) -> T + Sync) -> Vec<T> {
+        self.run_cells(self.cfg.topologies() as usize, |t| {
+            let topo = self.cache.topology(&self.cfg, t as u32);
+            f(t as u32, &topo)
+        })
+    }
+
+    /// The §5.2 inner loop of one cell: the point's `dest_sets` samples on
+    /// topology `t`, evaluated sequentially, returning their mean. This is
+    /// the exact floating-point order of the historic serial runner.
+    fn topology_mean(&self, spec: &PointSpec, t: u32) -> f64 {
+        let samples = self.topology_samples(spec, t);
+        samples.iter().sum::<f64>() / f64::from(self.cfg.dest_sets())
+    }
+
+    /// Per-sample latencies of one cell, in destination-set order.
+    fn topology_samples(&self, spec: &PointSpec, t: u32) -> Vec<f64> {
+        let topo = self.cache.topology(&self.cfg, t);
+        (0..self.cfg.dest_sets())
+            .map(|s| {
+                let chain = sample_chain(
+                    &topo.net,
+                    &topo.ordering,
+                    self.cfg.set_seed(t, s),
+                    spec.dests,
+                );
+                let tree = self.cache.tree(spec.policy, chain.len() as u32, spec.m);
+                run_multicast_shared(&topo.net, tree, &chain, spec.m, self.cfg.params(), spec.run)
+                    .expect("sampled chains form valid bindings")
+                    .latency_us
+            })
+            .collect()
+    }
+
+    /// Evaluates `f(0..n)` on the worker pool and returns the results in
+    /// index order. Workers self-schedule off a shared atomic counter;
+    /// every result lands in its index slot, so ordering (and therefore
+    /// every downstream reduction) is independent of scheduling.
+    fn run_cells<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let workers = self.cfg.threads().min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            done.push((i, f(i)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, value) in handle.join().expect("sweep worker panicked") {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell was scheduled exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SweepBuilder;
+
+    fn quick(threads: usize) -> Sweep {
+        SweepBuilder::quick().parallelism(threads).build().unwrap()
+    }
+
+    #[test]
+    fn run_cells_preserves_order() {
+        for threads in [1, 2, 8] {
+            let sweep = quick(threads);
+            let v = sweep.run_cells(9, |i| i * 10);
+            assert_eq!(v, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn avg_latency_thread_count_invariant() {
+        let serial = quick(1)
+            .avg_latency(TreePolicy::Binomial, 15, 2, RunConfig::default())
+            .unwrap();
+        for threads in [2, 8] {
+            let parallel = quick(threads)
+                .avg_latency(TreePolicy::Binomial, 15, 2, RunConfig::default())
+                .unwrap();
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "threads={threads} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_rejects_invalid_points() {
+        let sweep = quick(1);
+        assert_eq!(
+            sweep.grid(&[PointSpec::new(TreePolicy::Binomial, 64, 2)]),
+            Err(SweepError::TooManyDests {
+                dests: 64,
+                hosts: 64
+            })
+        );
+        assert_eq!(
+            sweep.grid(&[PointSpec::new(TreePolicy::Binomial, 15, 0)]),
+            Err(SweepError::ZeroPackets)
+        );
+    }
+
+    #[test]
+    fn stats_bracket_the_mean() {
+        let sweep = quick(2);
+        let s = sweep
+            .latency_stats(TreePolicy::Binomial, 15, 2, RunConfig::default())
+            .unwrap();
+        assert_eq!(s.samples, sweep.config().samples());
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.std >= 0.0);
+        let a = sweep
+            .avg_latency(TreePolicy::Binomial, 15, 2, RunConfig::default())
+            .unwrap();
+        // avg_latency averages per-topology means of equal sample counts,
+        // so it equals the grand mean.
+        assert!((a - s.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_topologies_sees_cached_entries() {
+        let sweep = quick(2);
+        let hosts = sweep.map_topologies(|_, topo| {
+            use optimcast_topology::Network as _;
+            topo.net.num_hosts()
+        });
+        assert_eq!(hosts, vec![64, 64]);
+        // The closure ran off the cache: two topology misses, no rebuilds.
+        assert_eq!(sweep.cache_stats().misses, 2);
+    }
+}

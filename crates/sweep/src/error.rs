@@ -1,0 +1,93 @@
+//! Typed validation errors for sweep construction and execution.
+
+use std::fmt;
+
+/// Why a sweep configuration or a sweep request is invalid.
+///
+/// [`crate::SweepBuilder::build`] rejects nonsense configurations that the
+/// old free-form `EvalConfig` silently accepted (zero topologies, zero
+/// destination sets, unrealisable networks); grid execution rejects points
+/// that cannot be sampled on the configured network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// `topologies == 0`: nothing to average over.
+    ZeroTopologies,
+    /// `dest_sets == 0`: nothing to average over.
+    ZeroDestSets,
+    /// `parallelism(0)`: at least one worker is required.
+    ZeroThreads,
+    /// The irregular-network shape is unrealisable
+    /// (see `IrregularConfig::validate`).
+    InvalidNetwork(String),
+    /// The network has fewer than two hosts, so no multicast exists.
+    NotEnoughHosts {
+        /// Hosts in the configured network.
+        hosts: u32,
+    },
+    /// A sweep point asks for more destinations than the network can seat
+    /// (`dests + 1 > hosts`).
+    TooManyDests {
+        /// Requested destination count.
+        dests: u32,
+        /// Hosts in the configured network.
+        hosts: u32,
+    },
+    /// A sweep point has a zero-packet message.
+    ZeroPackets,
+    /// An unrecognised figure name (CLI parsing).
+    UnknownFigure(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::ZeroTopologies => {
+                write!(f, "sweep needs at least one topology (topologies = 0)")
+            }
+            SweepError::ZeroDestSets => {
+                write!(
+                    f,
+                    "sweep needs at least one destination set (dest_sets = 0)"
+                )
+            }
+            SweepError::ZeroThreads => write!(f, "sweep needs at least one worker thread"),
+            SweepError::InvalidNetwork(why) => write!(f, "unrealisable network shape: {why}"),
+            SweepError::NotEnoughHosts { hosts } => {
+                write!(
+                    f,
+                    "network has {hosts} host(s); a multicast needs at least 2"
+                )
+            }
+            SweepError::TooManyDests { dests, hosts } => write!(
+                f,
+                "multicast set of {} exceeds the network's {hosts} hosts",
+                dests + 1
+            ),
+            SweepError::ZeroPackets => write!(f, "a sweep point needs at least one packet"),
+            SweepError::UnknownFigure(name) => write!(f, "unknown figure '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(SweepError::ZeroTopologies
+            .to_string()
+            .contains("topologies"));
+        assert!(SweepError::TooManyDests {
+            dests: 63,
+            hosts: 8
+        }
+        .to_string()
+        .contains("64"));
+        assert!(SweepError::UnknownFigure("fig99".into())
+            .to_string()
+            .contains("fig99"));
+    }
+}

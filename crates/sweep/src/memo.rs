@@ -1,0 +1,175 @@
+//! Memoization of the expensive per-cell inputs.
+//!
+//! A figure-scale sweep re-visits the same random topology for every data
+//! point and the same `(n, k)` tree for every destination set. Both are
+//! immutable once built, so the engine shares them behind [`Arc`]s:
+//!
+//! * **Topology entries** — the generated [`IrregularNetwork`] (with its
+//!   up\*/down\* routing tables) plus its CCO [`Ordering`], keyed by the
+//!   topology seed. One generation per topology per sweep instead of one
+//!   per `(point, topology)` cell.
+//! * **Trees** — the [`MulticastTree`] arena keyed by `(shape, n, k)`.
+//!   One construction per distinct tree instead of one per destination set;
+//!   the `Arc` is threaded through the simulator without cloning the arena
+//!   (see `optimcast_netsim::run_multicast_shared`).
+
+use crate::config::SweepConfig;
+use crate::sampling::TreePolicy;
+use optimcast_core::builders::{binomial_tree, kbinomial_tree, linear_tree};
+use optimcast_core::optimal::optimal_k;
+use optimcast_core::tree::MulticastTree;
+use optimcast_topology::irregular::IrregularNetwork;
+use optimcast_topology::ordering::{cco, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+
+/// A memoized topology: the generated network and its CCO ordering.
+#[derive(Debug)]
+pub struct TopologyEntry {
+    /// The network (owns topology + routing tables).
+    pub net: IrregularNetwork,
+    /// The contention-minimising CCO host ordering.
+    pub ordering: Ordering,
+}
+
+/// Canonical cache key of a tree: policy resolved to its concrete shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TreeShape {
+    Linear,
+    Binomial,
+    KBinomial(u32),
+}
+
+/// Hit/miss counters of a [`SweepCache`] (both caches combined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memoization of topologies and trees for one sweep.
+#[derive(Debug, Default)]
+pub(crate) struct SweepCache {
+    topologies: Mutex<HashMap<u64, Arc<TopologyEntry>>>,
+    trees: Mutex<HashMap<(TreeShape, u32), Arc<MulticastTree>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SweepCache {
+    /// The memoized `(network, CCO ordering)` of topology index `t`.
+    pub fn topology(&self, cfg: &SweepConfig, t: u32) -> Arc<TopologyEntry> {
+        let seed = cfg.topology_seed(t);
+        let mut map = self.topologies.lock().expect("topology cache poisoned");
+        if let Some(entry) = map.get(&seed) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return Arc::clone(entry);
+        }
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        let net = IrregularNetwork::generate(cfg.net(), seed);
+        let ordering = cco(&net);
+        let entry = Arc::new(TopologyEntry { net, ordering });
+        map.insert(seed, Arc::clone(&entry));
+        entry
+    }
+
+    /// The memoized tree of `policy` for `n` participants and `m` packets.
+    /// Repeated lookups of the same resolved `(shape, n, k)` return the
+    /// *same* allocation (`Arc::ptr_eq`).
+    pub fn tree(&self, policy: TreePolicy, n: u32, m: u32) -> Arc<MulticastTree> {
+        let shape = match policy {
+            TreePolicy::Linear => TreeShape::Linear,
+            TreePolicy::Binomial => TreeShape::Binomial,
+            TreePolicy::OptimalKBinomial => TreeShape::KBinomial(optimal_k(u64::from(n), m).k),
+            TreePolicy::FixedK(k) => TreeShape::KBinomial(k),
+        };
+        let mut map = self.trees.lock().expect("tree cache poisoned");
+        if let Some(tree) = map.get(&(shape, n)) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return Arc::clone(tree);
+        }
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        let tree = Arc::new(match shape {
+            TreeShape::Linear => linear_tree(n),
+            TreeShape::Binomial => binomial_tree(n),
+            TreeShape::KBinomial(k) => kbinomial_tree(n, k),
+        });
+        map.insert((shape, n), Arc::clone(&tree));
+        tree
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SweepBuilder;
+
+    #[test]
+    fn repeated_tree_keys_are_pointer_equal() {
+        let cache = SweepCache::default();
+        let a = cache.tree(TreePolicy::FixedK(2), 16, 4);
+        let b = cache.tree(TreePolicy::FixedK(2), 16, 4);
+        assert!(Arc::ptr_eq(&a, &b), "repeated (n, k) must share one arena");
+        // OptimalKBinomial resolving to the same k shares the allocation too.
+        let k = optimal_k(16, 4).k;
+        let c = cache.tree(TreePolicy::OptimalKBinomial, 16, 4);
+        let d = cache.tree(TreePolicy::FixedK(k), 16, 4);
+        assert!(Arc::ptr_eq(&c, &d));
+        // Distinct keys do not.
+        let e = cache.tree(TreePolicy::FixedK(3), 16, 4);
+        assert!(!Arc::ptr_eq(&a, &e));
+        let f = cache.tree(TreePolicy::Linear, 16, 4);
+        assert!(!Arc::ptr_eq(&a, &f));
+    }
+
+    #[test]
+    fn topology_entries_are_shared_and_counted() {
+        let cfg = SweepBuilder::quick().config().unwrap();
+        let cache = SweepCache::default();
+        let a = cache.topology(&cfg, 0);
+        let b = cache.topology(&cfg, 0);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.topology(&cfg, 1);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_trees_match_direct_construction() {
+        let cache = SweepCache::default();
+        for (policy, n, m) in [
+            (TreePolicy::Linear, 7u32, 3u32),
+            (TreePolicy::Binomial, 16, 1),
+            (TreePolicy::OptimalKBinomial, 48, 8),
+            (TreePolicy::FixedK(3), 20, 2),
+        ] {
+            assert_eq!(*cache.tree(policy, n, m), policy.tree(n, m));
+        }
+    }
+}

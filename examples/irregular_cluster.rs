@@ -6,7 +6,7 @@
 //! cargo run --release --example irregular_cluster [DESTS]
 //! ```
 
-use optimcast::experiments::{avg_latency, m_axis, EvalConfig, TreePolicy};
+use optimcast::experiments::{m_axis, PointSpec};
 use optimcast::prelude::*;
 
 fn main() {
@@ -19,29 +19,38 @@ fn main() {
         "DESTS must be in 1..=63 on the 64-host network"
     );
 
-    let cfg = EvalConfig {
-        topologies: 4,
-        dest_sets: 10,
-        ..EvalConfig::paper()
-    };
+    let sweep = SweepBuilder::paper()
+        .topologies(4)
+        .dest_sets(10)
+        .parallelism_auto()
+        .build()
+        .expect("preset configuration is valid");
+    let cfg = sweep.config();
     println!(
-        "multicast to {dests} destinations, averaged over {} topologies x {} sets",
-        cfg.topologies, cfg.dest_sets
+        "multicast to {dests} destinations, averaged over {} topologies x {} sets ({} worker(s))",
+        cfg.topologies(),
+        cfg.dest_sets(),
+        cfg.threads()
     );
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>8}",
         "packets", "optimal k", "bin (us)", "kbin (us)", "speedup"
     );
-    for m in m_axis() {
+    // One engine pass over the whole (policy × m) grid; the memoized
+    // topologies and trees are shared across every cell.
+    let specs: Vec<PointSpec> = m_axis()
+        .into_iter()
+        .flat_map(|m| {
+            [
+                PointSpec::new(TreePolicy::Binomial, dests, m),
+                PointSpec::new(TreePolicy::OptimalKBinomial, dests, m),
+            ]
+        })
+        .collect();
+    let means = sweep.grid(&specs).expect("points fit the 64-host network");
+    for (m, pair) in m_axis().into_iter().zip(means.chunks_exact(2)) {
         let k = optimal_k(u64::from(dests) + 1, m).k;
-        let bin = avg_latency(&cfg, TreePolicy::Binomial, dests, m, RunConfig::default());
-        let kbin = avg_latency(
-            &cfg,
-            TreePolicy::OptimalKBinomial,
-            dests,
-            m,
-            RunConfig::default(),
-        );
+        let (bin, kbin) = (pair[0], pair[1]);
         println!(
             "{m:>8} {k:>10} {bin:>12.2} {kbin:>12.2} {:>7.2}x",
             bin / kbin

@@ -2,42 +2,40 @@
 //! JSON sidecars for EXPERIMENTS.md).
 //!
 //! ```text
-//! figures [--quick] [--json DIR] [--gnuplot DIR] [FIG ...]
+//! figures [--quick] [--threads N] [--json DIR] [--gnuplot DIR] [FIG ...]
 //!   FIG ∈ {fig4, fig5, fig8, buffers, fig12a, fig12b,
 //!          fig13a, fig13b, fig14a, fig14b, disciplines, all}   (default: all)
-//!   --quick   2 topologies × 3 destination sets instead of the paper's 10 × 30
-//!   --json D  also write <D>/<fig>.json
+//!   --quick     2 topologies × 3 destination sets instead of the paper's 10 × 30
+//!   --threads N run simulated figures on N workers (bit-identical for any N)
+//!   --json D    also write <D>/<fig>.json
 //! ```
 
-use optimcast::experiments::{self, EvalConfig, Figure};
-use optimcast::jsonout::ToJson;
+use optimcast::prelude::*;
+use optimcast::sweep::ToJson;
 use std::io::Write as _;
 use std::time::Instant;
-
-const FIG_NAMES: [&str; 11] = [
-    "fig4",
-    "fig5",
-    "fig8",
-    "buffers",
-    "fig12a",
-    "fig12b",
-    "fig13a",
-    "fig13b",
-    "fig14a",
-    "fig14b",
-    "disciplines",
-];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut threads: usize = 1;
     let mut json_dir: Option<String> = None;
     let mut gnuplot_dir: Option<String> = None;
-    let mut figs: Vec<String> = Vec::new();
+    let mut figs: Vec<FigureId> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a worker count");
+                    std::process::exit(2);
+                });
+                threads = v.parse().unwrap_or_else(|e| {
+                    eprintln!("--threads: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--json" => {
                 json_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--json requires a directory argument");
@@ -52,46 +50,47 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--quick] [--json DIR] [--gnuplot DIR] [FIG ...]\n\
+                    "usage: figures [--quick] [--threads N] [--json DIR] [--gnuplot DIR] [FIG ...]\n\
                      FIG: fig4 fig5 fig8 buffers fig12a fig12b fig13a fig13b fig14a fig14b \
                      disciplines all"
                 );
                 return;
             }
-            other => figs.push(other.to_string()),
+            "all" => figs.extend(FigureId::ALL),
+            other => match other.parse::<FigureId>() {
+                Ok(id) => figs.push(id),
+                Err(e) => eprintln!("{e}, skipping"),
+            },
         }
     }
-    if figs.is_empty() || figs.iter().any(|f| f == "all") {
-        figs = FIG_NAMES.iter().map(|s| s.to_string()).collect();
+    if figs.is_empty() {
+        figs = FigureId::ALL.to_vec();
     }
 
-    let cfg = if quick {
-        EvalConfig::quick()
+    let builder = if quick {
+        SweepBuilder::quick()
     } else {
-        EvalConfig::paper()
+        SweepBuilder::paper()
     };
+    let sweep = builder.parallelism(threads).build().unwrap_or_else(|e| {
+        eprintln!("invalid sweep configuration: {e}");
+        std::process::exit(2);
+    });
+    let cfg = sweep.config();
     println!(
-        "# optimcast figure regeneration ({} topologies x {} destination sets)",
-        cfg.topologies, cfg.dest_sets
+        "# optimcast figure regeneration ({} topologies x {} destination sets, {} worker(s))",
+        cfg.topologies(),
+        cfg.dest_sets(),
+        cfg.threads()
     );
     println!("# network: 64 hosts, 16 switches x 8 ports; CCO ordering; FPFS smart NI\n");
 
     for fig in figs {
         let start = Instant::now();
-        let figure = match fig.as_str() {
-            "fig4" => experiments::fig4(&cfg.params),
-            "fig5" => experiments::fig5(),
-            "fig8" => experiments::fig8(),
-            "buffers" => experiments::buffer_figure(3),
-            "fig12a" => experiments::fig12a(),
-            "fig12b" => experiments::fig12b(),
-            "fig13a" => experiments::fig13a(&cfg),
-            "fig13b" => experiments::fig13b(&cfg),
-            "fig14a" => experiments::fig14a(&cfg),
-            "fig14b" => experiments::fig14b(&cfg),
-            "disciplines" => experiments::fig_disciplines(64),
-            other => {
-                eprintln!("unknown figure '{other}', skipping");
+        let figure = match sweep.figure(fig) {
+            Ok(figure) => figure,
+            Err(e) => {
+                eprintln!("{fig}: {e}, skipping");
                 continue;
             }
         };

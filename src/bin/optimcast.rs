@@ -8,6 +8,7 @@
 //! optimcast table    --max-n N --max-m M    # the §4.3.1 lookup table
 //! optimcast simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]
 //!                    [--ordering cco|poc|random] [--ideal] [--trace] [--json]
+//! optimcast bench-sweep [--threads N] [--smoke] [--out PATH]
 //! ```
 
 use optimcast::core::schedule::ForwardingDiscipline;
@@ -16,6 +17,7 @@ use optimcast::netsim::{
     run_workload, JobPayload, MulticastJob, TraceKind, WorkloadConfig, WorkloadOutcome,
 };
 use optimcast::prelude::*;
+use optimcast::sweep::bench_sweep;
 use optimcast::topology::ordering::{cco, poc};
 use std::collections::HashMap;
 
@@ -34,6 +36,7 @@ fn main() {
         "optimal" => cmd_optimal(&flags),
         "table" => cmd_table(&flags),
         "simulate" => cmd_simulate(&flags),
+        "bench-sweep" => cmd_bench_sweep(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -53,7 +56,8 @@ fn usage() {
          \u{20}  optimal  --n N --m M\n\
          \u{20}  table    [--max-n N] [--max-m M]\n\
          \u{20}  simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]\n\
-         \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]"
+         \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]\n\
+         \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]"
     );
 }
 
@@ -261,7 +265,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
     let wl = run_workload(
         &net,
         &[MulticastJob {
-            tree: tree.clone(),
+            tree: tree.into(),
             binding: chain.clone(),
             packets: m,
             start_us: 0.0,
@@ -347,6 +351,57 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
                 }
             }
         }
+    }
+}
+
+fn cmd_bench_sweep(flags: &HashMap<String, String>) {
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = get(flags, "threads", default_threads);
+    let smoke = flags.contains_key("smoke");
+    let base = if smoke {
+        SweepBuilder::quick()
+    } else {
+        SweepBuilder::paper()
+    };
+    let label = if smoke {
+        "smoke (2×3)"
+    } else {
+        "paper (10×30)"
+    };
+    eprintln!("bench-sweep: {label} methodology, serial vs {threads} worker(s)...");
+    let report = bench_sweep(&base, threads).unwrap_or_else(|e| {
+        eprintln!("bench-sweep: {e}");
+        std::process::exit(1);
+    });
+    let default_out = "BENCH_sweep.json".to_string();
+    let out_path = flags.get("out").unwrap_or(&default_out);
+    if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
+        eprintln!("bench-sweep: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "cells: {} | serial {:.3} s ({:.1} cells/s) | {} workers {:.3} s ({:.1} cells/s) | speedup {:.2}x",
+        report.cells,
+        report.serial_seconds,
+        report.serial_cells_per_sec(),
+        report.threads,
+        report.parallel_seconds,
+        report.parallel_cells_per_sec(),
+        report.speedup()
+    );
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate) | parallel output identical to serial: {}",
+        report.cache.hits,
+        report.cache.misses,
+        100.0 * report.cache.hit_rate(),
+        report.identical
+    );
+    println!("report written to {out_path}");
+    if !report.identical {
+        eprintln!("bench-sweep: DETERMINISM VIOLATION — parallel figures diverged from serial");
+        std::process::exit(1);
     }
 }
 

@@ -1,31 +1,43 @@
-//! The paper's evaluation pipeline (§5): workload generation, parameter
-//! sweeps, baselines, and the data series behind every figure.
+//! End-to-end experiment pipeline — now a facade over the
+//! [`optimcast_sweep`] engine crate.
 //!
-//! Methodology reproduced from §5.2: for each data point the multicast
-//! latency is averaged over `dest_sets` random destination sets on each of
-//! `topologies` random irregular switch topologies (paper: 30 × 10), using
-//! CCO as the base ordering, on a 64-host/16-switch/8-port network with
-//! `t_s = t_r = 12.5 µs`, 64-byte packets, `t_send = 3 µs`, `t_recv = 2 µs`.
+//! The sweep engine owns the evaluation methodology (§5.2): validated
+//! configuration via [`SweepBuilder`], deterministic parallel execution via
+//! [`Sweep`], memoized topology/tree construction, and the figure
+//! vocabulary ([`Figure`]/[`Series`]/[`FigureId`]). This module re-exports
+//! that API under its historic path and keeps the pre-redesign
+//! [`EvalConfig`] entry points compiling as deprecated shims for one
+//! release.
 //!
-//! Every figure of the paper has a function here returning a [`Figure`]
-//! (labelled data series); the `figures` binary prints them and the
-//! Criterion benches in `crates/bench` measure the underlying computations.
+//! Migration map:
+//!
+//! | pre-redesign                         | replacement                                  |
+//! |--------------------------------------|----------------------------------------------|
+//! | `EvalConfig::paper()` + field edits  | [`SweepBuilder::paper()`] + validated setters |
+//! | `fig13a(&cfg)` … `fig14b(&cfg)`      | [`Sweep::figure`] with a [`FigureId`]        |
+//! | `avg_latency(&cfg, …)`               | [`Sweep::avg_latency`]                       |
+//! | `latency_stats(&cfg, …)`             | [`Sweep::latency_stats`]                     |
+//! | `improvement_factor(&cfg, …)`        | [`Sweep::improvement_factor`]                |
+//! | `sample_instance(&cfg, …)`           | [`Sweep::topology`] + [`sample_chain`]       |
 
-use optimcast_core::buffer::BufferAnalysis;
-use optimcast_core::builders::{binomial_tree, kbinomial_tree, linear_tree};
-use optimcast_core::coverage::ceil_log2;
-use optimcast_core::latency::{conventional_latency_us, smart_latency_us};
-use optimcast_core::optimal::{optimal_k, optimal_k_fcfs};
+pub use optimcast_sweep::{
+    bench_sweep, buffer_figure, fig12a, fig12b, fig4, fig5, fig8, fig_disciplines,
+    k_search_interval, m_axis, sample_chain, BenchReport, CacheStats, Figure, FigureId, Instance,
+    LatencyStats, PointSpec, Series, Sweep, SweepBuilder, SweepConfig, SweepError, TopologyEntry,
+    TreePolicy, DEST_COUNTS, M_SWEEP, N_SWEEP, PACKET_COUNTS,
+};
+
 use optimcast_core::params::SystemParams;
-use optimcast_core::schedule::fpfs_schedule;
-use optimcast_core::tree::MulticastTree;
-use optimcast_netsim::{run_multicast, RunConfig};
-use optimcast_rng::{ChaCha8Rng, SliceRandom};
-use optimcast_topology::graph::HostId;
-use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
-use optimcast_topology::ordering::{cco, Ordering};
+use optimcast_netsim::RunConfig;
+use optimcast_topology::irregular::IrregularConfig;
 
-/// Evaluation methodology parameters.
+/// Pre-redesign evaluation configuration with free-form public fields.
+///
+/// Superseded by [`SweepBuilder`], which validates at build time and adds
+/// `.parallelism(n)`. The fields stay public so struct-update call sites
+/// (`EvalConfig { topologies: 2, ..EvalConfig::paper() }`) keep compiling
+/// during the migration.
+#[deprecated(since = "0.2.0", note = "use SweepBuilder::paper()/quick() instead")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalConfig {
     /// System timing/sizing parameters.
@@ -40,154 +52,69 @@ pub struct EvalConfig {
     pub base_seed: u64,
 }
 
-impl Default for EvalConfig {
-    fn default() -> Self {
-        Self::paper()
-    }
-}
-
+#[allow(deprecated)]
 impl EvalConfig {
     /// The paper's full methodology: 10 topologies × 30 destination sets.
     pub fn paper() -> Self {
-        EvalConfig {
-            params: SystemParams::paper_1997(),
-            net: IrregularConfig::default(),
-            topologies: 10,
-            dest_sets: 30,
-            base_seed: 1997,
-        }
+        Self::from_builder(SweepBuilder::paper())
     }
 
-    /// A reduced configuration for tests and smoke runs
+    /// A reduced methodology for tests and smoke runs
     /// (2 topologies × 3 destination sets).
     pub fn quick() -> Self {
+        Self::from_builder(SweepBuilder::quick())
+    }
+
+    fn from_builder(b: SweepBuilder) -> Self {
+        let cfg = b.config().expect("presets are valid");
         EvalConfig {
-            topologies: 2,
-            dest_sets: 3,
-            ..Self::paper()
+            params: *cfg.params(),
+            net: cfg.net(),
+            topologies: cfg.topologies(),
+            dest_sets: cfg.dest_sets(),
+            base_seed: cfg.base_seed(),
         }
     }
 
-    fn topology_seed(&self, t: u32) -> u64 {
-        self.base_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(t))
+    /// The equivalent validated builder (single-threaded, like the historic
+    /// serial runner).
+    pub fn builder(&self) -> SweepBuilder {
+        SweepBuilder::paper()
+            .params(self.params)
+            .network(self.net)
+            .topologies(self.topologies)
+            .dest_sets(self.dest_sets)
+            .base_seed(self.base_seed)
+            .parallelism(1)
     }
 
-    fn set_seed(&self, t: u32, s: u32) -> u64 {
-        self.topology_seed(t)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            .wrapping_add(u64::from(s))
-    }
-}
-
-/// Which multicast tree a run uses (the paper's comparison axes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TreePolicy {
-    /// Chain tree (`k = 1`).
-    Linear,
-    /// Conventional binomial tree — the baseline the paper beats.
-    Binomial,
-    /// k-binomial tree with the Theorem-3 optimal `k` for `(n, m)`.
-    OptimalKBinomial,
-    /// k-binomial tree with a fixed `k`.
-    FixedK(u32),
-}
-
-impl TreePolicy {
-    /// Builds the policy's tree for `n` participants and `m` packets.
-    pub fn tree(self, n: u32, m: u32) -> MulticastTree {
-        match self {
-            TreePolicy::Linear => linear_tree(n),
-            TreePolicy::Binomial => binomial_tree(n),
-            TreePolicy::OptimalKBinomial => kbinomial_tree(n, optimal_k(u64::from(n), m).k),
-            TreePolicy::FixedK(k) => kbinomial_tree(n, k),
-        }
-    }
-
-    /// Display label used in figure series.
-    pub fn label(self) -> String {
-        match self {
-            TreePolicy::Linear => "linear".into(),
-            TreePolicy::Binomial => "bin".into(),
-            TreePolicy::OptimalKBinomial => "kbin".into(),
-            TreePolicy::FixedK(k) => format!("{k}-bin"),
-        }
+    fn sweep(&self) -> Sweep {
+        self.builder().build().expect("legacy EvalConfig is valid")
     }
 }
 
-/// One labelled data series of a figure.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Series {
-    /// Legend label (e.g. "47 dest kbin").
-    pub label: String,
-    /// `(x, y)` points in sweep order.
-    pub points: Vec<(f64, f64)>,
+#[allow(deprecated)]
+impl From<EvalConfig> for SweepBuilder {
+    fn from(cfg: EvalConfig) -> SweepBuilder {
+        cfg.builder()
+    }
 }
 
-/// A reproduced figure: labelled series plus axis metadata.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Figure {
-    /// Paper artifact id, e.g. "fig14a".
-    pub id: String,
-    /// Human title.
-    pub title: String,
-    /// X-axis label.
-    pub x_label: String,
-    /// Y-axis label.
-    pub y_label: String,
-    /// The series, in legend order.
-    pub series: Vec<Series>,
-}
-
-/// A sampled multicast instance on one topology.
-pub struct Instance {
-    /// The network (owns topology + routing).
-    pub net: IrregularNetwork,
-    /// The arranged participant chain (source first) — the rank binding.
-    pub chain: Vec<HostId>,
-}
-
-/// Samples the paper's workload: a random source and `dests` random
-/// destinations on the topology generated from `(cfg, topo_idx)`, arranged
-/// on the CCO ordering.
-///
-/// # Panics
-///
-/// Panics if `dests + 1` exceeds the host count.
+/// Pre-redesign sampling entry point.
+#[deprecated(since = "0.2.0", note = "use Sweep::topology + sample_chain instead")]
+#[allow(deprecated)]
 pub fn sample_instance(cfg: &EvalConfig, topo_idx: u32, set_idx: u32, dests: u32) -> Instance {
-    let net = IrregularNetwork::generate(cfg.net, cfg.topology_seed(topo_idx));
-    let ordering = cco(&net);
-    let chain = sample_chain(&net, &ordering, cfg.set_seed(topo_idx, set_idx), dests);
-    Instance { net, chain }
+    optimcast_sweep::sample_instance(
+        &cfg.builder().config().expect("legacy EvalConfig is valid"),
+        topo_idx,
+        set_idx,
+        dests,
+    )
 }
 
-/// Draws `dests + 1` distinct random hosts and arranges them on `ordering`
-/// (source first).
-pub fn sample_chain(
-    net: &IrregularNetwork,
-    ordering: &Ordering,
-    seed: u64,
-    dests: u32,
-) -> Vec<HostId> {
-    use optimcast_topology::Network as _;
-    let n_hosts = net.num_hosts();
-    assert!(
-        dests < n_hosts,
-        "multicast set of {} exceeds {n_hosts} hosts",
-        dests + 1
-    );
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut hosts: Vec<HostId> = (0..n_hosts).map(HostId).collect();
-    hosts.shuffle(&mut rng);
-    let source = hosts[0];
-    let dests = &hosts[1..=dests as usize];
-    ordering.arrange(source, dests)
-}
-
-/// Average simulated multicast latency (µs) for `dests` destinations and an
-/// `m`-packet message under `policy`, following the §5.2 averaging
-/// methodology. Topologies are evaluated in parallel.
+/// Pre-redesign point evaluation.
+#[deprecated(since = "0.2.0", note = "use Sweep::avg_latency instead")]
+#[allow(deprecated)]
 pub fn avg_latency(
     cfg: &EvalConfig,
     policy: TreePolicy,
@@ -195,359 +122,14 @@ pub fn avg_latency(
     m: u32,
     run: RunConfig,
 ) -> f64 {
-    let per_topology: Vec<f64> = parallel_map(cfg.topologies, |t| {
-        let net = IrregularNetwork::generate(cfg.net, cfg.topology_seed(t));
-        let ordering = cco(&net);
-        let mut sum = 0.0;
-        for s in 0..cfg.dest_sets {
-            let chain = sample_chain(&net, &ordering, cfg.set_seed(t, s), dests);
-            let tree = policy.tree(chain.len() as u32, m);
-            let out = run_multicast(&net, &tree, &chain, m, &cfg.params, run)
-                .expect("sampled chains form valid bindings");
-            sum += out.latency_us;
-        }
-        sum / f64::from(cfg.dest_sets)
-    });
-    per_topology.iter().sum::<f64>() / per_topology.len() as f64
+    cfg.sweep()
+        .avg_latency(policy, dests, m, run)
+        .expect("legacy avg_latency callers pass valid points")
 }
 
-/// Maps `f` over `0..n` on scoped threads (one per index), preserving order.
-fn parallel_map<T: Send>(n: u32, f: impl Fn(u32) -> T + Sync) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (t, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(t as u32));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("worker filled slot"))
-        .collect()
-}
-
-/// The destination counts the paper sweeps in Figs. 12(a)/13(a).
-pub const DEST_COUNTS: [u32; 4] = [15, 31, 47, 63];
-/// The packet counts the paper sweeps in Figs. 12(b)/13(b).
-pub const PACKET_COUNTS: [u32; 4] = [1, 2, 4, 8];
-/// The m-axis of Figs. 12(a)/13(a)/14(a): 1..32 packets.
-pub const M_SWEEP: [u32; 10] = [1, 2, 4, 6, 8, 12, 16, 20, 24, 28];
-/// The n-axis (multicast set size) of Figs. 12(b)/13(b)/14(b).
-pub const N_SWEEP: [u32; 9] = [4, 8, 12, 16, 24, 32, 40, 48, 64];
-
-/// Extended m-axis including the figure's right edge (m = 32).
-pub fn m_axis() -> Vec<u32> {
-    let mut v = M_SWEEP.to_vec();
-    v.push(32);
-    v
-}
-
-/// Fig. 4: conventional vs smart NI, single-packet multicast to 3
-/// destinations over the binomial tree (analytic; latency in µs).
-pub fn fig4(params: &SystemParams) -> Figure {
-    let tree = binomial_tree(4);
-    let sched = fpfs_schedule(&tree, 1);
-    Figure {
-        id: "fig4".into(),
-        title: "Conventional vs smart NI (binomial, 3 dest, 1 packet)".into(),
-        x_label: "NI architecture".into(),
-        y_label: "latency (us)".into(),
-        series: vec![
-            Series {
-                label: "conventional".into(),
-                points: vec![(0.0, conventional_latency_us(&tree, 1, params))],
-            },
-            Series {
-                label: "smart".into(),
-                points: vec![(1.0, smart_latency_us(&sched, params))],
-            },
-        ],
-    }
-}
-
-/// Fig. 5: steps to multicast 3 packets to 3 destinations over the binomial
-/// vs the linear tree (6 vs 5 steps) — the motivating counterexample.
-pub fn fig5() -> Figure {
-    let steps = |tree: &MulticastTree| f64::from(fpfs_schedule(tree, 3).total_steps());
-    Figure {
-        id: "fig5".into(),
-        title: "Binomial vs linear tree, 3 packets to 3 destinations".into(),
-        x_label: "tree".into(),
-        y_label: "steps".into(),
-        series: vec![
-            Series {
-                label: "binomial".into(),
-                points: vec![(0.0, steps(&binomial_tree(4)))],
-            },
-            Series {
-                label: "linear".into(),
-                points: vec![(1.0, steps(&linear_tree(4)))],
-            },
-        ],
-    }
-}
-
-/// Fig. 8: per-packet completion steps of a 3-packet multicast to 7
-/// destinations over the binomial tree (pipelining with lag `k_T = 3`).
-pub fn fig8() -> Figure {
-    let sched = fpfs_schedule(&binomial_tree(8), 3);
-    Figure {
-        id: "fig8".into(),
-        title: "Pipelined packet completions (binomial, 7 dest, 3 packets)".into(),
-        x_label: "packet".into(),
-        y_label: "completion step".into(),
-        series: vec![Series {
-            label: "completion".into(),
-            points: (0..3)
-                .map(|p| (f64::from(p + 1), f64::from(sched.packet_completion(p))))
-                .collect(),
-        }],
-    }
-}
-
-/// §3.3.2: FCFS vs FPFS per-packet buffer residency (in `t_sq` units) as the
-/// message length grows, for an intermediate node with `k` children.
-pub fn buffer_figure(k: u32) -> Figure {
-    let mut fcfs = Vec::new();
-    let mut fpfs = Vec::new();
-    for m in m_axis() {
-        let a = BufferAnalysis::new(k, m);
-        fcfs.push((f64::from(m), a.fcfs_residency as f64));
-        fpfs.push((f64::from(m), a.fpfs_residency as f64));
-    }
-    Figure {
-        id: "buffers".into(),
-        title: format!("Buffer residency per packet, k = {k} children (t_sq units)"),
-        x_label: "packets (m)".into(),
-        y_label: "residency (t_sq)".into(),
-        series: vec![
-            Series {
-                label: "FCFS".into(),
-                points: fcfs,
-            },
-            Series {
-                label: "FPFS".into(),
-                points: fpfs,
-            },
-        ],
-    }
-}
-
-/// Fig. 12(a): optimal `k` vs number of packets, for 15/31/47/63
-/// destinations (analytic).
-pub fn fig12a() -> Figure {
-    let series = DEST_COUNTS
-        .iter()
-        .map(|&d| Series {
-            label: format!("{d} dest"),
-            points: m_axis()
-                .into_iter()
-                .map(|m| (f64::from(m), f64::from(optimal_k(u64::from(d) + 1, m).k)))
-                .collect(),
-        })
-        .collect();
-    Figure {
-        id: "fig12a".into(),
-        title: "Optimal k value for k-binomial tree (fixed n, varying m)".into(),
-        x_label: "Number of packets (m)".into(),
-        y_label: "Optimal k".into(),
-        series,
-    }
-}
-
-/// Fig. 12(b): optimal `k` vs multicast set size, for 1/2/4/8 packets
-/// (analytic).
-pub fn fig12b() -> Figure {
-    let series = PACKET_COUNTS
-        .iter()
-        .map(|&m| Series {
-            label: format!("{m} pkt{}", if m == 1 { "" } else { "s" }),
-            points: (2..=64)
-                .map(|n: u64| (n as f64, f64::from(optimal_k(n, m).k)))
-                .collect(),
-        })
-        .collect();
-    Figure {
-        id: "fig12b".into(),
-        title: "Optimal k value for k-binomial tree (fixed m, varying n)".into(),
-        x_label: "Multicast set size (n)".into(),
-        y_label: "Optimal k".into(),
-        series,
-    }
-}
-
-/// Fig. 13(a): simulated k-binomial multicast latency vs packets, for
-/// 15/31/47/63 destinations.
-pub fn fig13a(cfg: &EvalConfig) -> Figure {
-    let series = DEST_COUNTS
-        .iter()
-        .map(|&d| Series {
-            label: format!("{d} dest"),
-            points: m_axis()
-                .into_iter()
-                .map(|m| {
-                    (
-                        f64::from(m),
-                        avg_latency(
-                            cfg,
-                            TreePolicy::OptimalKBinomial,
-                            d,
-                            m,
-                            RunConfig::default(),
-                        ),
-                    )
-                })
-                .collect(),
-        })
-        .collect();
-    Figure {
-        id: "fig13a".into(),
-        title: "Multicast latency using k-binomial tree (fixed n, varying m)".into(),
-        x_label: "Number of packets (m)".into(),
-        y_label: "latency (us)".into(),
-        series,
-    }
-}
-
-/// Fig. 13(b): simulated k-binomial multicast latency vs multicast set size,
-/// for 1/2/4/8 packets.
-pub fn fig13b(cfg: &EvalConfig) -> Figure {
-    let series = PACKET_COUNTS
-        .iter()
-        .rev() // paper legend lists 8 pkts first
-        .map(|&m| Series {
-            label: format!("{m} pkt{}", if m == 1 { "" } else { "s" }),
-            points: N_SWEEP
-                .iter()
-                .map(|&n| {
-                    (
-                        f64::from(n),
-                        avg_latency(
-                            cfg,
-                            TreePolicy::OptimalKBinomial,
-                            n - 1,
-                            m,
-                            RunConfig::default(),
-                        ),
-                    )
-                })
-                .collect(),
-        })
-        .collect();
-    Figure {
-        id: "fig13b".into(),
-        title: "Multicast latency using k-binomial tree (fixed m, varying n)".into(),
-        x_label: "Multicast set size (n)".into(),
-        y_label: "latency (us)".into(),
-        series,
-    }
-}
-
-/// Fig. 14(a): binomial vs optimal k-binomial latency vs packets, for 15 and
-/// 47 destinations.
-pub fn fig14a(cfg: &EvalConfig) -> Figure {
-    let mut series = Vec::new();
-    for &d in &[47u32, 15] {
-        for policy in [TreePolicy::Binomial, TreePolicy::OptimalKBinomial] {
-            series.push(Series {
-                label: format!("{d} dest {}", policy.label()),
-                points: m_axis()
-                    .into_iter()
-                    .map(|m| {
-                        (
-                            f64::from(m),
-                            avg_latency(cfg, policy, d, m, RunConfig::default()),
-                        )
-                    })
-                    .collect(),
-            });
-        }
-    }
-    Figure {
-        id: "fig14a".into(),
-        title: "Binomial vs k-binomial latency (fixed n, varying m)".into(),
-        x_label: "Number of packets (m)".into(),
-        y_label: "latency (us)".into(),
-        series,
-    }
-}
-
-/// Fig. 14(b): binomial vs optimal k-binomial latency vs multicast set size,
-/// for 2 and 8 packets.
-pub fn fig14b(cfg: &EvalConfig) -> Figure {
-    let mut series = Vec::new();
-    for &m in &[8u32, 2] {
-        for policy in [TreePolicy::Binomial, TreePolicy::OptimalKBinomial] {
-            series.push(Series {
-                label: format!("{m} pkts {}", policy.label()),
-                points: N_SWEEP
-                    .iter()
-                    .map(|&n| {
-                        (
-                            f64::from(n),
-                            avg_latency(cfg, policy, n - 1, m, RunConfig::default()),
-                        )
-                    })
-                    .collect(),
-            });
-        }
-    }
-    Figure {
-        id: "fig14b".into(),
-        title: "Binomial vs k-binomial latency (fixed m, varying n)".into(),
-        x_label: "Multicast set size (n)".into(),
-        y_label: "latency (us)".into(),
-        series,
-    }
-}
-
-/// Extension figure: total steps at the per-discipline optimal `k` for
-/// FPFS vs FCFS smart NIs across message lengths (the paper proves
-/// optimality only under FPFS; this quantifies what FCFS leaves on the
-/// table and where its optimum retreats to the chain).
-pub fn fig_disciplines(n: u32) -> Figure {
-    let mut fpfs = Vec::new();
-    let mut fcfs = Vec::new();
-    for m in m_axis() {
-        fpfs.push((f64::from(m), optimal_k(u64::from(n), m).steps as f64));
-        fcfs.push((f64::from(m), optimal_k_fcfs(n, m).steps as f64));
-    }
-    Figure {
-        id: "disciplines".into(),
-        title: format!("Optimal-tree steps, FPFS vs FCFS (n = {n})"),
-        x_label: "Number of packets (m)".into(),
-        y_label: "steps at optimal k".into(),
-        series: vec![
-            Series {
-                label: "FPFS".into(),
-                points: fpfs,
-            },
-            Series {
-                label: "FCFS".into(),
-                points: fcfs,
-            },
-        ],
-    }
-}
-
-/// Summary statistics of a latency sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencyStats {
-    /// Mean latency (µs).
-    pub mean: f64,
-    /// Sample standard deviation (µs); 0 for a single sample.
-    pub std: f64,
-    /// Fastest observed run (µs).
-    pub min: f64,
-    /// Slowest observed run (µs).
-    pub max: f64,
-    /// Number of samples (topologies × destination sets).
-    pub samples: u32,
-}
-
-/// As [`avg_latency`], but returning the full per-sample statistics —
-/// useful for judging whether a figure's differences exceed sampling noise.
+/// Pre-redesign per-sample statistics.
+#[deprecated(since = "0.2.0", note = "use Sweep::latency_stats instead")]
+#[allow(deprecated)]
 pub fn latency_stats(
     cfg: &EvalConfig,
     policy: TreePolicy,
@@ -555,183 +137,93 @@ pub fn latency_stats(
     m: u32,
     run: RunConfig,
 ) -> LatencyStats {
-    let per_topology: Vec<Vec<f64>> = parallel_map(cfg.topologies, |t| {
-        let net = IrregularNetwork::generate(cfg.net, cfg.topology_seed(t));
-        let ordering = cco(&net);
-        (0..cfg.dest_sets)
-            .map(|s| {
-                let chain = sample_chain(&net, &ordering, cfg.set_seed(t, s), dests);
-                let tree = policy.tree(chain.len() as u32, m);
-                run_multicast(&net, &tree, &chain, m, &cfg.params, run)
-                    .expect("sampled chains form valid bindings")
-                    .latency_us
-            })
-            .collect()
-    });
-    let all: Vec<f64> = per_topology.into_iter().flatten().collect();
-    let nsamp = all.len() as f64;
-    let mean = all.iter().sum::<f64>() / nsamp;
-    let var = if all.len() > 1 {
-        all.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nsamp - 1.0)
-    } else {
-        0.0
-    };
-    LatencyStats {
-        mean,
-        std: var.sqrt(),
-        min: all.iter().copied().fold(f64::INFINITY, f64::min),
-        max: all.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-        samples: all.len() as u32,
-    }
+    cfg.sweep()
+        .latency_stats(policy, dests, m, run)
+        .expect("legacy latency_stats callers pass valid points")
 }
 
-/// Sanity bound used by tests and the figures binary: the largest
-/// improvement factor of the optimal k-binomial tree over the binomial tree
-/// across an m sweep at `dests` destinations.
+/// Pre-redesign improvement-factor sweep.
+#[deprecated(since = "0.2.0", note = "use Sweep::improvement_factor instead")]
+#[allow(deprecated)]
 pub fn improvement_factor(cfg: &EvalConfig, dests: u32) -> f64 {
-    m_axis()
-        .into_iter()
-        .map(|m| {
-            let bin = avg_latency(cfg, TreePolicy::Binomial, dests, m, RunConfig::default());
-            let kbin = avg_latency(
-                cfg,
-                TreePolicy::OptimalKBinomial,
-                dests,
-                m,
-                RunConfig::default(),
-            );
-            bin / kbin
-        })
-        .fold(0.0, f64::max)
+    cfg.sweep()
+        .improvement_factor(dests)
+        .expect("legacy improvement_factor callers pass valid dests")
 }
 
-/// Upper bound of the optimal-k search interval, exposed for the benches.
-pub fn k_search_interval(n: u64) -> u32 {
-    ceil_log2(n).max(1)
+macro_rules! legacy_figure {
+    ($(#[$doc:meta])* $name:ident, $id:expr) => {
+        $(#[$doc])*
+        #[deprecated(since = "0.2.0", note = "use Sweep::figure instead")]
+        #[allow(deprecated)]
+        pub fn $name(cfg: &EvalConfig) -> Figure {
+            cfg.sweep()
+                .figure($id)
+                .expect("legacy figure configs are valid")
+        }
+    };
 }
+
+legacy_figure!(
+    /// Fig. 13(a) under the historic serial runner.
+    fig13a,
+    FigureId::Fig13a
+);
+legacy_figure!(
+    /// Fig. 13(b) under the historic serial runner.
+    fig13b,
+    FigureId::Fig13b
+);
+legacy_figure!(
+    /// Fig. 14(a) under the historic serial runner.
+    fig14a,
+    FigureId::Fig14a
+);
+legacy_figure!(
+    /// Fig. 14(b) under the historic serial runner.
+    fig14b,
+    FigureId::Fig14b
+);
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn seeds_are_distinct() {
-        let cfg = EvalConfig::quick();
-        assert_ne!(cfg.topology_seed(0), cfg.topology_seed(1));
-        assert_ne!(cfg.set_seed(0, 0), cfg.set_seed(0, 1));
-        assert_ne!(cfg.set_seed(0, 1), cfg.set_seed(1, 0));
+    fn shim_presets_match_builder_presets() {
+        let legacy = EvalConfig::paper();
+        assert_eq!(legacy.topologies, 10);
+        assert_eq!(legacy.dest_sets, 30);
+        assert_eq!(legacy.base_seed, 1997);
+        let quick = EvalConfig::quick();
+        assert_eq!((quick.topologies, quick.dest_sets), (2, 3));
+        // Struct-update call sites keep working and round-trip through the
+        // builder unchanged.
+        let tweaked = EvalConfig {
+            topologies: 3,
+            ..EvalConfig::paper()
+        };
+        let cfg = SweepBuilder::from(tweaked).config().unwrap();
+        assert_eq!(cfg.topologies(), 3);
+        assert_eq!(cfg.dest_sets(), 30);
+        assert_eq!(cfg.threads(), 1);
     }
 
     #[test]
-    fn sample_chain_is_deterministic_and_valid() {
-        let net = IrregularNetwork::generate(IrregularConfig::default(), 1);
-        let ordering = cco(&net);
-        let a = sample_chain(&net, &ordering, 99, 15);
-        let b = sample_chain(&net, &ordering, 99, 15);
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 16);
-        let mut dedup = a.clone();
-        dedup.sort();
-        dedup.dedup();
-        assert_eq!(dedup.len(), 16, "participants must be distinct");
-    }
-
-    #[test]
-    fn fig12a_matches_paper_claims() {
-        let f = fig12a();
-        assert_eq!(f.series.len(), 4);
-        for s in &f.series {
-            // m = 1 point: optimal k = ceil(log2 n) (binomial).
-            let d: u32 = s.label.split_whitespace().next().unwrap().parse().unwrap();
-            assert_eq!(
-                s.points[0].1 as u32,
-                ceil_log2(u64::from(d) + 1),
-                "{}",
-                s.label
-            );
-            // k is non-increasing along m.
-            for w in s.points.windows(2) {
-                assert!(w[1].1 <= w[0].1, "{} rose with m", s.label);
-            }
-        }
-        // 15 dest reaches k = 1 within the sweep (paper: crossover to linear).
-        let s15 = f.series.iter().find(|s| s.label == "15 dest").unwrap();
-        assert_eq!(s15.points.last().unwrap().1, 1.0);
-    }
-
-    #[test]
-    fn fig12b_converges_to_2() {
-        let f = fig12b();
-        for s in &f.series {
-            if s.label.starts_with('4') || s.label.starts_with('8') {
-                let last = s.points.last().unwrap();
-                assert_eq!(last.1, 2.0, "{} at n=64", s.label);
-            }
-        }
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let v = parallel_map(8, |i| i * 10);
-        assert_eq!(v, vec![0, 10, 20, 30, 40, 50, 60, 70]);
-    }
-
-    #[test]
-    fn avg_latency_sane_and_deterministic() {
-        let cfg = EvalConfig::quick();
-        let a = avg_latency(&cfg, TreePolicy::Binomial, 15, 2, RunConfig::default());
-        let b = avg_latency(&cfg, TreePolicy::Binomial, 15, 2, RunConfig::default());
-        assert_eq!(a, b, "averaging must be deterministic");
-        // At least the contention-free analytic floor: t_s + steps*t_step + t_r.
-        let floor = 12.5 + f64::from(4 + 4) * 5.0 + 12.5;
-        assert!(a >= floor - 1e-9, "avg {a} below analytic floor {floor}");
-        assert!(a < 1000.0, "avg {a} implausibly large");
-    }
-
-    #[test]
-    fn kbin_beats_bin_for_long_messages() {
-        let cfg = EvalConfig::quick();
-        let bin = avg_latency(&cfg, TreePolicy::Binomial, 47, 16, RunConfig::default());
-        let kbin = avg_latency(
-            &cfg,
-            TreePolicy::OptimalKBinomial,
-            47,
-            16,
+    fn shim_avg_latency_matches_engine() {
+        let legacy = avg_latency(
+            &EvalConfig::quick(),
+            TreePolicy::Binomial,
+            15,
+            2,
             RunConfig::default(),
         );
-        assert!(
-            kbin < bin,
-            "k-binomial ({kbin}) should beat binomial ({bin}) at m=16"
-        );
-    }
-}
-
-#[cfg(test)]
-mod stats_tests {
-    use super::*;
-
-    #[test]
-    fn stats_bracket_the_mean() {
-        let cfg = EvalConfig::quick();
-        let s = latency_stats(&cfg, TreePolicy::Binomial, 15, 2, RunConfig::default());
-        assert_eq!(s.samples, cfg.topologies * cfg.dest_sets);
-        assert!(s.min <= s.mean && s.mean <= s.max);
-        assert!(s.std >= 0.0);
-        let a = avg_latency(&cfg, TreePolicy::Binomial, 15, 2, RunConfig::default());
-        // avg_latency averages per-topology means of equal sample counts, so
-        // it equals the grand mean.
-        assert!((a - s.mean).abs() < 1e-9);
-    }
-
-    #[test]
-    fn discipline_figure_shapes() {
-        let f = fig_disciplines(64);
-        let fpfs = &f.series[0].points;
-        let fcfs = &f.series[1].points;
-        for (a, b) in fpfs.iter().zip(fcfs) {
-            assert!(b.1 >= a.1, "FCFS cannot beat FPFS at m={}", a.0);
-        }
-        // m = 1: identical.
-        assert_eq!(fpfs[0].1, fcfs[0].1);
+        let engine = SweepBuilder::quick()
+            .build()
+            .unwrap()
+            .avg_latency(TreePolicy::Binomial, 15, 2, RunConfig::default())
+            .unwrap();
+        assert_eq!(legacy.to_bits(), engine.to_bits());
     }
 }

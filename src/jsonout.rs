@@ -1,211 +1,5 @@
-//! Minimal JSON emission for CLI/figure output.
-//!
-//! The build environment cannot fetch `serde_json`, and the workspace only
-//! ever *writes* JSON (figure sidecars, `optimcast simulate --json`), so a
-//! tiny value tree plus a pretty-printer covers the need without the
-//! dependency.
+//! JSON emission and parsing — re-exported from the sweep engine crate,
+//! which owns the schema shared by the committed `results/*.json` goldens,
+//! the CLI `--json` paths, and `BENCH_sweep.json`.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    /// Finite numbers only; non-finite values print as `null`.
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    /// Key/value pairs in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for object members.
-    pub fn obj(members: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            members
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Serializes with two-space indentation and a trailing newline,
-    /// matching `serde_json::to_string_pretty` closely enough for diffs.
-    pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        let inner = "  ".repeat(indent + 1);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(n) => {
-                if !n.is_finite() {
-                    out.push_str("null");
-                } else if *n == n.trunc() && n.abs() < 1e15 {
-                    let _ = write!(out, "{}", *n as i64);
-                } else {
-                    let _ = write!(out, "{n}");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&inner);
-                    item.write(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&pad);
-                out.push(']');
-            }
-            Json::Obj(members) => {
-                if members.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in members.iter().enumerate() {
-                    out.push_str(&inner);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    if i + 1 < members.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&pad);
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<f64> for Json {
-    fn from(n: f64) -> Json {
-        Json::Num(n)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(n: u64) -> Json {
-        Json::Num(n as f64)
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Types that render themselves as a [`Json`] value.
-pub trait ToJson {
-    fn to_json(&self) -> Json;
-}
-
-impl ToJson for crate::experiments::Series {
-    fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("label", Json::Str(self.label.clone())),
-            (
-                "points",
-                Json::Arr(
-                    self.points
-                        .iter()
-                        .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
-                        .collect(),
-                ),
-            ),
-        ])
-    }
-}
-
-impl ToJson for crate::experiments::Figure {
-    fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("id", Json::Str(self.id.clone())),
-            ("title", Json::Str(self.title.clone())),
-            ("x_label", Json::Str(self.x_label.clone())),
-            ("y_label", Json::Str(self.y_label.clone())),
-            (
-                "series",
-                Json::Arr(self.series.iter().map(ToJson::to_json).collect()),
-            ),
-        ])
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pretty_prints_nested_structure() {
-        let v = Json::obj(vec![
-            ("name", Json::from("fig\"4\"")),
-            ("n", Json::Num(3.0)),
-            ("frac", Json::Num(2.5)),
-            ("items", Json::Arr(vec![Json::Num(1.0), Json::Null])),
-            ("empty", Json::Arr(vec![])),
-        ]);
-        let s = v.to_string_pretty();
-        assert!(s.contains("\"name\": \"fig\\\"4\\\"\""));
-        assert!(s.contains("\"n\": 3,"));
-        assert!(s.contains("\"frac\": 2.5,"));
-        assert!(s.contains("\"empty\": []"));
-        // Integral floats print as integers; arrays indent their items.
-        assert!(s.contains("[\n    1,\n    null\n  ]"));
-    }
-
-    #[test]
-    fn figure_round_trips_to_json_text() {
-        let fig = crate::experiments::Figure {
-            id: "t".into(),
-            title: "T".into(),
-            x_label: "x".into(),
-            y_label: "y".into(),
-            series: vec![crate::experiments::Series {
-                label: "s1".into(),
-                points: vec![(1.0, 2.0)],
-            }],
-        };
-        let s = fig.to_json().to_string_pretty();
-        assert!(s.contains("\"id\": \"t\""));
-        assert!(s.contains("\"label\": \"s1\""));
-    }
-}
+pub use optimcast_sweep::{Json, JsonError, ToJson};

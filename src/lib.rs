@@ -16,9 +16,25 @@
 //!   routing, orderings, contention analysis;
 //! * `optimcast_netsim` (re-exported as [`netsim`]) — the discrete-event
 //!   simulator;
-//! * this crate — the end-to-end experiment pipeline ([`experiments`]), the
-//!   static schedule/route contention analysis ([`analysis`]), and the
-//!   `figures` binary that prints every paper figure as a data table.
+//! * `optimcast_sweep` (re-exported as [`sweep`]) — the deterministic
+//!   parallel sweep engine: the validated [`SweepBuilder`](prelude::SweepBuilder)
+//!   API, memoized topology/tree construction, figure regeneration, and the
+//!   unified figure JSON schema;
+//! * this crate — the experiment facade ([`experiments`]), the static
+//!   schedule/route contention analysis ([`analysis`]), and the `figures`
+//!   binary that prints every paper figure as a data table.
+//!
+//! ## Regenerating figures
+//!
+//! ```
+//! use optimcast::prelude::*;
+//!
+//! // 2 topologies × 3 destination sets on 2 workers; results are
+//! // bit-identical for every thread count.
+//! let sweep = SweepBuilder::quick().parallelism(2).build().unwrap();
+//! let fig = sweep.figure(FigureId::Fig13a).unwrap();
+//! assert_eq!(fig.series[0].label, "15 dest");
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -48,6 +64,7 @@
 pub use optimcast_collectives as collectives;
 pub use optimcast_core as core;
 pub use optimcast_netsim as netsim;
+pub use optimcast_sweep as sweep;
 pub use optimcast_topology as topology;
 
 pub mod analysis;
@@ -59,7 +76,11 @@ pub mod jsonout;
 pub mod prelude {
     pub use optimcast_core::prelude::*;
     pub use optimcast_netsim::{
-        run_multicast, ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig,
+        run_multicast, run_multicast_shared, ContentionMode, MulticastOutcome, NiTiming, NicKind,
+        RunConfig, SimError,
+    };
+    pub use optimcast_sweep::{
+        Figure, FigureId, Series, Sweep, SweepBuilder, SweepError, TreePolicy,
     };
     pub use optimcast_topology::cube::CubeNetwork;
     pub use optimcast_topology::graph::{ChannelId, HostId, LinkId, SwitchId};
@@ -69,5 +90,4 @@ pub mod prelude {
 
     pub use crate::analysis::schedule_conflicts;
     pub use crate::comm::Communicator;
-    pub use crate::experiments::{EvalConfig, Series, TreePolicy};
 }

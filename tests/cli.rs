@@ -156,3 +156,63 @@ fn figures_quick_analytic_subset() {
     assert!(text.contains("## fig12a"), "{text}");
     assert!(text.contains("binomial"), "{text}");
 }
+
+#[test]
+fn figures_threads_flag_is_output_invariant() {
+    let run = |threads: &str| {
+        let dir = std::env::temp_dir().join(format!("optimcast-figjson-{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+            .args([
+                "--quick",
+                "--threads",
+                threads,
+                "--json",
+                dir.to_str().unwrap(),
+                "fig13a",
+            ])
+            .output()
+            .expect("figures runs");
+        assert!(out.status.success());
+        std::fs::read_to_string(dir.join("fig13a.json")).expect("sidecar written")
+    };
+    assert_eq!(run("1"), run("3"), "thread count changed figure bytes");
+}
+
+#[test]
+fn bench_sweep_smoke() {
+    let out_path = std::env::temp_dir().join("optimcast-bench-sweep-smoke.json");
+    let _ = std::fs::remove_file(&out_path);
+    let out = Command::new(env!("CARGO_BIN_EXE_optimcast"))
+        .args([
+            "bench-sweep",
+            "--smoke",
+            "--threads",
+            "2",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("identical to serial: true"), "{stdout}");
+    let body = std::fs::read_to_string(&out_path).expect("report written");
+    for key in [
+        "\"cells\"",
+        "\"serial_seconds\"",
+        "\"parallel_seconds\"",
+        "\"serial_cells_per_sec\"",
+        "\"parallel_cells_per_sec\"",
+        "\"speedup\"",
+        "\"cache_hit_rate\"",
+        "\"identical\": true",
+        "\"figure\"",
+    ] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+}

@@ -3,7 +3,7 @@
 //! change legitimately moves them, update these values alongside
 //! EXPERIMENTS.md.)
 
-use optimcast::experiments::{avg_latency, fig12a, fig12b, fig5, fig8, EvalConfig, TreePolicy};
+use optimcast::experiments::{fig12a, fig12b, fig5, fig8};
 use optimcast::prelude::*;
 
 /// Analytic figures are parameter-exact.
@@ -33,12 +33,21 @@ fn analytic_goldens() {
 /// quick-config values instead (same determinism guarantees).
 #[test]
 fn simulated_goldens_quick_config() {
-    let cfg = EvalConfig::quick();
+    let sweep = SweepBuilder::quick().build().unwrap();
     let run = RunConfig::default();
-    let bin = avg_latency(&cfg, TreePolicy::Binomial, 47, 32, run);
-    let kbin = avg_latency(&cfg, TreePolicy::OptimalKBinomial, 47, 32, run);
-    // Exact determinism: identical on every machine and run.
-    let bin2 = avg_latency(&cfg, TreePolicy::Binomial, 47, 32, run);
+    let bin = sweep
+        .avg_latency(TreePolicy::Binomial, 47, 32, run)
+        .unwrap();
+    let kbin = sweep
+        .avg_latency(TreePolicy::OptimalKBinomial, 47, 32, run)
+        .unwrap();
+    // Exact determinism: identical on every machine and run (and on a
+    // fresh engine with cold caches).
+    let bin2 = SweepBuilder::quick()
+        .build()
+        .unwrap()
+        .avg_latency(TreePolicy::Binomial, 47, 32, run)
+        .unwrap();
     assert_eq!(bin, bin2);
     // The headline ratio at the figure's right edge.
     let ratio = bin / kbin;

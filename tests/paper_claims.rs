@@ -2,30 +2,30 @@
 //! pipeline (reduced sample counts keep test time reasonable; the `figures`
 //! binary runs the full 10 × 30 methodology).
 
-use optimcast::experiments::{
-    avg_latency, fig12a, fig12b, fig5, fig8, improvement_factor, EvalConfig, TreePolicy,
-};
+use optimcast::experiments::{fig12a, fig12b, fig5, fig8};
 use optimcast::prelude::*;
 
-fn cfg() -> EvalConfig {
-    EvalConfig {
-        topologies: 3,
-        dest_sets: 5,
-        ..EvalConfig::paper()
-    }
+fn sweep() -> Sweep {
+    SweepBuilder::paper()
+        .topologies(3)
+        .dest_sets(5)
+        .parallelism(2)
+        .build()
+        .expect("reduced paper methodology is valid")
 }
 
 /// §5.2 / Fig. 14: "the performance of the k-binomial tree is better by a
 /// factor of up to 2 when compared to the binomial tree".
 #[test]
 fn kbinomial_up_to_2x_better_than_binomial() {
-    let f = improvement_factor(&cfg(), 47);
+    let s = sweep();
+    let f = s.improvement_factor(47).unwrap();
     assert!(
         f >= 1.8,
         "expected ~2x max improvement for 47 dests, got {f:.2}x"
     );
     // And the same for the largest multicast set.
-    let f63 = improvement_factor(&cfg(), 63);
+    let f63 = s.improvement_factor(63).unwrap();
     assert!(f63 >= 1.8, "63 dests: {f63:.2}x");
 }
 
@@ -33,16 +33,12 @@ fn kbinomial_up_to_2x_better_than_binomial() {
 /// performance improvement of k-binomial over binomial increases".
 #[test]
 fn improvement_grows_with_packet_count() {
-    let c = cfg();
+    let s = sweep();
     let ratio = |m: u32| {
-        avg_latency(&c, TreePolicy::Binomial, 47, m, RunConfig::default())
-            / avg_latency(
-                &c,
-                TreePolicy::OptimalKBinomial,
-                47,
-                m,
-                RunConfig::default(),
-            )
+        s.avg_latency(TreePolicy::Binomial, 47, m, RunConfig::default())
+            .unwrap()
+            / s.avg_latency(TreePolicy::OptimalKBinomial, 47, m, RunConfig::default())
+                .unwrap()
     };
     let r2 = ratio(2);
     let r8 = ratio(8);
@@ -56,16 +52,14 @@ fn improvement_grows_with_packet_count() {
 /// end of the k spectrum).
 #[test]
 fn optimal_tree_dominates_linear_too() {
-    let c = cfg();
+    let s = sweep();
     for (dests, m) in [(15u32, 4u32), (47, 8), (63, 32)] {
-        let lin = avg_latency(&c, TreePolicy::Linear, dests, m, RunConfig::default());
-        let opt = avg_latency(
-            &c,
-            TreePolicy::OptimalKBinomial,
-            dests,
-            m,
-            RunConfig::default(),
-        );
+        let lin = s
+            .avg_latency(TreePolicy::Linear, dests, m, RunConfig::default())
+            .unwrap();
+        let opt = s
+            .avg_latency(TreePolicy::OptimalKBinomial, dests, m, RunConfig::default())
+            .unwrap();
         assert!(
             opt <= lin + 1e-9,
             "dests={dests} m={m}: optimal {opt:.1} > linear {lin:.1}"
@@ -77,30 +71,18 @@ fn optimal_tree_dominates_linear_too() {
 /// "increase in multicast latency is less when the optimal k reduces").
 #[test]
 fn latency_grows_linearly_once_k_converges() {
-    let c = cfg();
+    let s = sweep();
     // For 63 dests the optimal k is 2 from m = 4 onwards (Fig. 12). The
     // marginal per-packet latency is then constant: 2 steps = 10 us.
-    let l8 = avg_latency(
-        &c,
-        TreePolicy::OptimalKBinomial,
-        63,
-        8,
-        RunConfig::default(),
-    );
-    let l16 = avg_latency(
-        &c,
-        TreePolicy::OptimalKBinomial,
-        63,
-        16,
-        RunConfig::default(),
-    );
-    let l24 = avg_latency(
-        &c,
-        TreePolicy::OptimalKBinomial,
-        63,
-        24,
-        RunConfig::default(),
-    );
+    let l8 = s
+        .avg_latency(TreePolicy::OptimalKBinomial, 63, 8, RunConfig::default())
+        .unwrap();
+    let l16 = s
+        .avg_latency(TreePolicy::OptimalKBinomial, 63, 16, RunConfig::default())
+        .unwrap();
+    let l24 = s
+        .avg_latency(TreePolicy::OptimalKBinomial, 63, 24, RunConfig::default())
+        .unwrap();
     let s1 = (l16 - l8) / 8.0;
     let s2 = (l24 - l16) / 8.0;
     assert!(
@@ -177,17 +159,19 @@ fn fig12b_shapes() {
 /// the physics of the model.
 #[test]
 fn simulated_never_beats_analytic_floor() {
-    let c = cfg();
+    let s = sweep();
     for policy in [
         TreePolicy::Linear,
         TreePolicy::Binomial,
         TreePolicy::OptimalKBinomial,
     ] {
         for (dests, m) in [(15u32, 2u32), (31, 8)] {
-            let avg = avg_latency(&c, policy, dests, m, RunConfig::default());
+            let avg = s
+                .avg_latency(policy, dests, m, RunConfig::default())
+                .unwrap();
             let n = dests + 1;
             let tree = policy.tree(n, m);
-            let floor = smart_latency_us(&fpfs_schedule(&tree, m), &c.params);
+            let floor = smart_latency_us(&fpfs_schedule(&tree, m), s.config().params());
             assert!(
                 avg >= floor - 1e-6,
                 "{policy:?} dests={dests} m={m}: avg {avg:.2} < floor {floor:.2}"

@@ -1,0 +1,111 @@
+//! Determinism guarantees of the parallel sweep engine: thread count must
+//! never change results, only wall time.
+
+use optimcast::prelude::*;
+use optimcast::sweep::{PointSpec, ToJson};
+use proptest::prelude::*;
+
+/// Renders a grid result as Figure JSON, the engine's public output format.
+fn grid_figure_json(sweep: &Sweep, specs: &[PointSpec]) -> String {
+    let means = sweep.grid(specs).expect("specs fit the network");
+    let fig = Figure {
+        id: "prop".into(),
+        title: "property grid".into(),
+        x_label: "point".into(),
+        y_label: "latency (us)".into(),
+        series: vec![Series {
+            label: "grid".into(),
+            points: means
+                .into_iter()
+                .enumerate()
+                .map(|(i, y)| (i as f64, y))
+                .collect(),
+        }],
+    };
+    fig.to_json().to_string_pretty()
+}
+
+proptest! {
+    /// The parallel runner at 1, 2, and 8 workers produces byte-identical
+    /// figure JSON for random small configurations.
+    #[test]
+    fn workers_1_2_8_byte_identical(
+        topologies in 1u32..=2,
+        dest_sets in 1u32..=2,
+        base_seed in 0u64..1_000_000,
+        dests in 3u32..=63,
+        m in 1u32..=8,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            TreePolicy::Linear,
+            TreePolicy::Binomial,
+            TreePolicy::OptimalKBinomial,
+            TreePolicy::FixedK(3),
+        ][policy_idx];
+        let specs = [
+            PointSpec::new(policy, dests, m),
+            PointSpec::new(policy, dests.min(15), m + 1),
+        ];
+        let json_for = |threads: usize| {
+            let sweep = SweepBuilder::quick()
+                .topologies(topologies)
+                .dest_sets(dest_sets)
+                .base_seed(base_seed)
+                .parallelism(threads)
+                .build()
+                .expect("small configs are valid");
+            grid_figure_json(&sweep, &specs)
+        };
+        let serial = json_for(1);
+        prop_assert_eq!(&serial, &json_for(2), "2 workers diverged");
+        prop_assert_eq!(&serial, &json_for(8), "8 workers diverged");
+    }
+}
+
+/// A full simulated figure is byte-identical across 1, 2, and 8 workers on
+/// the quick methodology.
+#[test]
+fn full_figure_byte_identical_across_workers() {
+    let json_for = |threads: usize| {
+        let sweep = SweepBuilder::quick().parallelism(threads).build().unwrap();
+        let fig = sweep.figure(FigureId::Fig13b).unwrap();
+        fig.to_json().to_string_pretty()
+    };
+    let serial = json_for(1);
+    assert_eq!(serial, json_for(2));
+    assert_eq!(serial, json_for(8));
+}
+
+/// Memoization shares one tree arena per resolved `(n, k)` across the whole
+/// engine — repeated lookups are pointer-equal, not merely value-equal.
+#[test]
+fn memoized_trees_are_pointer_equal() {
+    let sweep = SweepBuilder::quick().build().unwrap();
+    let a = sweep.tree(TreePolicy::OptimalKBinomial, 48, 8);
+    let b = sweep.tree(TreePolicy::OptimalKBinomial, 48, 8);
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+    // A fixed-k request resolving to the same shape shares it too.
+    let k = optimal_k(48, 8).k;
+    let c = sweep.tree(TreePolicy::FixedK(k), 48, 8);
+    assert!(std::sync::Arc::ptr_eq(&a, &c));
+    let stats = sweep.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 2);
+}
+
+/// The memoized topology entries are shared across grid evaluations, so a
+/// multi-point sweep generates each topology exactly once.
+#[test]
+fn topologies_built_once_per_sweep() {
+    let sweep = SweepBuilder::quick().parallelism(2).build().unwrap();
+    let specs: Vec<PointSpec> = (1..=4)
+        .map(|m| PointSpec::new(TreePolicy::OptimalKBinomial, 15, m))
+        .collect();
+    sweep.grid(&specs).unwrap();
+    let stats = sweep.cache_stats();
+    // 2 topology builds + at most a handful of distinct (n, k) trees; all
+    // other lookups must be hits.
+    assert!(stats.misses <= 2 + 4, "misses: {}", stats.misses);
+    assert!(stats.hits >= 8 - stats.misses, "hits: {}", stats.hits);
+}

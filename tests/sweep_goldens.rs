@@ -1,0 +1,99 @@
+//! Golden tests pinning the sweep engine's output to the committed
+//! `results/*.json` files — byte-for-byte, including float formatting.
+//!
+//! The analytic figures are cheap and compared on every test run. The
+//! simulated figures under the full 10 × 30 paper methodology take minutes,
+//! so they are `#[ignore]`d here and exercised by
+//! `cargo test --release -- --ignored` (and by regenerating the committed
+//! files with `figures --json results`).
+
+use optimcast::prelude::*;
+use optimcast::sweep::{Json, ToJson};
+
+fn committed(id: FigureId) -> String {
+    let path = format!("{}/results/{id}.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn regenerate(id: FigureId, threads: usize) -> String {
+    let sweep = SweepBuilder::paper()
+        .parallelism(threads)
+        .build()
+        .expect("paper methodology is valid");
+    sweep
+        .figure(id)
+        .expect("committed figures regenerate")
+        .to_json()
+        .to_string_pretty()
+}
+
+/// Analytic figures reproduce their committed JSON byte-for-byte.
+#[test]
+fn analytic_figures_byte_identical() {
+    for id in FigureId::ALL {
+        if id.simulated() {
+            continue;
+        }
+        assert_eq!(
+            regenerate(id, 1),
+            committed(id),
+            "{id} drifted from results/{id}.json"
+        );
+    }
+}
+
+/// Every committed results file round-trips through the shared JSON schema
+/// (parse → `Figure::from_json` → re-serialize) without losing a byte.
+#[test]
+fn schema_round_trips_all_committed_results() {
+    for id in FigureId::ALL {
+        let text = committed(id);
+        let value = Json::parse(&text).unwrap_or_else(|e| panic!("{id}: {e}"));
+        let fig = Figure::from_json(&value).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(fig.id, id.as_str());
+        assert!(!fig.series.is_empty(), "{id} has no series");
+        assert_eq!(
+            fig.to_json().to_string_pretty(),
+            text,
+            "{id} schema round-trip is lossy"
+        );
+    }
+}
+
+/// Full-methodology simulated figures, serial engine. Expensive; run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full 10x30 methodology: minutes of simulation"]
+fn simulated_figures_byte_identical_serial() {
+    for id in [
+        FigureId::Fig13a,
+        FigureId::Fig13b,
+        FigureId::Fig14a,
+        FigureId::Fig14b,
+    ] {
+        assert_eq!(
+            regenerate(id, 1),
+            committed(id),
+            "{id} drifted from results/{id}.json"
+        );
+    }
+}
+
+/// Full-methodology simulated figures on a multi-worker engine match the
+/// committed serial goldens byte-for-byte.
+#[test]
+#[ignore = "full 10x30 methodology: minutes of simulation"]
+fn simulated_figures_byte_identical_parallel() {
+    for id in [
+        FigureId::Fig13a,
+        FigureId::Fig13b,
+        FigureId::Fig14a,
+        FigureId::Fig14b,
+    ] {
+        assert_eq!(
+            regenerate(id, 4),
+            committed(id),
+            "{id} (4 workers) drifted from results/{id}.json"
+        );
+    }
+}
