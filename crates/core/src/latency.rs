@@ -82,6 +82,38 @@ pub fn latency_us(
     }
 }
 
+/// Analytic estimate of smart-NI multicast latency when each transmission
+/// is independently lost with probability `drop_rate` and recovered by a
+/// stop-and-wait retransmission after `ack_timeout_us`.
+///
+/// Each scheduled step is a transmission; a geometric number of extra
+/// attempts (`d / (1 - d)` expected per step) each costs one timeout wait
+/// plus a repeated step, stretching the critical path to
+/// `L ≈ t_s + steps · (1 + d/(1-d) · (ack_timeout + t_step)/t_step) · t_step + t_r`.
+/// At `d = 0` this is exactly [`smart_latency_from_steps`]; it grows
+/// monotonically (and without bound) as `d → 1`. A first-order estimate for
+/// sizing chaos sweeps, not a substitute for simulation: it ignores backoff
+/// doubling and the partial overlap of independent subtree recoveries.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ drop_rate < 1` and `ack_timeout_us ≥ 0`.
+pub fn degraded_smart_latency_us(
+    sched: &Schedule,
+    p: &SystemParams,
+    drop_rate: f64,
+    ack_timeout_us: f64,
+) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&drop_rate),
+        "drop_rate must lie in [0, 1)"
+    );
+    assert!(ack_timeout_us >= 0.0, "ack_timeout_us must be non-negative");
+    let base = smart_latency_from_steps(sched.total_steps(), p);
+    let retries_per_step = drop_rate / (1.0 - drop_rate);
+    base + f64::from(sched.total_steps()) * retries_per_step * (ack_timeout_us + p.t_step())
+}
+
 /// The source-side view: time at which `rank`'s *host* has the whole message
 /// under smart NI (NI receive of last packet plus the host receive overhead).
 pub fn smart_host_completion_us(sched: &Schedule, rank: Rank, p: &SystemParams) -> f64 {
@@ -215,6 +247,27 @@ mod tests {
         assert_eq!(
             latency_us(LatencyModel::ConventionalNi, &t, &s, &p()),
             conventional_latency_us(&t, 2, &p())
+        );
+    }
+
+    /// At zero drop rate the degraded estimate collapses to the exact
+    /// fault-free latency; it is monotone in the drop rate.
+    #[test]
+    fn degraded_latency_anchors_and_grows() {
+        let t = kbinomial_tree(16, 2);
+        let s = fpfs_schedule(&t, 4);
+        let base = smart_latency_us(&s, &p());
+        assert_eq!(degraded_smart_latency_us(&s, &p(), 0.0, 60.0), base);
+        let mut prev = base;
+        for d in [0.01, 0.05, 0.1, 0.25, 0.5, 0.9] {
+            let est = degraded_smart_latency_us(&s, &p(), d, 60.0);
+            assert!(est > prev, "d={d}: {est} <= {prev}");
+            prev = est;
+        }
+        // A longer timeout costs more per recovery.
+        assert!(
+            degraded_smart_latency_us(&s, &p(), 0.1, 120.0)
+                > degraded_smart_latency_us(&s, &p(), 0.1, 60.0)
         );
     }
 

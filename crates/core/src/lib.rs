@@ -65,14 +65,16 @@ pub mod prelude {
     pub use crate::buffer::{fcfs_buffer_steps, fpfs_buffer_steps, BufferAnalysis};
     pub use crate::builders::{binomial_tree, kbinomial_tree, linear_tree, TreeKind};
     pub use crate::coverage::{coverage, min_steps, MAX_K};
-    pub use crate::latency::{conventional_latency_us, smart_latency_us, LatencyModel};
+    pub use crate::latency::{
+        conventional_latency_us, degraded_smart_latency_us, smart_latency_us, LatencyModel,
+    };
     pub use crate::optimal::{optimal_k, total_steps, OptimalK, OptimalKTable};
     pub use crate::param_model::{optimal_k_param, param_schedule, ParamModel, ParamOptimal};
     pub use crate::params::SystemParams;
     pub use crate::schedule::{
         fcfs_schedule, fpfs_schedule, ForwardingDiscipline, Schedule, SendEvent,
     };
-    pub use crate::tree::{MulticastTree, Rank};
+    pub use crate::tree::{MulticastTree, Rank, RepairError, TreeRepair};
 }
 
 pub use prelude::*;

@@ -396,6 +396,251 @@ impl MulticastTree {
     }
 }
 
+/// Result of [`MulticastTree::repair`]: a tree over the surviving ranks
+/// (renumbered densely, old-rank order) plus the rank correspondence and the
+/// list of re-attachments performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeRepair {
+    /// The repaired tree over `survivors` ranks; rank 0 is still the source.
+    pub tree: MulticastTree,
+    /// `new_to_old[new.index()]` = the surviving participant's original rank.
+    pub new_to_old: Vec<Rank>,
+    /// `old_to_new[old.index()]` = the participant's rank in the repaired
+    /// tree, or `None` if it failed.
+    pub old_to_new: Vec<Option<Rank>>,
+    /// Each orphaned subtree root and the surviving node it was re-attached
+    /// to, both as *original* ranks, in re-attachment order.
+    pub reattached: Vec<(Rank, Rank)>,
+}
+
+/// Why [`MulticastTree::repair`] rejected a failure set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairError {
+    /// The source failed: there is no multicast to repair.
+    SourceFailed,
+    /// A failed rank is outside the tree.
+    UnknownRank(Rank),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::SourceFailed => write!(f, "the multicast source failed"),
+            RepairError::UnknownRank(r) => write!(f, "failed rank {r} is not in the tree"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl MulticastTree {
+    /// Rebuilds the tree after the given ranks fail, re-attaching every
+    /// orphaned subtree to a surviving node while preserving the fan-out
+    /// bound `k = max_degree()` (so a repaired k-binomial tree is still at
+    /// most k-ary).
+    ///
+    /// Surviving edges keep their send order; each orphaned subtree root is
+    /// re-attached to its nearest surviving original ancestor with spare
+    /// fan-out, falling back to the closest-to-root surviving node with
+    /// spare fan-out (breadth-first). Survivors are renumbered densely in
+    /// original-rank order, so a fault-free repair is the identity.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::SourceFailed`] if rank 0 is in `failed`;
+    /// [`RepairError::UnknownRank`] for an out-of-range rank.
+    pub fn repair(&self, failed: &[Rank]) -> Result<TreeRepair, RepairError> {
+        let n = self.len();
+        let mut dead = vec![false; n];
+        for &r in failed {
+            if r.index() >= n {
+                return Err(RepairError::UnknownRank(r));
+            }
+            if r == Rank::SOURCE {
+                return Err(RepairError::SourceFailed);
+            }
+            dead[r.index()] = true;
+        }
+
+        // Dense renumbering, original-rank order (source stays rank 0).
+        let mut old_to_new: Vec<Option<Rank>> = vec![None; n];
+        let mut new_to_old = Vec::new();
+        for old in 0..n {
+            if !dead[old] {
+                old_to_new[old] = Some(Rank(new_to_old.len() as u32));
+                new_to_old.push(Rank(old as u32));
+            }
+        }
+        let survivors = new_to_old.len();
+        let mut tree = MulticastTree::with_capacity(survivors as u32);
+
+        // Fan-out budget: a repaired tree must stay within the original k
+        // (a leaf-only tree still permits single children).
+        let k = self.max_degree().max(1) as usize;
+
+        // Pass 1 — keep every surviving edge, in preorder, so each parent's
+        // surviving children retain their original send order.
+        for r in self.dfs_preorder() {
+            if dead[r.index()] {
+                continue;
+            }
+            if let Some(p) = self.parent(r) {
+                if !dead[p.index()] {
+                    tree.attach(
+                        old_to_new[p.index()].unwrap(),
+                        old_to_new[r.index()].unwrap(),
+                    );
+                }
+            }
+        }
+
+        // Which new ranks are currently reachable from the source.
+        let mut connected = vec![false; survivors];
+        let mark_component = |tree: &MulticastTree, connected: &mut Vec<bool>, start: Rank| {
+            let mut stack = vec![start];
+            while let Some(u) = stack.pop() {
+                if std::mem::replace(&mut connected[u.index()], true) {
+                    continue;
+                }
+                stack.extend(tree.children(u).iter().copied());
+            }
+        };
+        mark_component(&tree, &mut connected, Rank::SOURCE);
+
+        // Pass 2 — re-attach each orphaned subtree root (original-rank
+        // order): nearest surviving *connected* original ancestor with spare
+        // fan-out, else the closest-to-root connected node with spare
+        // fan-out. Attaching only to connected targets keeps the structure
+        // acyclic by construction.
+        let mut reattached = Vec::new();
+        for old in 1..n {
+            if dead[old] {
+                continue;
+            }
+            let new_r = old_to_new[old].unwrap();
+            if connected[new_r.index()] {
+                continue; // still rooted (directly or via pass-1 edges)
+            }
+            let old_parent = self.parent(Rank(old as u32)).expect("non-source rank");
+            if !dead[old_parent.index()] {
+                continue; // inside an orphaned subtree; its root re-attaches
+            }
+            let mut target = None;
+            let mut anc = Some(old_parent);
+            while let Some(a) = anc {
+                if !dead[a.index()] {
+                    let na = old_to_new[a.index()].unwrap();
+                    if connected[na.index()] && tree.children(na).len() < k {
+                        target = Some(na);
+                        break;
+                    }
+                }
+                anc = self.parent(a);
+            }
+            let target = target.unwrap_or_else(|| {
+                // Breadth-first from the source: the shallowest connected
+                // node with spare fan-out (always exists — leaves have
+                // degree 0 < k).
+                let mut queue = std::collections::VecDeque::from([Rank::SOURCE]);
+                while let Some(u) = queue.pop_front() {
+                    if tree.children(u).len() < k {
+                        return u;
+                    }
+                    queue.extend(
+                        tree.children(u)
+                            .iter()
+                            .copied()
+                            .filter(|c| connected[c.index()]),
+                    );
+                }
+                unreachable!("a connected component always has a node with spare fan-out")
+            });
+            tree.attach(target, new_r);
+            mark_component(&tree, &mut connected, new_r);
+            reattached.push((Rank(old as u32), new_to_old[target.index()]));
+        }
+
+        debug_assert!(tree.validate().is_ok());
+        Ok(TreeRepair {
+            tree,
+            new_to_old,
+            old_to_new,
+            reattached,
+        })
+    }
+}
+
+#[cfg(test)]
+mod repair_tests {
+    use super::*;
+    use crate::builders::{binomial_tree, kbinomial_tree, linear_tree};
+
+    #[test]
+    fn no_failures_is_identity() {
+        let t = kbinomial_tree(16, 2);
+        let rep = t.repair(&[]).unwrap();
+        assert_eq!(rep.tree, t);
+        assert!(rep.reattached.is_empty());
+        assert_eq!(rep.new_to_old, (0..16).map(Rank).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn source_failure_is_rejected() {
+        let t = binomial_tree(8);
+        assert_eq!(t.repair(&[Rank(0)]), Err(RepairError::SourceFailed));
+        assert_eq!(t.repair(&[Rank(9)]), Err(RepairError::UnknownRank(Rank(9))));
+    }
+
+    #[test]
+    fn orphans_reattach_to_nearest_ancestor() {
+        // Chain 0-1-2-3: killing 1 orphans {2,3}; 2's nearest surviving
+        // ancestor is the source, 3 stays under 2.
+        let t = linear_tree(4);
+        let rep = t.repair(&[Rank(1)]).unwrap();
+        rep.tree.validate().unwrap();
+        assert_eq!(rep.tree.len(), 3);
+        assert_eq!(rep.reattached, vec![(Rank(2), Rank(0))]);
+        // New ranks: 0->0, 2->1, 3->2.
+        assert_eq!(rep.tree.parent(Rank(1)), Some(Rank(0)));
+        assert_eq!(rep.tree.parent(Rank(2)), Some(Rank(1)));
+        assert_eq!(rep.tree.max_degree(), 1, "chain fan-out preserved");
+    }
+
+    #[test]
+    fn fan_out_bound_is_preserved() {
+        for k in 1..=4u32 {
+            let t = kbinomial_tree(32, k);
+            // Kill every child of the root: all grandchild subtrees must
+            // re-attach without exceeding k anywhere.
+            let failed: Vec<Rank> = t.root_children().to_vec();
+            let rep = t.repair(&failed).unwrap();
+            rep.tree.validate().unwrap();
+            assert_eq!(rep.tree.len(), 32 - failed.len());
+            assert!(
+                rep.tree.max_degree() <= t.max_degree().max(1),
+                "k={k}: repaired degree {} exceeds bound",
+                rep.tree.max_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn every_survivor_is_reached_exactly_once() {
+        let t = kbinomial_tree(24, 3);
+        let failed = [Rank(1), Rank(5), Rank(11), Rank(17)];
+        let rep = t.repair(&failed).unwrap();
+        rep.tree.validate().unwrap(); // attached exactly once + connected
+        assert_eq!(rep.tree.len(), 20);
+        // The rank maps are mutually inverse over survivors.
+        for (new, &old) in rep.new_to_old.iter().enumerate() {
+            assert_eq!(rep.old_to_new[old.index()], Some(Rank(new as u32)));
+        }
+        for &f in &failed {
+            assert_eq!(rep.old_to_new[f.index()], None);
+        }
+    }
+}
+
 #[cfg(test)]
 mod dot_tests {
     use super::*;

@@ -108,6 +108,7 @@ impl ForwardingDiscipline for Conventional {
                     from: at,
                     child: c,
                     dest: c,
+                    attempt: 0,
                 },
             );
         }

@@ -31,6 +31,7 @@ impl ForwardingDiscipline for Fcfs {
                         from: Rank::SOURCE,
                         child: c,
                         dest: c,
+                        attempt: 0,
                     },
                 );
             }
@@ -75,6 +76,7 @@ impl ForwardingDiscipline for Fcfs {
                     from: at,
                     child: kids[0],
                     dest: kids[0],
+                    attempt: 0,
                 },
             );
             if received == packets {
@@ -88,6 +90,7 @@ impl ForwardingDiscipline for Fcfs {
                                 from: at,
                                 child: c,
                                 dest: c,
+                                attempt: 0,
                             },
                         );
                     }

@@ -31,6 +31,7 @@ impl ForwardingDiscipline for Fpfs {
                         from: Rank::SOURCE,
                         child: c,
                         dest: c,
+                        attempt: 0,
                     },
                 );
             }
@@ -74,6 +75,7 @@ impl ForwardingDiscipline for Fpfs {
                         from: at,
                         child: c,
                         dest: c,
+                        attempt: 0,
                     },
                 );
             }

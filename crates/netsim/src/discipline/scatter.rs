@@ -37,6 +37,7 @@ impl ForwardingDiscipline for Scatter {
                     from: Rank::SOURCE,
                     child,
                     dest,
+                    attempt: 0,
                 },
             );
         }
@@ -80,6 +81,7 @@ impl ForwardingDiscipline for Scatter {
                     from: at,
                     child: next,
                     dest,
+                    attempt: 0,
                 },
             );
             st.queue.schedule(now, Ev::TrySend(v_host));

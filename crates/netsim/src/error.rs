@@ -8,6 +8,8 @@
 //! (scheduling into the past, an event for a non-existent rank) still panic:
 //! they indicate simulator bugs, not caller mistakes.
 
+use crate::observe::SimCounters;
+use optimcast_core::tree::Rank;
 use optimcast_topology::graph::HostId;
 
 /// A rejected simulation input.
@@ -58,6 +60,30 @@ pub enum SimError {
         /// The host bound twice.
         host: HostId,
     },
+    /// A fault plan failed validation (probability out of range, zero
+    /// attempt budget, negative times).
+    InvalidFaultPlan {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A non-trivial fault plan was paired with overlapped NI timing.
+    /// Reliable delivery is stop-and-wait: the sender must hold each
+    /// packet's buffer copy until the receiver's acknowledgement, which is
+    /// exactly handshake timing — overlapped release would free the copy
+    /// before a retransmission could need it.
+    FaultsNeedHandshakeTiming,
+    /// The run terminated with destinations never reached: the fault plan's
+    /// losses and crashes exceeded what the reliability layer could recover
+    /// from. Carries the unreached `(job, rank)` set and the run's counters
+    /// so callers can report drops/retransmits even for failed runs.
+    DeliveryFailed {
+        /// Every `(job, rank)` whose host never completed, in job-then-rank
+        /// order.
+        unreached: Vec<(u32, Rank)>,
+        /// Structured counters of the failed run (boxed: the variant would
+        /// otherwise dominate the enum's size).
+        counters: Box<SimCounters>,
+    },
 }
 
 // NegativeStart carries an f64 only for diagnostics; errors are still
@@ -89,6 +115,31 @@ impl std::fmt::Display for SimError {
             }
             SimError::DuplicateHost { job, host } => {
                 write!(f, "job {job}: host {host} bound twice")
+            }
+            SimError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
+            SimError::FaultsNeedHandshakeTiming => {
+                write!(
+                    f,
+                    "fault injection requires handshake NI timing (stop-and-wait \
+                     reliable delivery holds each buffer copy until acknowledgement)"
+                )
+            }
+            SimError::DeliveryFailed { unreached, .. } => {
+                let preview: Vec<String> = unreached
+                    .iter()
+                    .take(8)
+                    .map(|(j, r)| format!("job {j}/{r}"))
+                    .collect();
+                let ellipsis = if unreached.len() > 8 { ", ..." } else { "" };
+                write!(
+                    f,
+                    "delivery failed: {} destination(s) unreached [{}{}]",
+                    unreached.len(),
+                    preview.join(", "),
+                    ellipsis
+                )
             }
         }
     }
@@ -144,5 +195,23 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
         }
+    }
+
+    #[test]
+    fn fault_errors_name_the_cause() {
+        let invalid = SimError::InvalidFaultPlan {
+            reason: "drop_rate must lie in [0, 1)",
+        };
+        assert!(invalid.to_string().contains("drop_rate"));
+        assert!(SimError::FaultsNeedHandshakeTiming
+            .to_string()
+            .contains("handshake"));
+        let failed = SimError::DeliveryFailed {
+            unreached: vec![(0, Rank(3)), (0, Rank(7))],
+            counters: Box::default(),
+        };
+        let msg = failed.to_string();
+        assert!(msg.contains("2 destination(s) unreached"), "{msg}");
+        assert!(msg.contains("job 0/r3"), "{msg}");
     }
 }

@@ -6,30 +6,20 @@ use optimcast_topology::graph::HostId;
 
 /// A discrete simulation event.
 ///
-/// Host-level events (`TrySend`, `SendRelease`) address physical hosts,
-/// because a host's NI send unit is shared by every job it participates in;
-/// the remaining events are scoped to one (job, rank).
+/// Host-level events (`TrySend`, `SendRelease`, `AckTimeout`) address
+/// physical hosts, because a host's NI send unit is shared by every job it
+/// participates in; the remaining events are scoped to one (job, rank).
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Ev {
     /// The host's send unit may dispatch its next queued packet.
     TrySend(HostId),
     /// A packet's head reached the receiving NI; queue it on the receive
-    /// unit.
-    Arrive {
-        job: u32,
-        to: Rank,
-        packet: u32,
-        from: Rank,
-        dest: Rank,
-    },
+    /// unit. `corrupt` marks a transmission the fault plan damaged in
+    /// flight — it still occupies the wire and the receive unit, then is
+    /// NACKed instead of delivered.
+    Arrive { item: SendItem, corrupt: bool },
     /// The receive unit finished pulling the packet in.
-    RecvDone {
-        job: u32,
-        at: Rank,
-        packet: u32,
-        from: Rank,
-        dest: Rank,
-    },
+    RecvDone { item: SendItem, corrupt: bool },
     /// A conventional-NI host processor is ready to prepare its next child
     /// message.
     HostReady { job: u32, at: Rank },
@@ -42,6 +32,11 @@ pub(crate) enum Ev {
     },
     /// Overlapped timing: the send unit frees `t_send` after dispatch.
     SendRelease(HostId),
+    /// Reliability layer: the acknowledgement for the host's in-flight send
+    /// did not arrive in time. `seq` is the dispatch sequence number the
+    /// timeout was armed for, so a stale timeout cannot release a newer
+    /// transmission.
+    AckTimeout { host: HostId, seq: u64 },
 }
 
 /// A queued packet transmission.
@@ -56,4 +51,7 @@ pub(crate) struct SendItem {
     /// Final destination rank (for personalized payloads; equals `child`
     /// for replicated copies, whose identity is just the packet index).
     pub dest: Rank,
+    /// Transmission attempt, 0 on first dispatch; the reliability layer
+    /// re-enqueues failed sends with the attempt bumped.
+    pub attempt: u32,
 }

@@ -1,0 +1,436 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] describes everything that can go wrong in a run: random
+//! per-transmission packet loss and corruption, link failure windows,
+//! permanent host crashes, and NI forwarding-buffer exhaustion. Every random
+//! decision is a **pure function** of the plan's seed and the transmission's
+//! identity `(job, from, to, packet, attempt)` — sampled through one
+//! [`ChaCha8Rng`] draw per decision, never from shared mutable RNG state —
+//! so a plan produces the same fault schedule regardless of event
+//! interleaving or worker count. That property is what lets the chaos sweep
+//! (`optimcast chaos`) promise byte-identical JSON at any parallelism.
+//!
+//! The simulator consumes a plan through three queries:
+//!
+//! * [`FaultPlan::tx_outcome`] — the fate of one dispatched transmission;
+//! * [`FaultPlan::host_crashed`] — whether a host is dead at a given time;
+//! * [`FaultPlan::rto`] — the capped-exponential retransmission timeout.
+//!
+//! A *trivial* plan (no fault source enabled) is recognised by
+//! [`FaultPlan::is_trivial`]; the simulator then takes the exact fault-free
+//! code path, so wiring a trivial plan through changes nothing — not even
+//! the event count — which `tests/golden_equivalence.rs` pins down.
+
+use optimcast_rng::{ChaCha8Rng, Rng};
+use optimcast_topology::graph::{ChannelId, HostId};
+
+/// What a fault did to a transmission (observer/diagnostic vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The packet was lost in the network (random drop).
+    Drop,
+    /// The packet arrived but failed its integrity check; the receiver
+    /// NACKs and the sender retransmits immediately.
+    Corrupt,
+    /// A channel on the route was inside a failure window at dispatch.
+    LinkDown,
+    /// The receiving host is crashed at arrival time.
+    ReceiverDead,
+    /// The sending host is crashed; its queued transmissions are discarded.
+    SenderDead,
+    /// The receiving NI's forwarding buffer was exhausted; the packet is
+    /// refused (NACK) and retransmitted.
+    BufferOverflow,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::LinkDown => "link-down",
+            FaultKind::ReceiverDead => "receiver-dead",
+            FaultKind::SenderDead => "sender-dead",
+            FaultKind::BufferOverflow => "buffer-overflow",
+        })
+    }
+}
+
+/// A directed channel out of service during `[from_us, until_us)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFailure {
+    /// The failed channel.
+    pub channel: ChannelId,
+    /// Window start (inclusive, µs).
+    pub from_us: f64,
+    /// Window end (exclusive, µs).
+    pub until_us: f64,
+}
+
+/// A host permanently crashed from `at_us` onward (fail-stop: it neither
+/// sends nor receives after that instant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCrash {
+    /// The crashed host.
+    pub host: HostId,
+    /// Crash time (µs); packets arriving at or after this instant are lost.
+    pub at_us: f64,
+}
+
+/// A deterministic fault schedule plus the reliability-layer knobs.
+///
+/// All fields are public: a plan is plain data, validated once when the
+/// simulation is constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of every random fault decision.
+    pub seed: u64,
+    /// Per-transmission loss probability in `[0, 1)`.
+    pub drop_rate: f64,
+    /// Per-transmission corruption probability in `[0, 1)`. A corrupted
+    /// packet traverses the network and occupies the receive unit, then is
+    /// NACKed.
+    pub corrupt_rate: f64,
+    /// Channel outage windows.
+    pub link_failures: Vec<LinkFailure>,
+    /// Permanent host crashes.
+    pub crashes: Vec<HostCrash>,
+    /// NI forwarding-buffer capacity in packets (`None` = unbounded, the
+    /// fault-free model). A forwarding NI with `capacity` resident packets
+    /// refuses further arrivals that would need buffering.
+    pub ni_buffer_capacity: Option<u32>,
+    /// Total transmission attempts per packet copy before the sender
+    /// abandons it (≥ 1). The cap is what guarantees termination under
+    /// permanent faults.
+    pub max_attempts: u32,
+    /// Base acknowledgement timeout (µs) before a lost packet is
+    /// retransmitted.
+    pub ack_timeout_us: f64,
+    /// Exponent cap of the backoff: attempt `a` waits
+    /// `ack_timeout_us * 2^min(a, backoff_cap)`.
+    pub backoff_cap: u32,
+}
+
+impl FaultPlan {
+    /// A plan with every fault source disabled and default reliability
+    /// parameters — [`Self::is_trivial`] holds.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            link_failures: Vec::new(),
+            crashes: Vec::new(),
+            ni_buffer_capacity: None,
+            max_attempts: 8,
+            ack_timeout_us: 60.0,
+            backoff_cap: 4,
+        }
+    }
+
+    /// True when no fault source is enabled, so the plan cannot perturb a
+    /// run. The simulator short-circuits trivial plans onto the exact
+    /// fault-free code path.
+    pub fn is_trivial(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.link_failures.is_empty()
+            && self.crashes.is_empty()
+            && self.ni_buffer_capacity.is_none()
+    }
+
+    /// Checks the plan's parameters; the simulator rejects invalid plans
+    /// with a typed error before any event runs.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let prob_ok = |p: f64| (0.0..1.0).contains(&p);
+        if !prob_ok(self.drop_rate) {
+            return Err("drop_rate must lie in [0, 1)");
+        }
+        if !prob_ok(self.corrupt_rate) {
+            return Err("corrupt_rate must lie in [0, 1)");
+        }
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1");
+        }
+        if self.ack_timeout_us <= 0.0 || self.ack_timeout_us.is_nan() {
+            return Err("ack_timeout_us must be positive");
+        }
+        for w in &self.link_failures {
+            if w.from_us.is_nan() || w.until_us.is_nan() || w.from_us < 0.0 {
+                return Err("link failure window must be non-negative and not NaN");
+            }
+        }
+        for c in &self.crashes {
+            if c.at_us.is_nan() || c.at_us < 0.0 {
+                return Err("crash time must be non-negative and not NaN");
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `host` is crashed at `t_us` (crash instants are inclusive).
+    pub fn host_crashed(&self, host: HostId, t_us: f64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.host == host && t_us >= c.at_us)
+    }
+
+    /// Whether any channel of `route` is inside a failure window at `t_us`.
+    pub fn link_down(&self, route: &[ChannelId], t_us: f64) -> bool {
+        self.link_failures
+            .iter()
+            .any(|w| t_us >= w.from_us && t_us < w.until_us && route.contains(&w.channel))
+    }
+
+    /// The fate of one transmission, decided at dispatch.
+    ///
+    /// Checked in severity order: a crashed receiver (at arrival time), a
+    /// failed link (at depart time), random loss, random corruption.
+    /// `None` means the packet is delivered intact. Loss and corruption are
+    /// pure functions of `(seed, job, from, to, packet, attempt)` — each
+    /// retransmission redraws.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tx_outcome(
+        &self,
+        job: u32,
+        from: u32,
+        to: u32,
+        packet: u32,
+        attempt: u32,
+        route: &[ChannelId],
+        depart_us: f64,
+        arrive_us: f64,
+        receiver: HostId,
+    ) -> Option<FaultKind> {
+        if self.host_crashed(receiver, arrive_us) {
+            return Some(FaultKind::ReceiverDead);
+        }
+        if self.link_down(route, depart_us) {
+            return Some(FaultKind::LinkDown);
+        }
+        if self.decide(1, job, from, to, packet, attempt) < self.drop_rate {
+            return Some(FaultKind::Drop);
+        }
+        if self.decide(2, job, from, to, packet, attempt) < self.corrupt_rate {
+            return Some(FaultKind::Corrupt);
+        }
+        None
+    }
+
+    /// Retransmission timeout of attempt `a`: capped exponential backoff
+    /// `ack_timeout_us * 2^min(a, backoff_cap)`.
+    pub fn rto(&self, attempt: u32) -> f64 {
+        let exp = attempt.min(self.backoff_cap);
+        self.ack_timeout_us * f64::from(1u32 << exp.min(31))
+    }
+
+    /// One uniform draw in `[0, 1)` keyed by the transmission identity and
+    /// a stream tag (so drop and corruption use independent streams).
+    fn decide(&self, stream: u64, job: u32, from: u32, to: u32, packet: u32, attempt: u32) -> f64 {
+        let mut key = self.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        for field in [job, from, to, packet, attempt] {
+            key = key
+                .wrapping_add(u64::from(field))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            key ^= key >> 29;
+        }
+        let bits = ChaCha8Rng::seed_from_u64(key).next_u64();
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A compact, `Copy` description of a fault plan for sweep axes: the chaos
+/// engine materialises it into a full [`FaultPlan`] per sample, choosing
+/// the concrete crashed hosts deterministically from the sample's identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanSpec {
+    /// Seed folded into every sample's fault schedule.
+    pub seed: u64,
+    /// Per-transmission loss probability in `[0, 1)`.
+    pub drop_rate: f64,
+    /// Per-transmission corruption probability in `[0, 1)`.
+    pub corrupt_rate: f64,
+    /// Number of destination hosts to crash at time zero (repaired around
+    /// before the run).
+    pub crashes: u32,
+    /// Total attempts per packet copy before abandoning.
+    pub max_attempts: u32,
+    /// Base acknowledgement timeout (µs).
+    pub ack_timeout_us: f64,
+}
+
+impl Default for FaultPlanSpec {
+    /// The trivial spec: no faults, default reliability knobs.
+    fn default() -> Self {
+        FaultPlanSpec {
+            seed: 0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            crashes: 0,
+            max_attempts: 8,
+            ack_timeout_us: 60.0,
+        }
+    }
+}
+
+impl FaultPlanSpec {
+    /// True when the spec cannot produce any fault.
+    pub fn is_trivial(&self) -> bool {
+        self.drop_rate == 0.0 && self.corrupt_rate == 0.0 && self.crashes == 0
+    }
+
+    /// Expands the spec into a [`FaultPlan`] with the given crash schedule;
+    /// `salt` distinguishes samples so each draws an independent fault
+    /// stream from the same spec.
+    pub fn plan(&self, salt: u64, crashes: Vec<HostCrash>) -> FaultPlan {
+        FaultPlan {
+            seed: self
+                .seed
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                .wrapping_add(salt),
+            drop_rate: self.drop_rate,
+            corrupt_rate: self.corrupt_rate,
+            crashes,
+            max_attempts: self.max_attempts,
+            ack_timeout_us: self.ack_timeout_us,
+            ..FaultPlan::new(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plan_has_no_faults() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_trivial());
+        plan.validate().unwrap();
+        assert_eq!(
+            plan.tx_outcome(0, 0, 1, 0, 0, &[ChannelId(0)], 0.0, 10.0, HostId(1)),
+            None
+        );
+        assert!(FaultPlanSpec::default().is_trivial());
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_identity() {
+        let plan = FaultPlan {
+            drop_rate: 0.5,
+            ..FaultPlan::new(42)
+        };
+        let route = [ChannelId(3)];
+        let a = plan.tx_outcome(0, 0, 5, 2, 0, &route, 0.0, 10.0, HostId(5));
+        let b = plan.tx_outcome(0, 0, 5, 2, 0, &route, 99.0, 200.0, HostId(5));
+        // Same identity, different times: the random verdict is identical.
+        assert_eq!(a, b);
+        // A different attempt redraws.
+        let mut varied = false;
+        for attempt in 0..16 {
+            if plan.tx_outcome(0, 0, 5, 2, attempt, &route, 0.0, 1.0, HostId(5)) != a {
+                varied = true;
+            }
+        }
+        assert!(varied, "attempts never redrew at 50% drop rate");
+    }
+
+    #[test]
+    fn drop_rate_is_respected_statistically() {
+        let plan = FaultPlan {
+            drop_rate: 0.25,
+            ..FaultPlan::new(11)
+        };
+        let dropped = (0..4000)
+            .filter(|&p| {
+                plan.tx_outcome(0, 0, 1, p, 0, &[], 0.0, 1.0, HostId(1)) == Some(FaultKind::Drop)
+            })
+            .count();
+        let rate = dropped as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn link_windows_are_half_open() {
+        let plan = FaultPlan {
+            link_failures: vec![LinkFailure {
+                channel: ChannelId(2),
+                from_us: 10.0,
+                until_us: 20.0,
+            }],
+            ..FaultPlan::new(0)
+        };
+        assert!(!plan.is_trivial());
+        let route = [ChannelId(1), ChannelId(2)];
+        assert!(!plan.link_down(&route, 9.9));
+        assert!(plan.link_down(&route, 10.0));
+        assert!(plan.link_down(&route, 19.9));
+        assert!(!plan.link_down(&route, 20.0));
+        assert!(!plan.link_down(&[ChannelId(1)], 15.0));
+        assert_eq!(
+            plan.tx_outcome(0, 0, 1, 0, 0, &route, 15.0, 25.0, HostId(1)),
+            Some(FaultKind::LinkDown)
+        );
+    }
+
+    #[test]
+    fn crashes_are_permanent_and_dominant() {
+        let plan = FaultPlan {
+            crashes: vec![HostCrash {
+                host: HostId(3),
+                at_us: 50.0,
+            }],
+            ..FaultPlan::new(0)
+        };
+        assert!(!plan.host_crashed(HostId(3), 49.9));
+        assert!(plan.host_crashed(HostId(3), 50.0));
+        assert!(plan.host_crashed(HostId(3), 1e9));
+        assert!(!plan.host_crashed(HostId(2), 60.0));
+        assert_eq!(
+            plan.tx_outcome(0, 0, 1, 0, 0, &[], 55.0, 60.0, HostId(3)),
+            Some(FaultKind::ReceiverDead)
+        );
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_with_cap() {
+        let plan = FaultPlan::new(0);
+        assert_eq!(plan.rto(0), 60.0);
+        assert_eq!(plan.rto(1), 120.0);
+        assert_eq!(plan.rto(4), 960.0);
+        // Capped at backoff_cap = 4.
+        assert_eq!(plan.rto(40), 960.0);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad = |f: fn(&mut FaultPlan)| {
+            let mut p = FaultPlan::new(0);
+            f(&mut p);
+            p.validate().unwrap_err()
+        };
+        assert!(bad(|p| p.drop_rate = 1.0).contains("drop_rate"));
+        assert!(bad(|p| p.corrupt_rate = -0.1).contains("corrupt_rate"));
+        assert!(bad(|p| p.max_attempts = 0).contains("max_attempts"));
+        assert!(bad(|p| p.ack_timeout_us = 0.0).contains("ack_timeout_us"));
+        assert!(bad(|p| p.crashes.push(HostCrash {
+            host: HostId(0),
+            at_us: -1.0,
+        }))
+        .contains("crash"));
+    }
+
+    #[test]
+    fn spec_expansion_salts_the_seed() {
+        let spec = FaultPlanSpec {
+            seed: 7,
+            drop_rate: 0.1,
+            ..FaultPlanSpec::default()
+        };
+        let a = spec.plan(0, Vec::new());
+        let b = spec.plan(1, Vec::new());
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.drop_rate, 0.1);
+        assert_eq!(a, spec.plan(0, Vec::new()), "expansion is deterministic");
+    }
+}

@@ -20,6 +20,10 @@ struct HostState {
     send_queue: VecDeque<SendItem>,
     send_busy: bool,
     in_flight: Option<SendItem>,
+    /// Dispatch counter; the sequence number of the current in-flight send
+    /// (valid while `send_busy`). Retransmission timeouts are armed against
+    /// this so a stale timeout cannot release a newer transmission.
+    seq: u64,
     recv_free: SimTime,
     resident: u32,
     max_resident: u32,
@@ -39,6 +43,7 @@ impl HostModel {
                     send_queue: VecDeque::new(),
                     send_busy: false,
                     in_flight: None,
+                    seq: 0,
                     recv_free: SimTime::ZERO,
                     resident: 0,
                     max_resident: 0,
@@ -65,7 +70,21 @@ impl HostModel {
         let item = hs.send_queue.pop_front()?;
         hs.send_busy = true;
         hs.in_flight = Some(item);
+        hs.seq += 1;
         Some(item)
+    }
+
+    /// Sequence number of the current in-flight send (`None` if the unit is
+    /// free).
+    pub fn in_flight_seq(&self, h: HostId) -> Option<u64> {
+        let hs = &self.hosts[h.index()];
+        hs.send_busy.then_some(hs.seq)
+    }
+
+    /// Discards every queued transmission of a crashed host, returning the
+    /// items so the caller can account for them.
+    pub fn drain_send_queue(&mut self, h: HostId) -> Vec<SendItem> {
+        self.hosts[h.index()].send_queue.drain(..).collect()
     }
 
     /// Frees the send unit, returning the transmission it was occupied by.
@@ -110,6 +129,11 @@ impl HostModel {
         }
     }
 
+    /// Packets currently resident in the host's forwarding buffer.
+    pub fn resident(&self, h: HostId) -> u32 {
+        self.hosts[h.index()].resident
+    }
+
     /// The host's buffer high-water mark.
     pub fn max_resident(&self, h: HostId) -> u32 {
         self.hosts[h.index()].max_resident
@@ -133,6 +157,7 @@ mod tests {
             from: Rank::SOURCE,
             child: Rank(1),
             dest: Rank(1),
+            attempt: 0,
         }
     }
 
@@ -177,6 +202,32 @@ mod tests {
             hm.unstage(h);
         }
         assert_eq!(hm.stage(h, 1), 1);
+    }
+
+    #[test]
+    fn dispatch_sequence_tracks_in_flight_sends() {
+        let mut hm = HostModel::new(1);
+        let h = HostId(0);
+        assert_eq!(hm.in_flight_seq(h), None);
+        hm.enqueue(h, item(0));
+        hm.enqueue(h, item(1));
+        hm.try_dispatch(h).unwrap();
+        assert_eq!(hm.in_flight_seq(h), Some(1));
+        hm.release_send_unit(h);
+        assert_eq!(hm.in_flight_seq(h), None);
+        hm.try_dispatch(h).unwrap();
+        assert_eq!(hm.in_flight_seq(h), Some(2));
+    }
+
+    #[test]
+    fn drain_discards_queued_sends() {
+        let mut hm = HostModel::new(1);
+        let h = HostId(0);
+        hm.enqueue(h, item(0));
+        hm.enqueue(h, item(1));
+        let drained = hm.drain_send_queue(h);
+        assert_eq!(drained.len(), 2);
+        assert!(hm.try_dispatch(h).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod discipline;
 pub mod engine;
 pub mod error;
 mod event;
+pub mod fault;
 mod host;
 pub mod observe;
 pub mod packet;
@@ -42,13 +43,14 @@ pub mod time;
 pub mod workload;
 
 pub use error::SimError;
+pub use fault::{FaultKind, FaultPlan, FaultPlanSpec, HostCrash, LinkFailure};
 pub use observe::{Observer, SimCounters};
 pub use sim::{
-    run_multicast, run_multicast_shared, ContentionMode, MulticastOutcome, NiTiming, NicKind,
-    RunConfig,
+    run_multicast, run_multicast_shared, run_multicast_with_faults, ContentionMode,
+    MulticastOutcome, NiTiming, NicKind, RunConfig,
 };
 pub use time::SimTime;
 pub use workload::{
-    run_workload, run_workload_observed, JobPayload, MulticastJob, PersonalizedOrder, TraceKind,
-    TraceRecord, WorkloadConfig, WorkloadOutcome,
+    run_workload, run_workload_observed, run_workload_with_faults, JobPayload, MulticastJob,
+    PersonalizedOrder, TraceKind, TraceRecord, WorkloadConfig, WorkloadOutcome,
 };

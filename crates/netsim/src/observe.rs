@@ -8,6 +8,7 @@
 //! that one hook set; none of them can affect simulated timing, which the
 //! trace-neutrality integration test pins down.
 
+use crate::fault::FaultKind;
 use crate::workload::{TraceKind, TraceRecord};
 use optimcast_core::tree::Rank;
 use optimcast_topology::graph::HostId;
@@ -57,6 +58,57 @@ pub trait Observer {
     /// A host's forwarding buffer changed occupancy (grew to `resident`).
     fn buffer_grew(&mut self, host: HostId, resident: u32) {
         let _ = (host, resident);
+    }
+
+    /// A transmission was lost or refused: `kind` says how (random drop,
+    /// corruption, link outage, dead peer, buffer exhaustion).
+    fn packet_dropped(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        kind: FaultKind,
+    ) {
+        let _ = (t_us, job, from, to, packet, kind);
+    }
+
+    /// The reliability layer re-enqueued a failed transmission as `attempt`
+    /// after `waited_us` of recovery stall (the ACK timeout for losses, 0
+    /// for immediate NACKs).
+    #[allow(clippy::too_many_arguments)]
+    fn retransmit_scheduled(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        attempt: u32,
+        waited_us: f64,
+    ) {
+        let _ = (t_us, job, from, to, packet, attempt, waited_us);
+    }
+
+    /// An injected infrastructure fault fired (link outage hit, host crash
+    /// took effect, buffer exhausted) at `host`.
+    fn fault_triggered(&mut self, t_us: f64, kind: FaultKind, host: HostId) {
+        let _ = (t_us, kind, host);
+    }
+
+    /// The sender gave up on a packet copy after exhausting its
+    /// transmission attempts.
+    fn delivery_abandoned(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        attempts: u32,
+    ) {
+        let _ = (t_us, job, from, to, packet, attempts);
     }
 }
 
@@ -183,6 +235,21 @@ pub struct SimCounters {
     pub buffer_occupancy: Vec<u64>,
     /// Discrete events processed.
     pub events: u64,
+    /// Transmissions lost or refused by the fault plan (all
+    /// [`FaultKind`]s, corruption included).
+    pub packets_dropped: u64,
+    /// The corrupted subset of `packets_dropped` (arrived but NACKed).
+    pub packets_corrupted: u64,
+    /// Failed transmissions re-enqueued by the reliability layer.
+    pub retransmits: u64,
+    /// Packet copies abandoned after exhausting their attempt budget.
+    pub deliveries_abandoned: u64,
+    /// Infrastructure faults that fired (link outages hit, dead peers
+    /// addressed, buffer exhaustions).
+    pub faults_triggered: u64,
+    /// Total send-unit stall spent waiting out ACK timeouts (µs) — the
+    /// recovery latency the fault plan cost this run.
+    pub recovery_wait_us: f64,
 }
 
 /// Fills a [`SimCounters`].
@@ -230,6 +297,51 @@ impl Observer for CountersCollector {
             c.buffer_occupancy.resize(idx + 1, 0);
         }
         c.buffer_occupancy[idx] += 1;
+    }
+
+    fn packet_dropped(
+        &mut self,
+        _t_us: f64,
+        _job: u32,
+        _from: Rank,
+        _to: Rank,
+        _packet: u32,
+        kind: FaultKind,
+    ) {
+        self.counters.packets_dropped += 1;
+        if kind == FaultKind::Corrupt {
+            self.counters.packets_corrupted += 1;
+        }
+    }
+
+    fn retransmit_scheduled(
+        &mut self,
+        _t_us: f64,
+        _job: u32,
+        _from: Rank,
+        _to: Rank,
+        _packet: u32,
+        _attempt: u32,
+        waited_us: f64,
+    ) {
+        self.counters.retransmits += 1;
+        self.counters.recovery_wait_us += waited_us;
+    }
+
+    fn fault_triggered(&mut self, _t_us: f64, _kind: FaultKind, _host: HostId) {
+        self.counters.faults_triggered += 1;
+    }
+
+    fn delivery_abandoned(
+        &mut self,
+        _t_us: f64,
+        _job: u32,
+        _from: Rank,
+        _to: Rank,
+        _packet: u32,
+        _attempts: u32,
+    ) {
+        self.counters.deliveries_abandoned += 1;
     }
 }
 
@@ -296,6 +408,48 @@ impl<'a> ObserverHub<'a> {
     pub fn buffer_grew(&mut self, host: HostId, resident: u32) {
         self.each(|o| o.buffer_grew(host, resident));
     }
+
+    pub fn packet_dropped(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        kind: FaultKind,
+    ) {
+        self.each(|o| o.packet_dropped(t_us, job, from, to, packet, kind));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn retransmit_scheduled(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        attempt: u32,
+        waited_us: f64,
+    ) {
+        self.each(|o| o.retransmit_scheduled(t_us, job, from, to, packet, attempt, waited_us));
+    }
+
+    pub fn fault_triggered(&mut self, t_us: f64, kind: FaultKind, host: HostId) {
+        self.each(|o| o.fault_triggered(t_us, kind, host));
+    }
+
+    pub fn delivery_abandoned(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        attempts: u32,
+    ) {
+        self.each(|o| o.delivery_abandoned(t_us, job, from, to, packet, attempts));
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +500,24 @@ mod tests {
             }
         );
         assert_eq!(out[2].kind, TraceKind::HostDone { rank: Rank(3) });
+    }
+
+    #[test]
+    fn counters_track_faults_and_recovery() {
+        let mut c = CountersCollector::default();
+        c.packet_dropped(1.0, 0, Rank::SOURCE, Rank(1), 0, FaultKind::Drop);
+        c.packet_dropped(2.0, 0, Rank::SOURCE, Rank(1), 1, FaultKind::Corrupt);
+        c.retransmit_scheduled(3.0, 0, Rank::SOURCE, Rank(1), 0, 1, 60.0);
+        c.retransmit_scheduled(3.5, 0, Rank::SOURCE, Rank(1), 1, 1, 0.0);
+        c.fault_triggered(4.0, FaultKind::LinkDown, HostId(0));
+        c.delivery_abandoned(5.0, 0, Rank::SOURCE, Rank(1), 0, 8);
+        let k = &c.counters;
+        assert_eq!(k.packets_dropped, 2);
+        assert_eq!(k.packets_corrupted, 1);
+        assert_eq!(k.retransmits, 2);
+        assert!((k.recovery_wait_us - 60.0).abs() < 1e-12);
+        assert_eq!(k.faults_triggered, 1);
+        assert_eq!(k.deliveries_abandoned, 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::discipline::{conventional::Conventional, fcfs::Fcfs, fpfs::Fpfs, scat
 use crate::engine::EventQueue;
 use crate::error::SimError;
 use crate::event::{Ev, SendItem};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::host::HostModel;
 use crate::observe::{Observer, ObserverHub};
 use crate::sim::{MulticastOutcome, NiTiming, NicKind};
@@ -68,6 +69,10 @@ pub(crate) struct SimState<'a> {
     pub channels: ChannelManager,
     pub queue: EventQueue<Ev>,
     pub obs: ObserverHub<'a>,
+    /// Active fault plan, if any. `None` (including trivial plans, filtered
+    /// at construction) follows the exact fault-free code path, so fault-free
+    /// runs stay byte-identical to the pre-fault simulator.
+    pub fault: Option<&'a FaultPlan>,
 }
 
 impl<'a> SimState<'a> {
@@ -185,9 +190,20 @@ impl<'a> Simulation<'a> {
         jobs: &'a [MulticastJob],
         params: &'a SystemParams,
         config: WorkloadConfig,
+        fault: Option<&'a FaultPlan>,
         user_observer: Option<&'a mut dyn Observer>,
     ) -> Result<Self, SimError> {
         validate(net, jobs)?;
+        // A trivial plan is indistinguishable from no plan; normalizing it to
+        // `None` keeps fault-free runs on the exact golden-pinned code path.
+        let fault = fault.filter(|f| !f.is_trivial());
+        if let Some(f) = fault {
+            f.validate()
+                .map_err(|reason| SimError::InvalidFaultPlan { reason })?;
+            if config.timing == NiTiming::Overlapped {
+                return Err(SimError::FaultsNeedHandshakeTiming);
+            }
+        }
         let routes = jobs
             .iter()
             .map(|job| {
@@ -226,39 +242,34 @@ impl<'a> Simulation<'a> {
                 channels: ChannelManager::new(config.contention, net.num_channels() as usize),
                 queue: EventQueue::new(),
                 obs: ObserverHub::new(jobs.len(), config.trace, user_observer),
+                fault,
             },
             engines,
         })
     }
 
     /// Runs the workload to completion and collects the outcome.
-    pub fn run(mut self) -> WorkloadOutcome {
+    ///
+    /// With an active fault plan, a run whose losses exceed the
+    /// retransmission budget terminates (the attempt cap guarantees event
+    /// exhaustion) and reports [`SimError::DeliveryFailed`] instead of
+    /// hanging or panicking.
+    pub fn run(mut self) -> Result<WorkloadOutcome, SimError> {
         for j in 0..self.st.jobs.len() {
             self.engines[j].kickoff(&mut self.st, j as u32);
         }
         while let Some((now, ev)) = self.st.queue.pop() {
             match ev {
                 Ev::TrySend(h) => self.handle_try_send(now, h),
-                Ev::Arrive {
-                    job,
-                    to,
-                    packet,
-                    from,
-                    dest,
-                } => self.handle_arrive(now, job, to, packet, from, dest),
-                Ev::RecvDone {
-                    job,
-                    at,
-                    packet,
-                    from,
-                    dest,
-                } => self.handle_recv_done(now, job, at, packet, from, dest),
+                Ev::Arrive { item, corrupt } => self.handle_arrive(now, item, corrupt),
+                Ev::RecvDone { item, corrupt } => self.handle_recv_done(now, item, corrupt),
                 Ev::HostReady { job, at } => {
                     self.engines[job as usize].on_host_ready(&mut self.st, now, job, at)
                 }
                 Ev::SendPrepared { job, at, child_idx } => self.engines[job as usize]
                     .on_send_prepared(&mut self.st, now, job, at, child_idx),
                 Ev::SendRelease(h) => self.release_send_unit(now, h),
+                Ev::AckTimeout { host, seq } => self.handle_ack_timeout(now, host, seq),
             }
         }
         self.collect()
@@ -266,8 +277,17 @@ impl<'a> Simulation<'a> {
 
     /// Dispatches the host's next queued transmission, if its send unit is
     /// free: reserve the route (stalling on busy channels under wormhole
-    /// contention), notify observers, and schedule the arrival.
+    /// contention), notify observers, and schedule the arrival. Under an
+    /// active fault plan the transmission's fate is decided here, at
+    /// dispatch: lost packets schedule an acknowledgement timeout instead of
+    /// an arrival, and crashed senders drain their queues.
     fn handle_try_send(&mut self, now: SimTime, h: HostId) {
+        if let Some(f) = self.st.fault {
+            if f.host_crashed(h, now.as_us()) {
+                self.drain_dead_sender(now, h);
+                return;
+            }
+        }
         let st = &mut self.st;
         let Some(item) = st.hosts.try_dispatch(h) else {
             return;
@@ -287,69 +307,229 @@ impl<'a> Simulation<'a> {
             t0 - now,
         );
         let arrival = t0 + st.params.t_send + st.params.t_prop;
-        st.queue.schedule(
-            arrival,
-            Ev::Arrive {
-                job: item.job,
-                to: item.child,
-                packet: item.packet,
-                from: item.from,
-                dest: item.dest,
-            },
-        );
+        let verdict = match st.fault {
+            Some(f) => f.tx_outcome(
+                item.job,
+                item.from.0,
+                item.child.0,
+                item.packet,
+                item.attempt,
+                route,
+                t0.as_us(),
+                arrival.as_us(),
+                st.jobs[j].binding[item.child.index()],
+            ),
+            None => None,
+        };
+        match verdict {
+            None => st.queue.schedule(
+                arrival,
+                Ev::Arrive {
+                    item,
+                    corrupt: false,
+                },
+            ),
+            Some(FaultKind::Corrupt) => {
+                // Damaged in flight: still occupies the wire and receive
+                // unit; the receiver NACKs it at RecvDone.
+                st.queue.schedule(
+                    arrival,
+                    Ev::Arrive {
+                        item,
+                        corrupt: true,
+                    },
+                )
+            }
+            Some(kind) => {
+                // Lost in the network: no arrival. The sender's unit stays
+                // held until its acknowledgement timeout fires (handshake
+                // timing is guaranteed here — construction rejects
+                // overlapped timing with faults).
+                let f = st.fault.expect("fault verdict without a plan");
+                st.obs.packet_dropped(
+                    t0.as_us(),
+                    item.job,
+                    item.from,
+                    item.child,
+                    item.packet,
+                    kind,
+                );
+                if matches!(kind, FaultKind::LinkDown | FaultKind::ReceiverDead) {
+                    let affected = if kind == FaultKind::ReceiverDead {
+                        st.jobs[j].binding[item.child.index()]
+                    } else {
+                        h
+                    };
+                    st.obs.fault_triggered(t0.as_us(), kind, affected);
+                }
+                let seq = st.hosts.in_flight_seq(h).expect("just dispatched");
+                st.queue
+                    .schedule(t0 + f.rto(item.attempt), Ev::AckTimeout { host: h, seq });
+            }
+        }
         if st.config.timing == NiTiming::Overlapped {
             st.queue.schedule(t0 + st.params.t_send, Ev::SendRelease(h));
         }
     }
 
-    /// Serializes the arrival on the receiver's NI receive unit.
-    fn handle_arrive(
-        &mut self,
-        now: SimTime,
-        job: u32,
-        to: Rank,
-        packet: u32,
-        from: Rank,
-        dest: Rank,
-    ) {
+    /// A crashed host reached its send turn: discard every queued
+    /// transmission. Its unreached subtree surfaces as
+    /// [`SimError::DeliveryFailed`] at collection.
+    fn drain_dead_sender(&mut self, now: SimTime, h: HostId) {
         let st = &mut self.st;
-        let h = st.host_of(job, to);
+        let items = st.hosts.drain_send_queue(h);
+        if items.is_empty() {
+            return;
+        }
+        st.obs
+            .fault_triggered(now.as_us(), FaultKind::SenderDead, h);
+        for item in items {
+            st.obs.packet_dropped(
+                now.as_us(),
+                item.job,
+                item.from,
+                item.child,
+                item.packet,
+                FaultKind::SenderDead,
+            );
+        }
+    }
+
+    /// Serializes the arrival on the receiver's NI receive unit. Under a
+    /// fault plan with an NI buffer capacity, an arrival that would need
+    /// forwarding-buffer space on a full NI is refused (negative
+    /// acknowledgement) and the sender retransmits.
+    fn handle_arrive(&mut self, now: SimTime, item: SendItem, corrupt: bool) {
+        let st = &mut self.st;
+        let h = st.host_of(item.job, item.child);
+        if let Some(cap) = st.fault.and_then(|f| f.ni_buffer_capacity) {
+            let jobd = st.job(item.job);
+            // Only packets the NI must hold for forwarding compete for
+            // buffer space — leaf deliveries and relayed personalized
+            // packets stream through.
+            let would_stage = match jobd.payload {
+                JobPayload::Replicated => !jobd.tree.children(item.child).is_empty(),
+                JobPayload::Personalized { .. } => item.dest != item.child,
+            };
+            if would_stage && st.hosts.resident(h) >= cap {
+                st.obs.packet_dropped(
+                    now.as_us(),
+                    item.job,
+                    item.from,
+                    item.child,
+                    item.packet,
+                    FaultKind::BufferOverflow,
+                );
+                st.obs
+                    .fault_triggered(now.as_us(), FaultKind::BufferOverflow, h);
+                let u_host = st.host_of(item.job, item.from);
+                let released = st.hosts.release_send_unit(u_host);
+                debug_assert_eq!(released.packet, item.packet);
+                self.retransmit_or_abandon(now, u_host, released, 0.0);
+                self.st.queue.schedule(now, Ev::TrySend(u_host));
+                return;
+            }
+        }
         let (done, wait) = st.hosts.occupy_recv_unit(h, now, st.params.t_recv);
         if wait > 0.0 {
-            st.obs.recv_unit_wait(job, wait);
+            st.obs.recv_unit_wait(item.job, wait);
         }
-        st.queue.schedule(
-            done,
-            Ev::RecvDone {
-                job,
-                at: to,
-                packet,
-                from,
-                dest,
-            },
-        );
+        st.queue.schedule(done, Ev::RecvDone { item, corrupt });
     }
 
     /// A packet finished arriving: complete the sender's handshake, deliver
     /// the sender acknowledgement, then hand the packet to the receiving
-    /// job's engine.
-    fn handle_recv_done(
-        &mut self,
-        now: SimTime,
-        job: u32,
-        at: Rank,
-        packet: u32,
-        from: Rank,
-        dest: Rank,
-    ) {
-        let j = job as usize;
+    /// job's engine. A corrupted packet is instead NACKed: the sender's unit
+    /// frees (keeping its buffer copy) and the packet is re-enqueued.
+    fn handle_recv_done(&mut self, now: SimTime, item: SendItem, corrupt: bool) {
+        let j = item.job as usize;
+        if corrupt {
+            debug_assert_eq!(self.st.config.timing, NiTiming::Handshake);
+            let u_host = self.st.host_of(item.job, item.from);
+            let released = self.st.hosts.release_send_unit(u_host);
+            self.st.obs.packet_dropped(
+                now.as_us(),
+                item.job,
+                item.from,
+                item.child,
+                item.packet,
+                FaultKind::Corrupt,
+            );
+            self.retransmit_or_abandon(now, u_host, released, 0.0);
+            self.st.queue.schedule(now, Ev::TrySend(u_host));
+            return;
+        }
         if self.st.config.timing == NiTiming::Handshake {
-            let u_host = self.st.host_of(job, from);
+            let u_host = self.st.host_of(item.job, item.from);
             self.release_send_unit(now, u_host);
         }
-        self.engines[j].sender_ack(&mut self.st, now, job, from);
-        self.st.obs.recv_done(now.as_us(), job, at, packet);
-        self.engines[j].on_recv_done(&mut self.st, now, job, at, packet, dest);
+        self.engines[j].sender_ack(&mut self.st, now, item.job, item.from);
+        self.st
+            .obs
+            .recv_done(now.as_us(), item.job, item.child, item.packet);
+        self.engines[j].on_recv_done(
+            &mut self.st,
+            now,
+            item.job,
+            item.child,
+            item.packet,
+            item.dest,
+        );
+    }
+
+    /// The acknowledgement for a (presumed lost) transmission never came:
+    /// free the send unit and retransmit with backoff, or abandon the
+    /// destination once the attempt budget is spent.
+    fn handle_ack_timeout(&mut self, now: SimTime, h: HostId, seq: u64) {
+        // A stale timeout (armed for an earlier transmission that has since
+        // been acknowledged or NACKed) must not release a newer send.
+        if self.st.hosts.in_flight_seq(h) != Some(seq) {
+            return;
+        }
+        let item = self.st.hosts.release_send_unit(h);
+        let waited = self
+            .st
+            .fault
+            .expect("AckTimeout without a fault plan")
+            .rto(item.attempt);
+        self.retransmit_or_abandon(now, h, item, waited);
+        self.st.queue.schedule(now, Ev::TrySend(h));
+    }
+
+    /// Re-enqueues a failed transmission with its attempt count bumped, or —
+    /// once `max_attempts` is exhausted — abandons the destination, freeing
+    /// the sender's buffer copy so the rest of the multicast can drain.
+    fn retransmit_or_abandon(&mut self, now: SimTime, h: HostId, item: SendItem, waited_us: f64) {
+        let f = self
+            .st
+            .fault
+            .expect("reliability path requires a fault plan");
+        if item.attempt + 1 >= f.max_attempts {
+            self.st.obs.delivery_abandoned(
+                now.as_us(),
+                item.job,
+                item.from,
+                item.child,
+                item.packet,
+                item.attempt + 1,
+            );
+            self.engines[item.job as usize].on_copy_released(&mut self.st, item);
+        } else {
+            let next = SendItem {
+                attempt: item.attempt + 1,
+                ..item
+            };
+            self.st.obs.retransmit_scheduled(
+                now.as_us(),
+                next.job,
+                next.from,
+                next.child,
+                next.packet,
+                next.attempt,
+                waited_us,
+            );
+            self.st.enqueue_send(h, next);
+        }
     }
 
     /// Frees the host's send unit, applies the released job's buffer policy,
@@ -362,13 +542,37 @@ impl<'a> Simulation<'a> {
 
     /// Collects per-job outcomes and workload aggregates.
     ///
+    /// With an active fault plan, unreached destinations produce
+    /// [`SimError::DeliveryFailed`] (carrying the run's counters).
+    ///
     /// # Panics
     ///
-    /// Panics if any rank never completed — the simulator never deadlocks
-    /// on validated input, so this indicates an engine bug.
-    fn collect(self) -> WorkloadOutcome {
+    /// Panics if any rank never completed in a *fault-free* run — the
+    /// simulator never deadlocks on validated input, so this indicates an
+    /// engine bug.
+    fn collect(self) -> Result<WorkloadOutcome, SimError> {
         let Simulation { st, .. } = self;
         let params = st.params;
+        let mut unreached = Vec::new();
+        for (j, job) in st.jobs.iter().enumerate() {
+            for r in 1..job.tree.len() {
+                if st.parts[j][r].host_done.is_none() {
+                    unreached.push((j as u32, Rank(r as u32)));
+                }
+            }
+        }
+        if !unreached.is_empty() {
+            if st.fault.is_some() {
+                let mut counters = st.obs.counters.counters;
+                counters.events = st.queue.processed();
+                return Err(SimError::DeliveryFailed {
+                    unreached,
+                    counters: Box::new(counters),
+                });
+            }
+            let (j, r) = unreached[0];
+            panic!("job {j}: rank {} never completed", r.index());
+        }
         let mut outcomes = Vec::with_capacity(st.jobs.len());
         let mut makespan = 0.0f64;
         for (j, job) in st.jobs.iter().enumerate() {
@@ -378,9 +582,7 @@ impl<'a> Simulation<'a> {
             let mut latency = if n == 1 { params.t_s + params.t_r } else { 0.0 };
             for r in 1..n {
                 let p = &st.parts[j][r];
-                let done = p
-                    .host_done
-                    .unwrap_or_else(|| panic!("job {j}: rank {r} never completed"));
+                let done = p.host_done.expect("unreached set was empty");
                 host_done[r] = done.as_us() - job.start_us;
                 last_recv[r] = p.last_recv.as_us() - job.start_us;
                 latency = latency.max(host_done[r]);
@@ -404,7 +606,7 @@ impl<'a> Simulation<'a> {
         }
         let mut counters = st.obs.counters.counters;
         counters.events = st.queue.processed();
-        WorkloadOutcome {
+        Ok(WorkloadOutcome {
             jobs: outcomes,
             makespan_us: makespan,
             channel_wait_us: st.obs.metrics.channel_wait_us,
@@ -416,6 +618,6 @@ impl<'a> Simulation<'a> {
                 .trace
                 .map(crate::observe::TraceCollector::into_sorted)
                 .unwrap_or_default(),
-        }
+        })
     }
 }

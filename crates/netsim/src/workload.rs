@@ -20,6 +20,7 @@
 //! this engine.
 
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::observe::{Observer, SimCounters};
 use crate::sim::{ContentionMode, MulticastOutcome, NiTiming, NicKind};
 use crate::simulation::Simulation;
@@ -206,7 +207,30 @@ pub fn run_workload<N: Network>(
     params: &SystemParams,
     config: WorkloadConfig,
 ) -> Result<WorkloadOutcome, SimError> {
-    Ok(Simulation::new(net, jobs, params, config, None)?.run())
+    Simulation::new(net, jobs, params, config, None, None)?.run()
+}
+
+/// [`run_workload`] under a [`FaultPlan`]: packets may be dropped,
+/// corrupted, or refused per the plan, the stop-and-wait reliability layer
+/// retransmits with capped exponential backoff, and crashed hosts stay
+/// silent. A trivial (fault-free) plan follows the exact fault-free code
+/// path, so outcomes are byte-identical to [`run_workload`].
+///
+/// # Errors
+///
+/// Same validation contract as [`run_workload`], plus
+/// [`SimError::InvalidFaultPlan`] for a malformed plan,
+/// [`SimError::FaultsNeedHandshakeTiming`] when a non-trivial plan is paired
+/// with overlapped NI timing, and [`SimError::DeliveryFailed`] when the
+/// plan's losses exceed the retransmission budget.
+pub fn run_workload_with_faults<N: Network>(
+    net: &N,
+    jobs: &[MulticastJob],
+    params: &SystemParams,
+    config: WorkloadConfig,
+    fault: &FaultPlan,
+) -> Result<WorkloadOutcome, SimError> {
+    Simulation::new(net, jobs, params, config, Some(fault), None)?.run()
 }
 
 /// [`run_workload`] with a caller-supplied [`Observer`] receiving every
@@ -225,7 +249,7 @@ pub fn run_workload_observed<N: Network>(
     config: WorkloadConfig,
     observer: &mut dyn Observer,
 ) -> Result<WorkloadOutcome, SimError> {
-    Ok(Simulation::new(net, jobs, params, config, Some(observer))?.run())
+    Simulation::new(net, jobs, params, config, None, Some(observer))?.run()
 }
 
 #[cfg(test)]

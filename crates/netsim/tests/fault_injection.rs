@@ -1,0 +1,392 @@
+//! Behavioural tests of the fault-injection + reliability layer.
+//!
+//! The acceptance contract (ISSUE PR 3): under a non-trivial fault plan a
+//! 64-node FPFS multicast either completes with every surviving destination
+//! reached, or returns `SimError::DeliveryFailed` listing the unreached
+//! ranks — it never hangs and never panics — and the structured counters
+//! stay consistent with the reported outcome.
+
+use optimcast_core::builders::{binomial_tree, kbinomial_tree, linear_tree};
+use optimcast_core::params::SystemParams;
+use optimcast_core::tree::Rank;
+use optimcast_netsim::fault::{FaultPlan, HostCrash, LinkFailure};
+use optimcast_netsim::*;
+use optimcast_topology::graph::HostId;
+use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
+use optimcast_topology::Network;
+use std::sync::Arc;
+
+fn params() -> SystemParams {
+    SystemParams::paper_1997()
+}
+
+fn net(seed: u64) -> IrregularNetwork {
+    IrregularNetwork::generate(IrregularConfig::default(), seed)
+}
+
+fn crossbar(hosts: u32) -> IrregularNetwork {
+    IrregularNetwork::generate(
+        IrregularConfig {
+            switches: 1,
+            ports: hosts,
+            hosts,
+        },
+        0,
+    )
+}
+
+fn identity(n: u32) -> Vec<HostId> {
+    (0..n).map(HostId).collect()
+}
+
+/// Ranks of the subtree rooted at `root` (root included), ascending.
+fn subtree_of(tree: &optimcast_core::tree::MulticastTree, root: Rank) -> Vec<Rank> {
+    let mut out = vec![root];
+    let mut i = 0;
+    while i < out.len() {
+        out.extend(tree.children(out[i]).iter().copied());
+        i += 1;
+    }
+    out.sort();
+    out
+}
+
+/// The headline acceptance scenario: 64-node FPFS, 5% drop, one crashed
+/// destination. The crashed rank (and exactly its subtree) is reported
+/// unreached; nothing hangs; counters are consistent.
+#[test]
+fn faulty_64_node_fpfs_reports_exactly_the_lost_subtree() {
+    let n = net(21);
+    let tree = Arc::new(kbinomial_tree(64, 2));
+    let binding = identity(64);
+    let mut plan = FaultPlan::new(0xC0FFEE);
+    plan.drop_rate = 0.05;
+    plan.crashes.push(HostCrash {
+        host: HostId(13),
+        at_us: 0.0,
+    });
+    let err = run_multicast_with_faults(
+        &n,
+        tree.clone(),
+        &binding,
+        8,
+        &params(),
+        RunConfig::default(),
+        &plan,
+    )
+    .unwrap_err();
+    let SimError::DeliveryFailed {
+        unreached,
+        counters,
+    } = err
+    else {
+        panic!("expected DeliveryFailed, got {err}");
+    };
+    // With max_attempts = 8 and a 5% drop rate, abandonment by bad luck is
+    // ~0.05^8 per copy — the unreached set is exactly the crashed subtree.
+    let lost: Vec<Rank> = unreached.iter().map(|&(_, r)| r).collect();
+    assert_eq!(lost, subtree_of(&tree, Rank(13)));
+    assert!(counters.packets_dropped > 0, "{counters:?}");
+    assert!(
+        counters.deliveries_abandoned >= 1,
+        "the send to the dead host must eventually be abandoned"
+    );
+    assert!(
+        counters.packets_dropped >= counters.retransmits + counters.deliveries_abandoned,
+        "every retransmit/abandonment stems from a drop: {counters:?}"
+    );
+}
+
+/// Loss without crashes: the reliability layer recovers everything. All
+/// destinations complete, retransmissions happened, and recovery waits were
+/// accounted.
+#[test]
+fn drops_alone_are_fully_recovered() {
+    let n = net(22);
+    let tree = Arc::new(kbinomial_tree(64, 2));
+    let mut plan = FaultPlan::new(99);
+    plan.drop_rate = 0.08;
+    let (out, counters) = run_multicast_with_faults(
+        &n,
+        tree.clone(),
+        &identity(64),
+        6,
+        &params(),
+        RunConfig::default(),
+        &plan,
+    )
+    .unwrap();
+    for r in 1..64 {
+        assert!(out.host_done_us[r] > 0.0, "rank {r} unreached");
+    }
+    assert!(counters.retransmits > 0);
+    assert!(counters.recovery_wait_us > 0.0);
+    assert_eq!(counters.packets_corrupted, 0);
+    // Recovery costs time: the run is slower than its fault-free twin.
+    let clean =
+        run_multicast_shared(&n, tree, &identity(64), 6, &params(), RunConfig::default()).unwrap();
+    assert!(out.latency_us > clean.latency_us);
+}
+
+/// Corruption traverses the wire, is NACKed at the receiver, and is
+/// retransmitted immediately — still fully recovered.
+#[test]
+fn corruption_is_nacked_and_recovered() {
+    let n = crossbar(16);
+    let mut plan = FaultPlan::new(5);
+    plan.corrupt_rate = 0.15;
+    let (out, counters) = run_multicast_with_faults(
+        &n,
+        Arc::new(binomial_tree(16)),
+        &identity(16),
+        8,
+        &params(),
+        RunConfig::default(),
+        &plan,
+    )
+    .unwrap();
+    assert!(counters.packets_corrupted > 0);
+    assert_eq!(counters.packets_corrupted, counters.packets_dropped);
+    assert!(counters.retransmits > 0);
+    for r in 1..16 {
+        assert!(out.host_done_us[r] > 0.0, "rank {r} unreached");
+    }
+}
+
+/// A link outage window delays delivery (retransmissions with backoff ride
+/// it out) but everything completes once the window closes.
+#[test]
+fn link_outage_window_is_ridden_out() {
+    let n = crossbar(8);
+    let route = n.route(HostId(0), HostId(1));
+    assert!(!route.is_empty());
+    let mut plan = FaultPlan::new(1);
+    plan.link_failures.push(LinkFailure {
+        channel: route[0],
+        from_us: 0.0,
+        until_us: 200.0,
+    });
+    plan.max_attempts = 16;
+    let (out, counters) = run_multicast_with_faults(
+        &n,
+        Arc::new(binomial_tree(8)),
+        &identity(8),
+        2,
+        &params(),
+        RunConfig::default(),
+        &plan,
+    )
+    .unwrap();
+    assert!(counters.packets_dropped > 0, "outage never hit the route");
+    assert!(counters.faults_triggered > 0);
+    assert!(
+        out.latency_us > 200.0,
+        "completion {} must postdate the outage window",
+        out.latency_us
+    );
+}
+
+/// An exhausted NI forwarding buffer refuses packets (NACK) and the sender
+/// retries until space frees; occupancy never exceeds the cap.
+#[test]
+fn buffer_exhaustion_stalls_then_recovers() {
+    let n = crossbar(6);
+    let mut plan = FaultPlan::new(2);
+    plan.ni_buffer_capacity = Some(1);
+    plan.max_attempts = 32;
+    let (out, counters) = run_multicast_with_faults(
+        &n,
+        Arc::new(linear_tree(6)),
+        &identity(6),
+        4,
+        &params(),
+        RunConfig::default(),
+        &plan,
+    )
+    .unwrap();
+    assert!(counters.faults_triggered > 0, "cap of 1 never bound");
+    for r in 1..6 {
+        assert!(out.host_done_us[r] > 0.0, "rank {r} unreached");
+    }
+    // Intermediates (ranks 1..4 forward to a child) never hold more than
+    // the cap.
+    for r in 1..5 {
+        assert!(
+            out.max_ni_buffer[r] <= 1,
+            "rank {r} held {}",
+            out.max_ni_buffer[r]
+        );
+    }
+}
+
+/// A mid-run crash of an intermediate host strands its subtree: typed
+/// failure, no hang, and the dead host's queued sends are drained.
+#[test]
+fn mid_run_intermediate_crash_fails_typed() {
+    let n = crossbar(16);
+    let tree = Arc::new(binomial_tree(16));
+    let inner = tree.root_children()[0];
+    assert!(!tree.children(inner).is_empty());
+    let mut plan = FaultPlan::new(3);
+    plan.crashes.push(HostCrash {
+        host: HostId(inner.0),
+        at_us: 30.0,
+    });
+    let err = run_multicast_with_faults(
+        &n,
+        tree.clone(),
+        &identity(16),
+        8,
+        &params(),
+        RunConfig::default(),
+        &plan,
+    )
+    .unwrap_err();
+    let SimError::DeliveryFailed {
+        unreached,
+        counters,
+    } = err
+    else {
+        panic!("expected DeliveryFailed, got {err}");
+    };
+    assert!(
+        unreached.iter().any(|&(_, r)| r == inner),
+        "the crashed rank itself must be unreached"
+    );
+    // Every unreached rank lies in the crashed subtree.
+    let sub = subtree_of(&tree, inner);
+    for &(_, r) in &unreached {
+        assert!(sub.contains(&r), "rank {r} outside the crashed subtree");
+    }
+    assert!(counters.faults_triggered > 0);
+}
+
+/// Identical plans produce identical outcomes — success or failure alike.
+#[test]
+fn fault_runs_are_deterministic() {
+    let n = net(23);
+    let tree = Arc::new(kbinomial_tree(48, 3));
+    let mut plan = FaultPlan::new(0xFEED);
+    plan.drop_rate = 0.2;
+    plan.corrupt_rate = 0.05;
+    plan.max_attempts = 4;
+    plan.crashes.push(HostCrash {
+        host: HostId(30),
+        at_us: 15.0,
+    });
+    let run = || {
+        run_multicast_with_faults(
+            &n,
+            tree.clone(),
+            &identity(48),
+            5,
+            &params(),
+            RunConfig::default(),
+            &plan,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// A trivial plan takes the exact fault-free code path: outcomes (including
+/// the event count) are byte-identical to the plain runner.
+#[test]
+fn trivial_plan_is_byte_identical_to_fault_free() {
+    let n = net(11);
+    let tree = Arc::new(kbinomial_tree(40, 2));
+    let clean = run_multicast_shared(
+        &n,
+        tree.clone(),
+        &identity(40),
+        5,
+        &params(),
+        RunConfig::default(),
+    )
+    .unwrap();
+    let (faulted, counters) = run_multicast_with_faults(
+        &n,
+        tree,
+        &identity(40),
+        5,
+        &params(),
+        RunConfig::default(),
+        &FaultPlan::new(0xDEAD_BEEF),
+    )
+    .unwrap();
+    assert_eq!(clean, faulted);
+    assert_eq!(counters.packets_dropped, 0);
+    assert_eq!(counters.retransmits, 0);
+}
+
+/// Construction-time rejections: malformed plans and overlapped timing.
+#[test]
+fn bad_plan_and_overlapped_timing_are_rejected() {
+    let n = crossbar(4);
+    let tree = Arc::new(binomial_tree(4));
+    let mut bad = FaultPlan::new(0);
+    bad.drop_rate = 1.5;
+    let err = run_multicast_with_faults(
+        &n,
+        tree.clone(),
+        &identity(4),
+        1,
+        &params(),
+        RunConfig::default(),
+        &bad,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::InvalidFaultPlan { .. }), "{err}");
+
+    let mut lossy = FaultPlan::new(0);
+    lossy.drop_rate = 0.1;
+    let err = run_multicast_with_faults(
+        &n,
+        tree,
+        &identity(4),
+        1,
+        &params(),
+        RunConfig {
+            timing: NiTiming::Overlapped,
+            ..RunConfig::default()
+        },
+        &lossy,
+    )
+    .unwrap_err();
+    assert_eq!(err, SimError::FaultsNeedHandshakeTiming);
+}
+
+/// A starved attempt budget turns heavy loss into a typed failure instead
+/// of a hang: every abandonment is counted.
+#[test]
+fn exhausted_attempts_fail_typed_not_hang() {
+    let n = crossbar(8);
+    let mut plan = FaultPlan::new(17);
+    plan.drop_rate = 0.75;
+    plan.max_attempts = 2;
+    let result = run_multicast_with_faults(
+        &n,
+        Arc::new(binomial_tree(8)),
+        &identity(8),
+        4,
+        &params(),
+        RunConfig::default(),
+        &plan,
+    );
+    // At 75% loss with two attempts, some copy is all but certain to die;
+    // whichever way it lands, the run must terminate cleanly.
+    match result {
+        Ok((out, _)) => {
+            for r in 1..8 {
+                assert!(out.host_done_us[r] > 0.0);
+            }
+        }
+        Err(SimError::DeliveryFailed {
+            unreached,
+            counters,
+        }) => {
+            assert!(!unreached.is_empty());
+            assert!(counters.deliveries_abandoned > 0);
+        }
+        Err(other) => panic!("unexpected error {other}"),
+    }
+}

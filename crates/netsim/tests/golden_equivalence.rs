@@ -167,6 +167,97 @@ fn golden_multi_job_mixed_disciplines() {
     );
 }
 
+/// Every golden scenario re-run through the fault-injection entry point
+/// with a *trivial* plan must reproduce the plain run byte-for-byte —
+/// including the event count. The trivial-plan short-circuit is what
+/// guarantees the fault layer cannot perturb fault-free behaviour.
+#[test]
+fn golden_scenarios_survive_a_trivial_fault_plan() {
+    let scenarios: Vec<(u64, Vec<MulticastJob>)> = vec![
+        (
+            11,
+            vec![MulticastJob::fpfs(kbinomial_tree(40, 2), hosts(0..40), 5)],
+        ),
+        (13, {
+            let s1 = MulticastJob::scatter(
+                kbinomial_tree(24, 2),
+                hosts(0..24),
+                3,
+                PersonalizedOrder::OwnFirst,
+            );
+            let mut s2 = MulticastJob::scatter(
+                binomial_tree(24),
+                hosts(24..48),
+                3,
+                PersonalizedOrder::DeepestFirst,
+            );
+            s2.start_us = 25.0;
+            vec![s1, s2]
+        }),
+    ];
+    for (seed, jobs) in scenarios {
+        let n = IrregularNetwork::generate(IrregularConfig::default(), seed);
+        let plain = run_workload(
+            &n,
+            &jobs,
+            &SystemParams::paper_1997(),
+            WorkloadConfig::default(),
+        )
+        .unwrap();
+        let trivial = FaultPlan::new(seed ^ 0xABCD);
+        let faulted = run_workload_with_faults(
+            &n,
+            &jobs,
+            &SystemParams::paper_1997(),
+            WorkloadConfig::default(),
+            &trivial,
+        )
+        .unwrap();
+        assert_eq!(
+            plain, faulted,
+            "seed {seed}: trivial plan perturbed the run"
+        );
+    }
+}
+
+proptest::proptest! {
+    /// Property form of the above: *any* trivial plan (arbitrary seed and
+    /// reliability knobs) over an arbitrary small FPFS workload is
+    /// byte-identical to the fault-free path.
+    #[test]
+    fn any_trivial_plan_is_inert(
+        seed in 0u64..u64::MAX,
+        topo in 0u64..32,
+        n in 2u32..24,
+        k in 1u32..4,
+        m in 1u32..6,
+        max_attempts in 1u32..12,
+        ack_timeout_tenths in 10u32..5000,
+        backoff_cap in 0u32..8,
+    ) {
+        let ack_timeout_us = f64::from(ack_timeout_tenths) / 10.0;
+        let net = IrregularNetwork::generate(IrregularConfig::default(), topo);
+        let jobs = [MulticastJob::fpfs(kbinomial_tree(n, k), hosts(0..n), m)];
+        let params = SystemParams::paper_1997();
+        let plain =
+            run_workload(&net, &jobs, &params, WorkloadConfig::default()).unwrap();
+        let mut plan = FaultPlan::new(seed);
+        plan.max_attempts = max_attempts;
+        plan.ack_timeout_us = ack_timeout_us;
+        plan.backoff_cap = backoff_cap;
+        proptest::prop_assert!(plan.is_trivial());
+        let faulted = run_workload_with_faults(
+            &net,
+            &jobs,
+            &params,
+            WorkloadConfig::default(),
+            &plan,
+        )
+        .unwrap();
+        proptest::prop_assert_eq!(plain, faulted);
+    }
+}
+
 /// Scenario 3 (topology seed 13): two personalized (scatter) jobs, one per
 /// source ordering, the second starting mid-flight of the first.
 #[test]

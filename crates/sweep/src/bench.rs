@@ -33,6 +33,12 @@ pub struct BenchReport {
     pub topologies: u32,
     /// Destination sets per topology of the benchmarked configuration.
     pub dest_sets: u32,
+    /// Logical CPUs the host exposes — timing numbers are meaningless
+    /// without it (a 1.06x "speedup" on a 1-CPU container is expected, not
+    /// a regression).
+    pub host_nproc: usize,
+    /// Operating system of the host (`std::env::consts::OS`).
+    pub host_os: &'static str,
 }
 
 impl BenchReport {
@@ -91,6 +97,8 @@ impl BenchReport {
                     ("cache_misses", Json::from(self.cache.misses)),
                     ("cache_hit_rate", Json::from(self.cache.hit_rate())),
                     ("identical", Json::from(self.identical)),
+                    ("host_nproc", Json::from(self.host_nproc)),
+                    ("host_os", Json::from(self.host_os)),
                 ]),
             ),
             ("figure", chart.to_json()),
@@ -137,6 +145,10 @@ pub fn bench_sweep(base: &SweepBuilder, threads: usize) -> Result<BenchReport, S
         identical: serial_out == parallel_out,
         topologies: cfg.topologies(),
         dest_sets: cfg.dest_sets(),
+        host_nproc: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        host_os: std::env::consts::OS,
     })
 }
 
@@ -159,6 +171,12 @@ mod tests {
         assert_eq!(
             json.get("meta").unwrap().get("cells"),
             Some(&Json::Int(320))
+        );
+        // Host context rides along so timing numbers can be interpreted.
+        assert!(report.host_nproc >= 1);
+        assert_eq!(
+            json.get("meta").unwrap().get("host_os"),
+            Some(&Json::Str(std::env::consts::OS.to_string()))
         );
         // The embedded chart follows the shared figure schema.
         let chart = Figure::from_json(json.get("figure").unwrap()).unwrap();

@@ -1,0 +1,475 @@
+//! Chaos sweeps: the robustness evaluation grid (drop rate × crash count).
+//!
+//! Each cell of the grid re-runs the paper's §5.2 sampling methodology —
+//! the same topologies, destination sets, and optimal-k trees as the
+//! latency figures — under a deterministic fault plan: every transmission
+//! is dropped with the cell's probability, and the cell's crash count of
+//! destination hosts fail at time zero. Crashed participants are repaired
+//! *around* with [`MulticastTree::repair`] (the multicast proceeds over the
+//! surviving hosts), so a cell's failures measure exhausted retransmission
+//! budgets, not the crashes themselves. The all-reached invariant is
+//! enforced per run by the simulator: a run either reaches every surviving
+//! destination or returns `SimError::DeliveryFailed`, which the cell counts
+//! and reports as `unreached`.
+//!
+//! Like the figure grids, chaos cells fan out over the worker pool with a
+//! fixed floating-point reduction order, so the emitted JSON is
+//! byte-identical for every thread count (and deliberately records no
+//! thread count, so reports from different machines diff clean).
+
+use crate::engine::Sweep;
+use crate::error::SweepError;
+use crate::figure::{Figure, Series};
+use crate::json::{Json, ToJson};
+use crate::sampling::{sample_chain, TreePolicy};
+use optimcast_core::tree::Rank;
+use optimcast_netsim::fault::HostCrash;
+use optimcast_netsim::{run_multicast_with_faults, FaultPlanSpec, RunConfig, SimError};
+use optimcast_rng::{ChaCha8Rng, SliceRandom};
+use optimcast_topology::graph::HostId;
+use std::sync::Arc;
+
+/// Aggregated outcome of one `(drop rate, crash count)` chaos cell over the
+/// full `topologies × dest_sets` sample set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCell {
+    /// Per-transmission loss probability of this cell.
+    pub drop_rate: f64,
+    /// Destination hosts crashed (and repaired around) per sample.
+    pub crashes: u32,
+    /// Samples evaluated (`topologies × dest_sets`).
+    pub samples: u32,
+    /// Samples that reached every surviving destination.
+    pub delivered: u32,
+    /// Samples that exhausted the retransmission budget
+    /// (`SimError::DeliveryFailed`).
+    pub failed: u32,
+    /// Total destinations left unreached across failed samples.
+    pub unreached: u64,
+    /// Mean latency (µs) over *delivered* samples; `0.0` if none delivered.
+    pub mean_latency_us: f64,
+    /// Transmissions lost (dropped, corrupted, or refused) across all
+    /// samples.
+    pub packets_dropped: u64,
+    /// Transmissions that arrived corrupted and were NACKed.
+    pub packets_corrupted: u64,
+    /// Retransmissions scheduled.
+    pub retransmits: u64,
+    /// Packet copies abandoned after the attempt budget.
+    pub deliveries_abandoned: u64,
+    /// Total time (µs) spent waiting on acknowledgement timeouts.
+    pub recovery_wait_us: f64,
+    /// Orphaned subtrees re-attached by tree repair across all samples.
+    pub reattached: u64,
+}
+
+/// The full chaos grid: every `(drop rate, crash count)` cell plus the
+/// methodology that produced it, renderable as the unified figure JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Destination count per sample (participants = `dests + 1`).
+    pub dests: u32,
+    /// Packets per message.
+    pub m: u32,
+    /// Topologies averaged per cell.
+    pub topologies: u32,
+    /// Destination sets per topology.
+    pub dest_sets: u32,
+    /// Base RNG seed of the sweep.
+    pub base_seed: u64,
+    /// The base fault spec (its seed feeds every sample's fault stream).
+    pub fault: FaultPlanSpec,
+    /// The swept drop rates, in input order.
+    pub drop_rates: Vec<f64>,
+    /// The swept crash counts, in input order.
+    pub crash_counts: Vec<u32>,
+    /// Row-major cells: `cells[d * crash_counts.len() + c]`.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosReport {
+    /// The cell at drop-rate index `d` and crash-count index `c`.
+    pub fn cell(&self, d: usize, c: usize) -> &ChaosCell {
+        &self.cells[d * self.crash_counts.len() + c]
+    }
+
+    /// True when every sample of every cell reached all surviving
+    /// destinations — the grid-wide all-reached invariant.
+    pub fn all_reached(&self) -> bool {
+        self.cells.iter().all(|cell| cell.failed == 0)
+    }
+
+    /// Renders the report in the unified figure JSON schema: `meta` with
+    /// the methodology, a `cells` table, and a `figure` charting mean
+    /// delivered latency against drop rate (one series per crash count).
+    ///
+    /// The document deliberately omits worker/thread counts: identical
+    /// seeds must produce byte-identical reports at any parallelism.
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .crash_counts
+            .iter()
+            .enumerate()
+            .map(|(c, &crashes)| Series {
+                label: format!("{crashes} crashed"),
+                points: self
+                    .drop_rates
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &rate)| (rate, self.cell(d, c).mean_latency_us))
+                    .collect(),
+            })
+            .collect();
+        let chart = Figure {
+            id: "chaos".into(),
+            title: "Mean delivered multicast latency under faults".into(),
+            x_label: "drop rate".into(),
+            y_label: "latency (us)".into(),
+            series,
+        };
+        Json::obj(vec![
+            ("id", Json::from("chaos")),
+            (
+                "meta",
+                Json::obj(vec![
+                    ("dests", Json::from(self.dests)),
+                    ("m", Json::from(self.m)),
+                    ("topologies", Json::from(self.topologies)),
+                    ("dest_sets", Json::from(self.dest_sets)),
+                    ("base_seed", Json::from(self.base_seed)),
+                    ("fault_seed", Json::from(self.fault.seed)),
+                    ("corrupt_rate", Json::from(self.fault.corrupt_rate)),
+                    ("max_attempts", Json::from(self.fault.max_attempts)),
+                    ("ack_timeout_us", Json::from(self.fault.ack_timeout_us)),
+                    (
+                        "drop_rates",
+                        Json::Arr(self.drop_rates.iter().map(|&d| Json::from(d)).collect()),
+                    ),
+                    (
+                        "crash_counts",
+                        Json::Arr(self.crash_counts.iter().map(|&c| Json::from(c)).collect()),
+                    ),
+                    ("all_reached", Json::from(self.all_reached())),
+                ]),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(cell_json).collect()),
+            ),
+            ("figure", chart.to_json()),
+        ])
+    }
+}
+
+fn cell_json(cell: &ChaosCell) -> Json {
+    Json::obj(vec![
+        ("drop_rate", Json::from(cell.drop_rate)),
+        ("crashes", Json::from(cell.crashes)),
+        ("samples", Json::from(cell.samples)),
+        ("delivered", Json::from(cell.delivered)),
+        ("failed", Json::from(cell.failed)),
+        ("unreached", Json::from(cell.unreached)),
+        ("mean_latency_us", Json::from(cell.mean_latency_us)),
+        ("packets_dropped", Json::from(cell.packets_dropped)),
+        ("packets_corrupted", Json::from(cell.packets_corrupted)),
+        ("retransmits", Json::from(cell.retransmits)),
+        (
+            "deliveries_abandoned",
+            Json::from(cell.deliveries_abandoned),
+        ),
+        ("recovery_wait_us", Json::from(cell.recovery_wait_us)),
+        ("reattached", Json::from(cell.reattached)),
+    ])
+}
+
+/// Per-topology partial aggregate of one cell; combined across topologies
+/// in index order so reductions are independent of scheduling.
+#[derive(Default)]
+struct TopoAgg {
+    delivered: u32,
+    failed: u32,
+    unreached: u64,
+    latency_sum: f64,
+    packets_dropped: u64,
+    packets_corrupted: u64,
+    retransmits: u64,
+    deliveries_abandoned: u64,
+    recovery_wait_us: f64,
+    reattached: u64,
+}
+
+impl Sweep {
+    /// Evaluates the chaos grid: every `(drop rate, crash count)` pair from
+    /// the cartesian product of the two axes, sampled with the §5.2
+    /// methodology on the optimal k-binomial tree, under the base fault
+    /// spec from [`crate::SweepConfig::fault`]. Cells fan out across the
+    /// configured workers; the report is bit-identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::ZeroPackets`], [`SweepError::TooManyDests`],
+    /// [`SweepError::InvalidFaultSpec`] (a swept drop rate outside
+    /// `[0, 1)`), or [`SweepError::TooManyCrashes`] (a crash count must
+    /// leave at least one destination alive).
+    pub fn chaos(
+        &self,
+        drop_rates: &[f64],
+        crash_counts: &[u32],
+        dests: u32,
+        m: u32,
+    ) -> Result<ChaosReport, SweepError> {
+        let cfg = *self.config();
+        if m == 0 {
+            return Err(SweepError::ZeroPackets);
+        }
+        let hosts = cfg.net().hosts;
+        if dests >= hosts {
+            return Err(SweepError::TooManyDests { dests, hosts });
+        }
+        for &d in drop_rates {
+            if !(0.0..1.0).contains(&d) {
+                return Err(SweepError::InvalidFaultSpec("drop_rate must lie in [0, 1)"));
+            }
+        }
+        for &c in crash_counts {
+            if c >= dests {
+                return Err(SweepError::TooManyCrashes { crashes: c, dests });
+            }
+        }
+        let topologies = cfg.topologies() as usize;
+        let cells = drop_rates.len() * crash_counts.len();
+        let aggs = self.run_cells(cells * topologies, |i| {
+            let cell = i / topologies;
+            let spec = FaultPlanSpec {
+                drop_rate: drop_rates[cell / crash_counts.len()],
+                crashes: crash_counts[cell % crash_counts.len()],
+                ..cfg.fault()
+            };
+            self.chaos_topology(spec, dests, m, (i % topologies) as u32)
+        });
+        let cells = aggs
+            .chunks_exact(topologies)
+            .enumerate()
+            .map(|(cell, per_topology)| {
+                let mut out = ChaosCell {
+                    drop_rate: drop_rates[cell / crash_counts.len()],
+                    crashes: crash_counts[cell % crash_counts.len()],
+                    samples: cfg.samples(),
+                    delivered: 0,
+                    failed: 0,
+                    unreached: 0,
+                    mean_latency_us: 0.0,
+                    packets_dropped: 0,
+                    packets_corrupted: 0,
+                    retransmits: 0,
+                    deliveries_abandoned: 0,
+                    recovery_wait_us: 0.0,
+                    reattached: 0,
+                };
+                let mut latency_sum = 0.0;
+                for agg in per_topology {
+                    out.delivered += agg.delivered;
+                    out.failed += agg.failed;
+                    out.unreached += agg.unreached;
+                    latency_sum += agg.latency_sum;
+                    out.packets_dropped += agg.packets_dropped;
+                    out.packets_corrupted += agg.packets_corrupted;
+                    out.retransmits += agg.retransmits;
+                    out.deliveries_abandoned += agg.deliveries_abandoned;
+                    out.recovery_wait_us += agg.recovery_wait_us;
+                    out.reattached += agg.reattached;
+                }
+                if out.delivered > 0 {
+                    out.mean_latency_us = latency_sum / f64::from(out.delivered);
+                }
+                out
+            })
+            .collect();
+        Ok(ChaosReport {
+            dests,
+            m,
+            topologies: cfg.topologies(),
+            dest_sets: cfg.dest_sets(),
+            base_seed: cfg.base_seed(),
+            fault: cfg.fault(),
+            drop_rates: drop_rates.to_vec(),
+            crash_counts: crash_counts.to_vec(),
+            cells,
+        })
+    }
+
+    /// One cell's samples on topology `t`, evaluated sequentially in
+    /// destination-set order (the fixed floating-point order).
+    fn chaos_topology(&self, spec: FaultPlanSpec, dests: u32, m: u32, t: u32) -> TopoAgg {
+        let cfg = *self.config();
+        let topo = self.topology(t);
+        let mut agg = TopoAgg::default();
+        for s in 0..cfg.dest_sets() {
+            let salt = cfg.set_seed(t, s);
+            let chain = sample_chain(&topo.net, &topo.ordering, salt, dests);
+            let n = chain.len() as u32;
+            let tree = self.tree(TreePolicy::OptimalKBinomial, n, m);
+
+            // Crash a deterministic subset of the destination ranks. The
+            // draw depends only on (salt, fault seed) — not on the drop
+            // rate — so cells in one column share crash sets and a shuffle
+            // prefix makes them nested across crash counts: the grid uses
+            // common random numbers along both axes.
+            let mut ranks: Vec<Rank> = (1..n).map(Rank).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                salt.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    .wrapping_add(spec.seed),
+            );
+            ranks.shuffle(&mut rng);
+            let failed: Vec<Rank> = ranks[..spec.crashes as usize].to_vec();
+
+            let repair = tree
+                .repair(&failed)
+                .expect("crash sets exclude the source and are in range");
+            agg.reattached += repair.reattached.len() as u64;
+            let binding: Vec<HostId> = repair
+                .new_to_old
+                .iter()
+                .map(|&old| chain[old.index()])
+                .collect();
+            let crashes: Vec<HostCrash> = failed
+                .iter()
+                .map(|&r| HostCrash {
+                    host: chain[r.index()],
+                    at_us: 0.0,
+                })
+                .collect();
+            let plan = spec.plan(salt, crashes);
+            match run_multicast_with_faults(
+                &topo.net,
+                Arc::new(repair.tree),
+                &binding,
+                m,
+                cfg.params(),
+                RunConfig::default(),
+                &plan,
+            ) {
+                Ok((out, c)) => {
+                    agg.delivered += 1;
+                    agg.latency_sum += out.latency_us;
+                    agg.packets_dropped += c.packets_dropped;
+                    agg.packets_corrupted += c.packets_corrupted;
+                    agg.retransmits += c.retransmits;
+                    agg.deliveries_abandoned += c.deliveries_abandoned;
+                    agg.recovery_wait_us += c.recovery_wait_us;
+                }
+                Err(SimError::DeliveryFailed {
+                    unreached,
+                    counters,
+                }) => {
+                    agg.failed += 1;
+                    agg.unreached += unreached.len() as u64;
+                    agg.packets_dropped += counters.packets_dropped;
+                    agg.packets_corrupted += counters.packets_corrupted;
+                    agg.retransmits += counters.retransmits;
+                    agg.deliveries_abandoned += counters.deliveries_abandoned;
+                    agg.recovery_wait_us += counters.recovery_wait_us;
+                }
+                Err(other) => unreachable!("validated chaos plan rejected: {other}"),
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SweepBuilder;
+
+    fn lossy(seed: u64) -> FaultPlanSpec {
+        FaultPlanSpec {
+            seed,
+            ..FaultPlanSpec::default()
+        }
+    }
+
+    #[test]
+    fn clean_cell_matches_the_fault_free_engine() {
+        let sweep = SweepBuilder::quick().fault(lossy(7)).build().unwrap();
+        let report = sweep.chaos(&[0.0], &[0], 15, 2).unwrap();
+        let cell = report.cell(0, 0);
+        assert_eq!(cell.failed, 0);
+        assert_eq!(cell.delivered, sweep.config().samples());
+        assert_eq!(
+            (cell.packets_dropped, cell.retransmits, cell.reattached),
+            (0, 0, 0)
+        );
+        // The (d = 0, c = 0) corner is the ordinary optimal-k sweep: its
+        // mean must equal the fault-free engine's bit-for-bit.
+        let clean = sweep
+            .avg_latency(TreePolicy::OptimalKBinomial, 15, 2, RunConfig::default())
+            .unwrap();
+        assert_eq!(cell.mean_latency_us.to_bits(), clean.to_bits());
+    }
+
+    #[test]
+    fn drops_cost_latency_and_crashes_shrink_the_tree() {
+        let sweep = SweepBuilder::quick().fault(lossy(11)).build().unwrap();
+        let report = sweep.chaos(&[0.0, 0.1], &[0, 3], 15, 2).unwrap();
+        let clean = report.cell(0, 0);
+        let dropped = report.cell(1, 0);
+        assert!(dropped.retransmits > 0);
+        assert!(dropped.recovery_wait_us > 0.0);
+        assert!(
+            dropped.mean_latency_us > clean.mean_latency_us,
+            "10% loss must slow the multicast: {} <= {}",
+            dropped.mean_latency_us,
+            clean.mean_latency_us
+        );
+        let crashed = report.cell(0, 1);
+        assert!(crashed.reattached > 0, "3 crashes never orphaned a subtree");
+        assert_eq!(crashed.failed, 0, "repaired runs must still deliver");
+    }
+
+    #[test]
+    fn chaos_is_byte_identical_across_workers() {
+        let json_for = |threads: usize| {
+            let sweep = SweepBuilder::quick()
+                .fault(lossy(42))
+                .parallelism(threads)
+                .build()
+                .unwrap();
+            sweep
+                .chaos(&[0.0, 0.08], &[0, 2], 15, 2)
+                .unwrap()
+                .to_json()
+                .to_string_pretty()
+        };
+        let serial = json_for(1);
+        assert_eq!(serial, json_for(4), "4 workers diverged");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_axes() {
+        let sweep = SweepBuilder::quick().build().unwrap();
+        assert_eq!(
+            sweep.chaos(&[0.0], &[0], 15, 0),
+            Err(SweepError::ZeroPackets)
+        );
+        assert_eq!(
+            sweep.chaos(&[0.0], &[0], 64, 2),
+            Err(SweepError::TooManyDests {
+                dests: 64,
+                hosts: 64
+            })
+        );
+        assert_eq!(
+            sweep.chaos(&[1.0], &[0], 15, 2),
+            Err(SweepError::InvalidFaultSpec("drop_rate must lie in [0, 1)"))
+        );
+        assert_eq!(
+            sweep.chaos(&[0.0], &[15], 15, 2),
+            Err(SweepError::TooManyCrashes {
+                crashes: 15,
+                dests: 15
+            })
+        );
+    }
+}

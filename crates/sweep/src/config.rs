@@ -7,6 +7,7 @@
 use crate::engine::Sweep;
 use crate::error::SweepError;
 use optimcast_core::params::SystemParams;
+use optimcast_netsim::FaultPlanSpec;
 use optimcast_topology::irregular::IrregularConfig;
 
 /// A validated evaluation-methodology configuration (§5.2).
@@ -21,6 +22,7 @@ pub struct SweepConfig {
     dest_sets: u32,
     base_seed: u64,
     threads: usize,
+    fault: FaultPlanSpec,
 }
 
 impl SweepConfig {
@@ -53,6 +55,12 @@ impl SweepConfig {
     /// results — only wall time.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Base fault-injection spec of chaos sweeps (trivial by default, so
+    /// ordinary figure sweeps never touch the fault machinery).
+    pub fn fault(&self) -> FaultPlanSpec {
+        self.fault
     }
 
     /// Samples per data point (`topologies × dest_sets`).
@@ -95,6 +103,7 @@ pub struct SweepBuilder {
     dest_sets: u32,
     base_seed: u64,
     threads: usize,
+    fault: FaultPlanSpec,
 }
 
 impl Default for SweepBuilder {
@@ -114,6 +123,7 @@ impl SweepBuilder {
             dest_sets: 30,
             base_seed: 1997,
             threads: 1,
+            fault: FaultPlanSpec::default(),
         }
     }
 
@@ -164,6 +174,14 @@ impl SweepBuilder {
         self
     }
 
+    /// Sets the base fault-injection spec for chaos sweeps (rates validated
+    /// at [`Self::build`]). [`crate::Sweep::chaos`] sweeps drop rate and
+    /// crash count on top of this base; ordinary figure sweeps ignore it.
+    pub fn fault(mut self, fault: FaultPlanSpec) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Uses every core the host exposes.
     pub fn parallelism_auto(self) -> Self {
         let n = std::thread::available_parallelism()
@@ -195,6 +213,7 @@ impl SweepBuilder {
                 hosts: self.net.hosts,
             });
         }
+        validate_fault_spec(&self.fault)?;
         Ok(SweepConfig {
             params: self.params,
             net: self.net,
@@ -202,6 +221,7 @@ impl SweepBuilder {
             dest_sets: self.dest_sets,
             base_seed: self.base_seed,
             threads: self.threads,
+            fault: self.fault,
         })
     }
 
@@ -213,6 +233,30 @@ impl SweepBuilder {
     pub fn build(self) -> Result<Sweep, SweepError> {
         Ok(Sweep::from_config(self.config()?))
     }
+}
+
+/// The builder-level checks on a fault spec (probabilities, attempt budget,
+/// timeout); the per-run `FaultPlan::validate` re-checks the expanded plan.
+pub(crate) fn validate_fault_spec(spec: &FaultPlanSpec) -> Result<(), SweepError> {
+    if !(0.0..1.0).contains(&spec.drop_rate) {
+        return Err(SweepError::InvalidFaultSpec("drop_rate must lie in [0, 1)"));
+    }
+    if !(0.0..1.0).contains(&spec.corrupt_rate) {
+        return Err(SweepError::InvalidFaultSpec(
+            "corrupt_rate must lie in [0, 1)",
+        ));
+    }
+    if spec.max_attempts == 0 {
+        return Err(SweepError::InvalidFaultSpec(
+            "max_attempts must be at least 1",
+        ));
+    }
+    if !(spec.ack_timeout_us > 0.0 && spec.ack_timeout_us.is_finite()) {
+        return Err(SweepError::InvalidFaultSpec(
+            "ack_timeout_us must be positive and finite",
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -261,6 +305,44 @@ mod tests {
             SweepBuilder::paper().network(lone).config(),
             Err(SweepError::NotEnoughHosts { hosts: 1 })
         );
+    }
+
+    #[test]
+    fn fault_specs_are_validated() {
+        let lossy = FaultPlanSpec {
+            drop_rate: 0.1,
+            ..FaultPlanSpec::default()
+        };
+        assert_eq!(
+            SweepBuilder::quick().fault(lossy).config().unwrap().fault(),
+            lossy
+        );
+        for bad in [
+            FaultPlanSpec {
+                drop_rate: 1.0,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                corrupt_rate: -0.2,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                max_attempts: 0,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                ack_timeout_us: 0.0,
+                ..FaultPlanSpec::default()
+            },
+        ] {
+            assert!(
+                matches!(
+                    SweepBuilder::quick().fault(bad).config(),
+                    Err(SweepError::InvalidFaultSpec(_))
+                ),
+                "{bad:?} slipped through"
+            );
+        }
     }
 
     #[test]

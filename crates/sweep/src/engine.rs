@@ -266,7 +266,7 @@ impl Sweep {
     /// index order. Workers self-schedule off a shared atomic counter;
     /// every result lands in its index slot, so ordering (and therefore
     /// every downstream reduction) is independent of scheduling.
-    fn run_cells<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    pub(crate) fn run_cells<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         let workers = self.cfg.threads().min(n);
         if workers <= 1 {
             return (0..n).map(f).collect();

@@ -36,6 +36,17 @@ pub enum SweepError {
     ZeroPackets,
     /// An unrecognised figure name (CLI parsing).
     UnknownFigure(String),
+    /// The base fault spec of a chaos sweep is malformed (probability out
+    /// of range, zero attempt budget, non-positive timeout).
+    InvalidFaultSpec(&'static str),
+    /// A chaos cell asks to crash at least as many hosts as there are
+    /// destinations, leaving nothing to multicast to.
+    TooManyCrashes {
+        /// Requested crash count.
+        crashes: u32,
+        /// Destinations per sample.
+        dests: u32,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -65,6 +76,11 @@ impl fmt::Display for SweepError {
             ),
             SweepError::ZeroPackets => write!(f, "a sweep point needs at least one packet"),
             SweepError::UnknownFigure(name) => write!(f, "unknown figure '{name}'"),
+            SweepError::InvalidFaultSpec(why) => write!(f, "invalid fault spec: {why}"),
+            SweepError::TooManyCrashes { crashes, dests } => write!(
+                f,
+                "cannot crash {crashes} of {dests} destinations; at least one must survive"
+            ),
         }
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod bench;
+mod chaos;
 mod config;
 mod engine;
 mod error;
@@ -40,6 +41,7 @@ mod memo;
 mod sampling;
 
 pub use bench::{bench_sweep, BenchReport};
+pub use chaos::{ChaosCell, ChaosReport};
 pub use config::{SweepBuilder, SweepConfig};
 pub use engine::{LatencyStats, PointSpec, Sweep};
 pub use error::SweepError;
@@ -49,6 +51,7 @@ pub use figures::{
 };
 pub use json::{Json, JsonError, ToJson};
 pub use memo::{CacheStats, TopologyEntry};
+pub use optimcast_netsim::FaultPlanSpec;
 pub use sampling::{
     m_axis, sample_chain, sample_instance, Instance, TreePolicy, DEST_COUNTS, M_SWEEP, N_SWEEP,
     PACKET_COUNTS,

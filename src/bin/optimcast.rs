@@ -9,6 +9,8 @@
 //! optimcast simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]
 //!                    [--ordering cco|poc|random] [--ideal] [--trace] [--json]
 //! optimcast bench-sweep [--threads N] [--smoke] [--out PATH]
+//! optimcast chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]
+//!                    [--out PATH]
 //! ```
 
 use optimcast::core::schedule::ForwardingDiscipline;
@@ -37,6 +39,7 @@ fn main() {
         "table" => cmd_table(&flags),
         "simulate" => cmd_simulate(&flags),
         "bench-sweep" => cmd_bench_sweep(&flags),
+        "chaos" => cmd_chaos(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -57,7 +60,8 @@ fn usage() {
          \u{20}  table    [--max-n N] [--max-m M]\n\
          \u{20}  simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]\n\
          \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]\n\
-         \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]"
+         \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]\n\
+         \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M] [--out PATH]"
     );
 }
 
@@ -403,6 +407,105 @@ fn cmd_bench_sweep(flags: &HashMap<String, String>) {
         eprintln!("bench-sweep: DETERMINISM VIOLATION — parallel figures diverged from serial");
         std::process::exit(1);
     }
+}
+
+/// The `chaos` subcommand: the robustness grid (drop rate × crash count)
+/// over the paper's sampling methodology, reported as a table plus the
+/// unified figure JSON. The JSON records no thread count and is
+/// byte-identical for every `--threads` value — CI runs it twice and diffs.
+fn cmd_chaos(flags: &HashMap<String, String>) {
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = get(flags, "threads", default_threads);
+    let quick = flags.contains_key("quick");
+    let seed: u64 = get(flags, "seed", 1997);
+    let dests: u32 = get(flags, "dests", 31);
+    let m: u32 = get(flags, "m", 4);
+    let spec = FaultPlanSpec {
+        seed,
+        ..FaultPlanSpec::default()
+    };
+    let (base, drops, crashes, label) = if quick {
+        (
+            SweepBuilder::quick(),
+            vec![0.0, 0.05, 0.1],
+            vec![0u32, 1, 2],
+            "quick (2x3)",
+        )
+    } else {
+        (
+            SweepBuilder::paper(),
+            vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2],
+            vec![0u32, 1, 2, 4, 8],
+            "paper (10x30)",
+        )
+    };
+    eprintln!(
+        "chaos: {label} methodology, {}x{} grid, {threads} worker(s)...",
+        drops.len(),
+        crashes.len()
+    );
+    let sweep = base
+        .parallelism(threads)
+        .fault(spec)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        });
+    let report = sweep.chaos(&drops, &crashes, dests, m).unwrap_or_else(|e| {
+        eprintln!("chaos: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "chaos grid: {dests} dests, {m} packets, fault seed {seed}, {} samples/cell",
+        sweep.config().samples()
+    );
+    println!(
+        "{:>6} {:>7} {:>9} {:>6} {:>9} {:>12} {:>11} {:>10}",
+        "drop",
+        "crashes",
+        "delivered",
+        "failed",
+        "unreached",
+        "latency(us)",
+        "retransmits",
+        "reattached"
+    );
+    for d in 0..report.drop_rates.len() {
+        for c in 0..report.crash_counts.len() {
+            let cell = report.cell(d, c);
+            println!(
+                "{:>6.2} {:>7} {:>9} {:>6} {:>9} {:>12.2} {:>11} {:>10}",
+                cell.drop_rate,
+                cell.crashes,
+                cell.delivered,
+                cell.failed,
+                cell.unreached,
+                cell.mean_latency_us,
+                cell.retransmits,
+                cell.reattached
+            );
+        }
+    }
+    if report.all_reached() {
+        println!("all-reached invariant holds: every run reached every surviving destination");
+    } else {
+        let failed: u32 = report.cells.iter().map(|c| c.failed).sum();
+        let unreached: u64 = report.cells.iter().map(|c| c.unreached).sum();
+        println!(
+            "WARNING: {failed} run(s) exhausted the retransmission budget; \
+             {unreached} surviving destination(s) unreached"
+        );
+    }
+    let default_out = "results/chaos.json".to_string();
+    let out_path = flags.get("out").unwrap_or(&default_out);
+    if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
+        eprintln!("chaos: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
 }
 
 /// The `simulate --json` document: headline metrics plus the structured

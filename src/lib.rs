@@ -76,11 +76,13 @@ pub mod jsonout;
 pub mod prelude {
     pub use optimcast_core::prelude::*;
     pub use optimcast_netsim::{
-        run_multicast, run_multicast_shared, ContentionMode, MulticastOutcome, NiTiming, NicKind,
+        run_multicast, run_multicast_shared, run_multicast_with_faults, ContentionMode, FaultKind,
+        FaultPlan, FaultPlanSpec, HostCrash, LinkFailure, MulticastOutcome, NiTiming, NicKind,
         RunConfig, SimError,
     };
     pub use optimcast_sweep::{
-        Figure, FigureId, Series, Sweep, SweepBuilder, SweepError, TreePolicy,
+        ChaosCell, ChaosReport, Figure, FigureId, Series, Sweep, SweepBuilder, SweepError,
+        TreePolicy,
     };
     pub use optimcast_topology::cube::CubeNetwork;
     pub use optimcast_topology::graph::{ChannelId, HostId, LinkId, SwitchId};

@@ -216,3 +216,52 @@ fn bench_sweep_smoke() {
         assert!(body.contains(key), "missing {key} in {body}");
     }
 }
+
+#[test]
+fn chaos_subcommand_is_deterministic_across_threads() {
+    let p1 = std::env::temp_dir().join("optimcast-chaos-t1.json");
+    let p2 = std::env::temp_dir().join("optimcast-chaos-t4.json");
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+    let run = |threads: &str, out_path: &std::path::Path| {
+        let (out, ok) = optimcast(&[
+            "chaos",
+            "--quick",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+            "--out",
+            out_path.to_str().unwrap(),
+        ]);
+        assert!(ok, "{out}");
+        out
+    };
+    let stdout = run("1", &p1);
+    assert!(stdout.contains("chaos grid:"), "{stdout}");
+    assert!(
+        stdout.contains("all-reached invariant holds") || stdout.contains("unreached"),
+        "no invariant verdict in {stdout}"
+    );
+    run("4", &p2);
+    // Identical seeds must produce byte-identical chaos JSON at 1 and 4
+    // workers — the report deliberately records no thread count.
+    let a = std::fs::read(&p1).expect("report written");
+    let b = std::fs::read(&p2).expect("report written");
+    assert_eq!(a, b, "chaos JSON drifted across thread counts");
+    let body = String::from_utf8(a).unwrap();
+    for key in [
+        "\"id\": \"chaos\"",
+        "\"drop_rates\"",
+        "\"crash_counts\"",
+        "\"all_reached\"",
+        "\"cells\"",
+        "\"figure\"",
+    ] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+    assert!(
+        !body.contains("thread"),
+        "thread count leaked into the JSON"
+    );
+}

@@ -109,3 +109,29 @@ fn topologies_built_once_per_sweep() {
     assert!(stats.misses <= 2 + 4, "misses: {}", stats.misses);
     assert!(stats.hits >= 8 - stats.misses, "hits: {}", stats.hits);
 }
+
+/// The chaos grid is byte-identical across 1 and 8 workers — fault
+/// injection (PRF-keyed drop decisions, crash-set draws, tree repair) must
+/// not reintroduce scheduling dependence.
+#[test]
+fn chaos_grid_byte_identical_across_workers() {
+    use optimcast::sweep::FaultPlanSpec;
+    let json_for = |threads: usize| {
+        let sweep = SweepBuilder::quick()
+            .fault(FaultPlanSpec {
+                seed: 7,
+                corrupt_rate: 0.02,
+                ..FaultPlanSpec::default()
+            })
+            .parallelism(threads)
+            .build()
+            .unwrap();
+        sweep
+            .chaos(&[0.0, 0.05, 0.1], &[0, 1, 2], 15, 2)
+            .unwrap()
+            .to_json()
+            .to_string_pretty()
+    };
+    let serial = json_for(1);
+    assert_eq!(serial, json_for(8), "8 workers diverged");
+}

@@ -97,3 +97,31 @@ fn simulated_figures_byte_identical_parallel() {
         );
     }
 }
+
+/// The committed chaos report (`results/chaos.json`) regenerates
+/// byte-identically under the full paper methodology. Unlike the simulated
+/// figures this is cheap enough to run unconditionally: the chaos grid
+/// reuses the memoized topologies and trees across all 30 cells.
+#[test]
+fn chaos_report_matches_committed_golden() {
+    let spec = FaultPlanSpec {
+        seed: 1997,
+        ..FaultPlanSpec::default()
+    };
+    let sweep = SweepBuilder::paper()
+        .parallelism(4)
+        .fault(spec)
+        .build()
+        .unwrap();
+    let report = sweep
+        .chaos(&[0.0, 0.01, 0.02, 0.05, 0.1, 0.2], &[0, 1, 2, 4, 8], 31, 4)
+        .expect("the committed grid is valid");
+    assert!(report.all_reached(), "a committed cell lost destinations");
+    let path = format!("{}/results/chaos.json", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        report.to_json().to_string_pretty(),
+        committed,
+        "chaos drifted from results/chaos.json"
+    );
+}
