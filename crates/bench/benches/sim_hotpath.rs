@@ -1,0 +1,92 @@
+//! Simulator-core hot-path microbenchmarks: steady-state event-queue churn
+//! (the innermost data structure of every run) and full `run_multicast`
+//! calls with and without an interned route table.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimcast::netsim::engine::EventQueue;
+use optimcast::netsim::{run_multicast_prerouted, run_multicast_shared, JobRoutes, RunConfig};
+use optimcast::prelude::*;
+use optimcast::sweep::sample_chain;
+use std::sync::Arc;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/event_queue");
+    // Steady-state churn at a resident population typical of a 64-host
+    // multicast: pop one, schedule one.
+    for resident in [32usize, 512] {
+        g.bench_function(format!("churn_resident{resident}"), |b| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..resident {
+                q.schedule_in(1.0 + i as f64, i as u64);
+            }
+            let mut i = resident as u64;
+            b.iter(|| {
+                let (_, payload) = q.pop().expect("population stays resident");
+                i += 1;
+                q.schedule_in(1.0 + (payload % 97) as f64, black_box(i));
+            });
+        });
+    }
+    // Tie-heavy churn: many events at identical times exercises the
+    // (time, seq) tie-break comparison path.
+    g.bench_function("churn_all_ties", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..256u64 {
+            q.schedule_in(1.0, i);
+        }
+        b.iter(|| {
+            let (_, payload) = q.pop().expect("population stays resident");
+            q.schedule_in(1.0, black_box(payload));
+        });
+    });
+    g.finish();
+}
+
+fn bench_run_multicast(c: &mut Criterion) {
+    let sweep = SweepBuilder::quick().build().unwrap();
+    let cfg = *sweep.config();
+    let topo = sweep.topology(0);
+    let chain = sample_chain(&topo.net, &topo.ordering, cfg.set_seed(0, 0), 31);
+    let tree = sweep.tree(TreePolicy::OptimalKBinomial, chain.len() as u32, 8);
+    let routes = Arc::new(JobRoutes::build(&topo.net, &tree, &chain));
+    let mut g = c.benchmark_group("sim/run_multicast_31d_8m");
+    g.bench_function("prerouted", |b| {
+        b.iter(|| {
+            run_multicast_prerouted(
+                &topo.net,
+                Arc::clone(&tree),
+                black_box(&chain),
+                Arc::clone(&routes),
+                8,
+                cfg.params(),
+                RunConfig::default(),
+            )
+            .unwrap()
+            .latency_us
+        })
+    });
+    g.bench_function("routing_inline", |b| {
+        b.iter(|| {
+            run_multicast_shared(
+                &topo.net,
+                Arc::clone(&tree),
+                black_box(&chain),
+                8,
+                cfg.params(),
+                RunConfig::default(),
+            )
+            .unwrap()
+            .latency_us
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_event_queue, bench_run_multicast
+}
+criterion_main!(benches);

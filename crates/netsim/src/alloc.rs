@@ -1,0 +1,102 @@
+//! A counting global allocator: wraps [`System`] with relaxed atomic
+//! tallies of allocation calls and bytes requested.
+//!
+//! The simulator's hot path is designed to be allocation-free in steady
+//! state (inline event-queue payloads, interned route tables, in-place
+//! send-queue draining); this allocator is how that claim is *measured*
+//! rather than assumed. It is deliberately not registered by the library —
+//! a binary opts in:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: optimcast_netsim::alloc::CountingAlloc = CountingAlloc::new();
+//! ```
+//!
+//! The `optimcast` CLI registers it so `bench-sim` can report
+//! allocations-per-event, and the `zero_alloc` integration test registers
+//! it to assert the steady-state budget. When no binary registers it the
+//! counters simply stay at zero ([`CountingAlloc::enabled`] distinguishes
+//! "zero allocations" from "not measuring").
+//!
+//! Counter reads are *process-wide*: any thread's allocations land in the
+//! same tallies, so measurement windows should bracket single-threaded
+//! regions only.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static REGISTERED: AtomicBool = AtomicBool::new(false);
+
+/// The counting allocator; see the module docs for registration.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new allocator instance (const so it can be a `static`).
+    #[must_use]
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+
+    /// Total allocation calls (`alloc`, `alloc_zeroed`, and growth via
+    /// `realloc`) since process start.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total deallocation calls since process start.
+    pub fn deallocations() -> u64 {
+        DEALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across all allocation calls.
+    pub fn bytes_allocated() -> u64 {
+        BYTES_ALLOCATED.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `CountingAlloc` is actually serving allocations in this
+    /// process — `false` means the counters are vacuously zero.
+    pub fn enabled() -> bool {
+        REGISTERED.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: every method delegates to `System` unchanged; the atomic
+// bookkeeping has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        REGISTERED.store(true, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        REGISTERED.store(true, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink is one allocation event: the interesting signal for
+        // the steady-state budget is "did the heap get touched", not the
+        // alloc/free pairing underneath.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -3,25 +3,75 @@
 //! Events are ordered by `(time, insertion sequence)`: ties in simulated
 //! time resolve in scheduling order, so a run is a pure function of its
 //! inputs — crucial for reproducing the paper's experiments from seeds.
+//!
+//! Payloads are stored inline in the heap entries: event types are small
+//! `Copy` values, so there is no side table to grow for the life of a run
+//! and no indirection on pop. Ordering compares only `(at, seq)` — the
+//! payload never participates, so `E` needs no `Ord` bound.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    at: SimTime,
-    seq: u64,
+/// A heap entry: the packed ordering key plus the event payload carried
+/// inline.
+///
+/// `key` is `(time bits << 64) | seq`: `SimTime` is non-negative and
+/// non-NaN, so its IEEE bits sort exactly like the value
+/// ([`SimTime::key_bits`]) and the full `(time, insertion seq)` order
+/// collapses into ONE `u128` comparison — the heap's sift loops run a
+/// single branch per level instead of a float compare plus a tie-break.
+/// `seq` is unique per queue, so two entries never compare equal in
+/// practice; the `Eq` impl exists only to satisfy `BinaryHeap`'s bounds.
+#[derive(Debug, Clone, Copy)]
+struct Entry<E> {
+    key: u128,
+    event: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn new(at: SimTime, seq: u64, event: E) -> Self {
+        Entry {
+            key: (u128::from(at.key_bits()) << 64) | u128::from(seq),
+            event,
+        }
+    }
+
+    #[inline]
+    fn at(&self) -> SimTime {
+        SimTime::from_key_bits((self.key >> 64) as u64)
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
 }
 
 /// A deterministic future-event list.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Key, usize)>>,
-    payload: Vec<Option<E>>,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
     now: SimTime,
     seq: u64,
     processed: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -35,10 +85,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            payload: Vec::new(),
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            peak_len: 0,
         }
     }
 
@@ -63,11 +113,10 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past: {at} < now {}",
             self.now
         );
-        let key = Key { at, seq: self.seq };
+        let seq = self.seq;
         self.seq += 1;
-        let slot = self.payload.len();
-        self.payload.push(Some(event));
-        self.heap.push(Reverse((key, slot)));
+        self.heap.push(Reverse(Entry::new(at, seq, event)));
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Schedules `event` after a delay from now.
@@ -77,11 +126,11 @@ impl<E> EventQueue<E> {
 
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse((key, slot)) = self.heap.pop()?;
-        self.now = key.at;
+        let Reverse(entry) = self.heap.pop()?;
+        let at = entry.at();
+        self.now = at;
         self.processed += 1;
-        let ev = self.payload[slot].take().expect("event popped twice");
-        Some((key.at, ev))
+        Some((at, entry.event))
     }
 
     /// True when no events remain.
@@ -92,6 +141,11 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Largest number of events simultaneously pending over the queue's life.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -161,5 +215,22 @@ mod tests {
         q.schedule(SimTime::us(1.0), ());
         assert!(!q.is_empty());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(SimTime::us(1.0), ());
+        q.schedule(SimTime::us(2.0), ());
+        q.schedule(SimTime::us(3.0), ());
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 1);
+        // Peak is a high-water mark: it never decreases.
+        assert_eq!(q.peak_len(), 3);
+        q.schedule(SimTime::us(4.0), ());
+        assert_eq!(q.peak_len(), 3);
     }
 }

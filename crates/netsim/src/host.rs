@@ -81,10 +81,16 @@ impl HostModel {
         hs.send_busy.then_some(hs.seq)
     }
 
-    /// Discards every queued transmission of a crashed host, returning the
-    /// items so the caller can account for them.
-    pub fn drain_send_queue(&mut self, h: HostId) -> Vec<SendItem> {
-        self.hosts[h.index()].send_queue.drain(..).collect()
+    /// True when the host has no queued transmissions.
+    pub fn send_queue_is_empty(&self, h: HostId) -> bool {
+        self.hosts[h.index()].send_queue.is_empty()
+    }
+
+    /// Removes and returns the host's next queued transmission, bypassing
+    /// the send unit. Lets a crashed host's queue be discarded item by item
+    /// with no scratch allocation (the caller accounts for each).
+    pub fn pop_queued(&mut self, h: HostId) -> Option<SendItem> {
+        self.hosts[h.index()].send_queue.pop_front()
     }
 
     /// Frees the send unit, returning the transmission it was occupied by.
@@ -220,13 +226,17 @@ mod tests {
     }
 
     #[test]
-    fn drain_discards_queued_sends() {
+    fn pop_queued_discards_queued_sends_in_order() {
         let mut hm = HostModel::new(1);
         let h = HostId(0);
+        assert!(hm.send_queue_is_empty(h));
         hm.enqueue(h, item(0));
         hm.enqueue(h, item(1));
-        let drained = hm.drain_send_queue(h);
-        assert_eq!(drained.len(), 2);
+        assert!(!hm.send_queue_is_empty(h));
+        assert_eq!(hm.pop_queued(h).unwrap().packet, 0);
+        assert_eq!(hm.pop_queued(h).unwrap().packet, 1);
+        assert!(hm.pop_queued(h).is_none());
+        assert!(hm.send_queue_is_empty(h));
         assert!(hm.try_dispatch(h).is_none());
     }
 

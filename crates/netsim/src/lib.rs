@@ -27,6 +27,7 @@
 //! the integration tests enforce. The overlapped mode
 //! ([`sim::NiTiming::Overlapped`]) relaxes this for ablation.
 
+pub mod alloc;
 pub mod bytes;
 mod channel;
 mod discipline;
@@ -37,20 +38,24 @@ pub mod fault;
 mod host;
 pub mod observe;
 pub mod packet;
+pub mod routes;
 pub mod sim;
 mod simulation;
 pub mod time;
 pub mod workload;
 
+pub use alloc::CountingAlloc;
 pub use error::SimError;
 pub use fault::{FaultKind, FaultPlan, FaultPlanSpec, HostCrash, LinkFailure};
 pub use observe::{Observer, SimCounters};
+pub use routes::JobRoutes;
 pub use sim::{
-    run_multicast, run_multicast_shared, run_multicast_with_faults, ContentionMode,
-    MulticastOutcome, NiTiming, NicKind, RunConfig,
+    run_multicast, run_multicast_prerouted, run_multicast_shared, run_multicast_with_faults,
+    ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig,
 };
 pub use time::SimTime;
 pub use workload::{
-    run_workload, run_workload_observed, run_workload_with_faults, JobPayload, MulticastJob,
-    PersonalizedOrder, TraceKind, TraceRecord, WorkloadConfig, WorkloadOutcome,
+    run_workload, run_workload_faulted_observed, run_workload_observed, run_workload_prerouted,
+    run_workload_with_faults, JobPayload, MulticastJob, PersonalizedOrder, TraceKind, TraceRecord,
+    WorkloadConfig, WorkloadOutcome,
 };

@@ -169,6 +169,70 @@ impl Observer for TraceCollector {
             kind: TraceKind::HostDone { rank },
         });
     }
+
+    fn packet_dropped(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        kind: FaultKind,
+    ) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::Dropped {
+                from,
+                to,
+                packet,
+                kind,
+            },
+        });
+    }
+
+    fn retransmit_scheduled(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        attempt: u32,
+        _waited_us: f64,
+    ) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::Retransmit {
+                from,
+                to,
+                packet,
+                attempt,
+            },
+        });
+    }
+
+    fn delivery_abandoned(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        from: Rank,
+        to: Rank,
+        packet: u32,
+        attempts: u32,
+    ) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::Abandoned {
+                from,
+                to,
+                packet,
+                attempts,
+            },
+        });
+    }
 }
 
 /// Accumulates the per-job outcome metrics (`channel_wait_us`,
@@ -235,6 +299,8 @@ pub struct SimCounters {
     pub buffer_occupancy: Vec<u64>,
     /// Discrete events processed.
     pub events: u64,
+    /// Largest number of events simultaneously pending in the event queue.
+    pub peak_queue_len: usize,
     /// Transmissions lost or refused by the fault plan (all
     /// [`FaultKind`]s, corruption included).
     pub packets_dropped: u64,
@@ -365,10 +431,18 @@ impl<'a> ObserverHub<'a> {
         }
     }
 
-    /// Applies `f` to every installed observer.
-    fn each(&mut self, mut f: impl FnMut(&mut dyn Observer)) {
-        f(&mut self.metrics);
-        f(&mut self.counters);
+    /// True when a dynamically dispatched sink (trace timeline or caller
+    /// observer) is installed. The built-in metric/counter sinks are always
+    /// called statically, so hooks only they consume never touch a vtable;
+    /// hooks consumed by *no* built-in sink become a branch and return on
+    /// the common (untraced, unobserved) fast path.
+    #[inline]
+    fn has_dyn_sinks(&self) -> bool {
+        self.trace.is_some() || self.user.is_some()
+    }
+
+    /// Applies `f` to the dynamically dispatched sinks (cold path).
+    fn each_dyn(&mut self, mut f: impl FnMut(&mut dyn Observer)) {
         if let Some(t) = self.trace.as_mut() {
             f(t);
         }
@@ -386,27 +460,46 @@ impl<'a> ObserverHub<'a> {
         packet: u32,
         stalled_us: f64,
     ) {
-        self.each(|o| o.send_start(t_us, job, from, to, packet, stalled_us));
+        self.metrics
+            .send_start(t_us, job, from, to, packet, stalled_us);
+        self.counters
+            .send_start(t_us, job, from, to, packet, stalled_us);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.send_start(t_us, job, from, to, packet, stalled_us));
+        }
     }
 
     pub fn recv_done(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
-        self.each(|o| o.recv_done(t_us, job, at, packet));
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.recv_done(t_us, job, at, packet));
+        }
     }
 
     pub fn host_done(&mut self, t_us: f64, job: u32, rank: Rank) {
-        self.each(|o| o.host_done(t_us, job, rank));
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.host_done(t_us, job, rank));
+        }
     }
 
     pub fn recv_unit_wait(&mut self, job: u32, wait_us: f64) {
-        self.each(|o| o.recv_unit_wait(job, wait_us));
+        self.counters.recv_unit_wait(job, wait_us);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.recv_unit_wait(job, wait_us));
+        }
     }
 
     pub fn send_enqueued(&mut self, host: HostId, depth: usize) {
-        self.each(|o| o.send_enqueued(host, depth));
+        self.counters.send_enqueued(host, depth);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.send_enqueued(host, depth));
+        }
     }
 
     pub fn buffer_grew(&mut self, host: HostId, resident: u32) {
-        self.each(|o| o.buffer_grew(host, resident));
+        self.counters.buffer_grew(host, resident);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.buffer_grew(host, resident));
+        }
     }
 
     pub fn packet_dropped(
@@ -418,7 +511,11 @@ impl<'a> ObserverHub<'a> {
         packet: u32,
         kind: FaultKind,
     ) {
-        self.each(|o| o.packet_dropped(t_us, job, from, to, packet, kind));
+        self.counters
+            .packet_dropped(t_us, job, from, to, packet, kind);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.packet_dropped(t_us, job, from, to, packet, kind));
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -432,11 +529,20 @@ impl<'a> ObserverHub<'a> {
         attempt: u32,
         waited_us: f64,
     ) {
-        self.each(|o| o.retransmit_scheduled(t_us, job, from, to, packet, attempt, waited_us));
+        self.counters
+            .retransmit_scheduled(t_us, job, from, to, packet, attempt, waited_us);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| {
+                o.retransmit_scheduled(t_us, job, from, to, packet, attempt, waited_us)
+            });
+        }
     }
 
     pub fn fault_triggered(&mut self, t_us: f64, kind: FaultKind, host: HostId) {
-        self.each(|o| o.fault_triggered(t_us, kind, host));
+        self.counters.fault_triggered(t_us, kind, host);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.fault_triggered(t_us, kind, host));
+        }
     }
 
     pub fn delivery_abandoned(
@@ -448,7 +554,11 @@ impl<'a> ObserverHub<'a> {
         packet: u32,
         attempts: u32,
     ) {
-        self.each(|o| o.delivery_abandoned(t_us, job, from, to, packet, attempts));
+        self.counters
+            .delivery_abandoned(t_us, job, from, to, packet, attempts);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.delivery_abandoned(t_us, job, from, to, packet, attempts));
+        }
     }
 }
 

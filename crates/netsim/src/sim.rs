@@ -112,6 +112,9 @@ pub struct MulticastOutcome {
     pub max_ni_buffer: Vec<u32>,
     /// Discrete events processed (simulation effort indicator).
     pub events: u64,
+    /// Largest number of events simultaneously pending in the event queue
+    /// (memory high-water-mark indicator).
+    pub peak_queue_len: usize,
 }
 
 /// Simulates one multicast and returns its outcome.
@@ -179,6 +182,51 @@ pub fn run_multicast_shared<N: Network>(
     )?;
     let mut out = wl.jobs.into_iter().next().expect("one job in, one out");
     out.events = wl.events;
+    out.peak_queue_len = wl.counters.peak_queue_len;
+    Ok(out)
+}
+
+/// As [`run_multicast_shared`], but with a caller-supplied interned route
+/// table, built once by [`crate::routes::JobRoutes::build`] from the same
+/// `(net, tree, binding)` triple and reused across runs — the sweep engine
+/// memoizes tables per `(topology, chain, tree-shape)` so repeated cells
+/// skip the route computation entirely. The outcome is identical to
+/// [`run_multicast_shared`].
+///
+/// # Errors
+///
+/// Same contract as [`run_multicast`].
+pub fn run_multicast_prerouted<N: Network>(
+    net: &N,
+    tree: std::sync::Arc<MulticastTree>,
+    binding: &[HostId],
+    routes: std::sync::Arc<crate::routes::JobRoutes>,
+    m: u32,
+    params: &SystemParams,
+    config: RunConfig,
+) -> Result<MulticastOutcome, SimError> {
+    let job = MulticastJob {
+        tree,
+        binding: binding.to_vec(),
+        packets: m,
+        start_us: 0.0,
+        nic: config.nic,
+        payload: JobPayload::Replicated,
+    };
+    let wl = crate::workload::run_workload_prerouted(
+        net,
+        std::slice::from_ref(&job),
+        vec![routes],
+        params,
+        WorkloadConfig {
+            contention: config.contention,
+            timing: config.timing,
+            trace: false,
+        },
+    )?;
+    let mut out = wl.jobs.into_iter().next().expect("one job in, one out");
+    out.events = wl.events;
+    out.peak_queue_len = wl.counters.peak_queue_len;
     Ok(out)
 }
 
@@ -225,6 +273,7 @@ pub fn run_multicast_with_faults<N: Network>(
     let counters = wl.counters;
     let mut out = wl.jobs.into_iter().next().expect("one job in, one out");
     out.events = wl.events;
+    out.peak_queue_len = counters.peak_queue_len;
     Ok((out, counters))
 }
 

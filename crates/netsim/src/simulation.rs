@@ -27,13 +27,15 @@ use crate::event::{Ev, SendItem};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::host::HostModel;
 use crate::observe::{Observer, ObserverHub};
+use crate::routes::JobRoutes;
 use crate::sim::{MulticastOutcome, NiTiming, NicKind};
 use crate::time::SimTime;
 use crate::workload::{JobPayload, MulticastJob, WorkloadConfig, WorkloadOutcome};
 use optimcast_core::params::SystemParams;
 use optimcast_core::tree::Rank;
-use optimcast_topology::graph::{ChannelId, HostId};
+use optimcast_topology::graph::HostId;
 use optimcast_topology::Network;
+use std::sync::Arc;
 
 /// Per-(job, rank) participant state.
 pub(crate) struct PartState {
@@ -62,8 +64,10 @@ pub(crate) struct SimState<'a> {
     pub jobs: &'a [MulticastJob],
     pub params: &'a SystemParams,
     pub config: WorkloadConfig,
-    /// `routes[job][rank]`: channel route from `rank`'s parent to `rank`.
-    pub routes: Vec<Vec<Vec<ChannelId>>>,
+    /// `routes[job].route(rank)`: channel route from `rank`'s parent to
+    /// `rank`, interned CSR-style (shared with the sweep cache when the
+    /// caller passed prebuilt tables).
+    pub routes: Vec<Arc<JobRoutes>>,
     pub hosts: HostModel,
     pub parts: Vec<Vec<PartState>>,
     pub channels: ChannelManager,
@@ -185,6 +189,10 @@ pub(crate) struct Simulation<'a> {
 
 impl<'a> Simulation<'a> {
     /// Validates the workload and assembles the components.
+    /// `routes`, when given, must hold one table per job, each built by
+    /// [`JobRoutes::build`] from the job's `(tree, binding)` on `net` —
+    /// the sweep engine passes memoized tables here so repeated cells skip
+    /// the route computation. `None` builds the tables from scratch.
     pub fn new<N: Network>(
         net: &N,
         jobs: &'a [MulticastJob],
@@ -192,6 +200,7 @@ impl<'a> Simulation<'a> {
         config: WorkloadConfig,
         fault: Option<&'a FaultPlan>,
         user_observer: Option<&'a mut dyn Observer>,
+        routes: Option<Vec<Arc<JobRoutes>>>,
     ) -> Result<Self, SimError> {
         validate(net, jobs)?;
         // A trivial plan is indistinguishable from no plan; normalizing it to
@@ -204,17 +213,20 @@ impl<'a> Simulation<'a> {
                 return Err(SimError::FaultsNeedHandshakeTiming);
             }
         }
-        let routes = jobs
-            .iter()
-            .map(|job| {
-                (0..job.tree.len())
-                    .map(|r| match job.tree.parent(Rank(r as u32)) {
-                        Some(p) => net.route(job.binding[p.index()], job.binding[r]),
-                        None => Vec::new(),
-                    })
-                    .collect()
-            })
-            .collect();
+        let routes = match routes {
+            Some(tables) => {
+                debug_assert_eq!(tables.len(), jobs.len());
+                debug_assert!(tables
+                    .iter()
+                    .zip(jobs)
+                    .all(|(t, job)| t.len() == job.tree.len()));
+                tables
+            }
+            None => jobs
+                .iter()
+                .map(|job| Arc::new(JobRoutes::build(net, &job.tree, &job.binding)))
+                .collect(),
+        };
         let parts = jobs
             .iter()
             .map(|job| {
@@ -293,7 +305,7 @@ impl<'a> Simulation<'a> {
             return;
         };
         let j = item.job as usize;
-        let route = &st.routes[j][item.child.index()];
+        let route = st.routes[j].route(item.child.index());
         debug_assert!(!route.is_empty());
         debug_assert_eq!(st.jobs[j].tree.parent(item.child), Some(item.from));
         let hold = st.params.t_send + st.params.t_prop;
@@ -377,13 +389,13 @@ impl<'a> Simulation<'a> {
     /// [`SimError::DeliveryFailed`] at collection.
     fn drain_dead_sender(&mut self, now: SimTime, h: HostId) {
         let st = &mut self.st;
-        let items = st.hosts.drain_send_queue(h);
-        if items.is_empty() {
+        if st.hosts.send_queue_is_empty(h) {
             return;
         }
         st.obs
             .fault_triggered(now.as_us(), FaultKind::SenderDead, h);
-        for item in items {
+        // Pop in place — no scratch Vec per drained host.
+        while let Some(item) = st.hosts.pop_queued(h) {
             st.obs.packet_dropped(
                 now.as_us(),
                 item.job,
@@ -565,6 +577,7 @@ impl<'a> Simulation<'a> {
             if st.fault.is_some() {
                 let mut counters = st.obs.counters.counters;
                 counters.events = st.queue.processed();
+                counters.peak_queue_len = st.queue.peak_len();
                 return Err(SimError::DeliveryFailed {
                     unreached,
                     counters: Box::new(counters),
@@ -601,11 +614,13 @@ impl<'a> Simulation<'a> {
                 blocked_sends: st.obs.metrics.blocked[j],
                 total_sends: st.obs.metrics.sends[j],
                 max_ni_buffer,
-                events: 0, // aggregate reported at workload level
+                events: 0,         // aggregate reported at workload level
+                peak_queue_len: 0, // aggregate reported at workload level
             });
         }
         let mut counters = st.obs.counters.counters;
         counters.events = st.queue.processed();
+        counters.peak_queue_len = st.queue.peak_len();
         Ok(WorkloadOutcome {
             jobs: outcomes,
             makespan_us: makespan,

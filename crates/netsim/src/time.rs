@@ -42,6 +42,24 @@ impl SimTime {
             self
         }
     }
+
+    /// The raw IEEE-754 bits of the value, as an order-preserving integer
+    /// key: for non-negative, non-NaN doubles (the `SimTime` invariant) the
+    /// bit patterns sort exactly like the values, so the event queue can
+    /// compare timestamps with one integer comparison instead of a float
+    /// compare plus NaN bookkeeping. `+ 0.0` normalizes a negative zero
+    /// (which would otherwise have the sign bit set and sort above
+    /// everything) to positive zero.
+    #[inline]
+    pub(crate) fn key_bits(self) -> u64 {
+        (self.0 + 0.0).to_bits()
+    }
+
+    /// Reconstructs the exact time from [`Self::key_bits`] output.
+    #[inline]
+    pub(crate) fn from_key_bits(bits: u64) -> SimTime {
+        SimTime(f64::from_bits(bits))
+    }
 }
 
 impl Eq for SimTime {}

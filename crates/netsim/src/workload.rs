@@ -169,6 +169,40 @@ pub enum TraceKind {
         /// The completed rank.
         rank: Rank,
     },
+    /// A transmission was lost or refused in flight (fault-injected runs).
+    Dropped {
+        /// Sending rank.
+        from: Rank,
+        /// Intended receiving rank.
+        to: Rank,
+        /// Packet index.
+        packet: u32,
+        /// How the packet was lost.
+        kind: crate::fault::FaultKind,
+    },
+    /// The reliability layer re-enqueued a failed transmission.
+    Retransmit {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// Packet index.
+        packet: u32,
+        /// Attempt number of the re-enqueued transmission (first retry = 1).
+        attempt: u32,
+    },
+    /// The sender gave up on a packet copy after exhausting its attempt
+    /// budget.
+    Abandoned {
+        /// Sending rank.
+        from: Rank,
+        /// Unreachable receiving rank.
+        to: Rank,
+        /// Packet index.
+        packet: u32,
+        /// Attempts spent before giving up.
+        attempts: u32,
+    },
 }
 
 /// Results of a workload run.
@@ -207,7 +241,27 @@ pub fn run_workload<N: Network>(
     params: &SystemParams,
     config: WorkloadConfig,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, None, None)?.run()
+    Simulation::new(net, jobs, params, config, None, None, None)?.run()
+}
+
+/// [`run_workload`] with caller-supplied interned route tables, one per job,
+/// each built by [`crate::routes::JobRoutes::build`] from the job's
+/// `(tree, binding)` on `net`. Sweep engines memoize the tables across cells
+/// (the same `(topology, chain, tree)` triple recurs for every packet-count
+/// point of a series) and skip the per-run route computation; the outcome is
+/// identical to [`run_workload`].
+///
+/// # Errors
+///
+/// Same contract as [`run_workload`].
+pub fn run_workload_prerouted<N: Network>(
+    net: &N,
+    jobs: &[MulticastJob],
+    routes: Vec<Arc<crate::routes::JobRoutes>>,
+    params: &SystemParams,
+    config: WorkloadConfig,
+) -> Result<WorkloadOutcome, SimError> {
+    Simulation::new(net, jobs, params, config, None, None, Some(routes))?.run()
 }
 
 /// [`run_workload`] under a [`FaultPlan`]: packets may be dropped,
@@ -230,7 +284,7 @@ pub fn run_workload_with_faults<N: Network>(
     config: WorkloadConfig,
     fault: &FaultPlan,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, Some(fault), None)?.run()
+    Simulation::new(net, jobs, params, config, Some(fault), None, None)?.run()
 }
 
 /// [`run_workload`] with a caller-supplied [`Observer`] receiving every
@@ -249,7 +303,27 @@ pub fn run_workload_observed<N: Network>(
     config: WorkloadConfig,
     observer: &mut dyn Observer,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, None, Some(observer))?.run()
+    Simulation::new(net, jobs, params, config, None, Some(observer), None)?.run()
+}
+
+/// [`run_workload_with_faults`] with a caller-supplied [`Observer`]. Unlike
+/// the trace in [`WorkloadOutcome`], the observer also witnesses *failing*
+/// runs — the hooks fire before [`SimError::DeliveryFailed`] is raised, so
+/// drop/retransmit/abandonment records of a run that exhausts its budget
+/// are still captured.
+///
+/// # Errors
+///
+/// Same contract as [`run_workload_with_faults`].
+pub fn run_workload_faulted_observed<N: Network>(
+    net: &N,
+    jobs: &[MulticastJob],
+    params: &SystemParams,
+    config: WorkloadConfig,
+    fault: &FaultPlan,
+    observer: &mut dyn Observer,
+) -> Result<WorkloadOutcome, SimError> {
+    Simulation::new(net, jobs, params, config, Some(fault), Some(observer), None)?.run()
 }
 
 #[cfg(test)]

@@ -1,0 +1,96 @@
+//! Property test of the inline-payload [`EventQueue`]: under any
+//! interleaving of schedules and pops — with deliberately heavy time ties —
+//! events pop in exactly `(time, insertion sequence)` order, matching a
+//! naive reference model, and the `len`/`peak_len`/`processed` counters
+//! stay consistent.
+
+use optimcast_netsim::engine::EventQueue;
+use optimcast_netsim::time::SimTime;
+use optimcast_rng::{ChaCha8Rng, Rng};
+use proptest::prelude::*;
+
+/// The obviously-correct model: a flat list scanned for the minimum
+/// `(time, seq)` on every pop.
+#[derive(Default)]
+struct Reference {
+    pending: Vec<(SimTime, u64, u32)>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl Reference {
+    fn schedule(&mut self, at: SimTime, payload: u32) {
+        assert!(at >= self.now, "test generated a past schedule");
+        self.pending.push((at, self.next_seq, payload));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| (a.0, a.1).cmp(&(b.0, b.1)))
+            .map(|(i, _)| i)?;
+        let (at, _, payload) = self.pending.remove(best);
+        self.now = at;
+        Some((at, payload))
+    }
+}
+
+proptest! {
+    /// Random interleaved schedule/pop scripts agree with the reference
+    /// model event-for-event. Times are drawn from a coarse grid so ties —
+    /// the case the insertion-sequence tie-break exists for — occur
+    /// constantly.
+    #[test]
+    fn pops_match_reference_model(seed in 0u64..1_000_000, ops in 50usize..400) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut model = Reference::default();
+        let mut payload = 0u32;
+        for _ in 0..ops {
+            let schedule = q.is_empty() || rng.bounded_u64(10) < 6;
+            if schedule {
+                // A coarse 4-tick grid over a short horizon: most draws
+                // collide with an already-scheduled time.
+                let delay = f64::from(rng.next_u32() % 4);
+                let at = q.now() + delay;
+                q.schedule(at, payload);
+                model.schedule(at, payload);
+                payload += 1;
+            } else {
+                let got = q.pop();
+                let want = model.pop();
+                prop_assert_eq!(got, want);
+            }
+            prop_assert_eq!(q.len(), model.pending.len());
+        }
+        // Drain: the tail must also match, and afterwards both are empty.
+        while let Some(want) = model.pop() {
+            prop_assert_eq!(q.pop(), Some(want));
+        }
+        prop_assert_eq!(q.pop(), None);
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.processed(), model.next_seq);
+    }
+}
+
+proptest! {
+    /// `peak_len` is exactly the high-water mark of `len()` over the run.
+    #[test]
+    fn peak_len_is_the_high_water_mark(seed in 0u64..1_000_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let mut peak = 0usize;
+        for _ in 0..200 {
+            if q.is_empty() || rng.bounded_u64(100) < 55 {
+                q.schedule_in(f64::from(rng.next_u32() % 8), 0);
+            } else {
+                q.pop();
+            }
+            peak = peak.max(q.len());
+            prop_assert_eq!(q.peak_len(), peak);
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 use optimcast_core::builders::{binomial_tree, kbinomial_tree, linear_tree};
 use optimcast_core::params::SystemParams;
+use optimcast_core::schedule::ForwardingDiscipline;
 use optimcast_core::tree::Rank;
 use optimcast_netsim::fault::{FaultPlan, HostCrash, LinkFailure};
 use optimcast_netsim::*;
@@ -316,6 +317,167 @@ fn trivial_plan_is_byte_identical_to_fault_free() {
     assert_eq!(clean, faulted);
     assert_eq!(counters.packets_dropped, 0);
     assert_eq!(counters.retransmits, 0);
+}
+
+/// A traced faulted run records the full reliability story: `Dropped`
+/// entries typed with the fault kind, `Retransmit` entries with increasing
+/// attempt numbers, and — when the budget starves — `Abandoned` entries
+/// with the attempt total. (Closes the ROADMAP "fault records in traces"
+/// item.)
+#[test]
+fn traced_faulted_run_records_drop_retransmit_abandon() {
+    use optimcast_netsim::fault::FaultKind;
+
+    let n = crossbar(8);
+    let mut plan = FaultPlan::new(0xACE);
+    plan.drop_rate = 0.4;
+    plan.max_attempts = 8;
+    let job = MulticastJob {
+        tree: Arc::new(binomial_tree(8)),
+        binding: identity(8),
+        packets: 4,
+        start_us: 0.0,
+        nic: NicKind::Smart(ForwardingDiscipline::Fpfs),
+        payload: JobPayload::Replicated,
+    };
+    let config = WorkloadConfig {
+        contention: ContentionMode::Wormhole,
+        timing: NiTiming::Handshake,
+        trace: true,
+    };
+    let wl =
+        match run_workload_with_faults(&n, std::slice::from_ref(&job), &params(), config, &plan) {
+            Ok(wl) => wl,
+            // At 40% loss with 8 attempts, abandonment needs ~0.4^8 bad luck
+            // per copy; seed 0xACE is pinned to a completing run, so a failure
+            // here is a test bug.
+            Err(e) => panic!("pinned seed must complete: {e}"),
+        };
+
+    let mut drops = 0u32;
+    let mut retransmits = Vec::new();
+    for rec in &wl.trace {
+        match rec.kind {
+            TraceKind::Dropped { kind, .. } => {
+                assert!(
+                    matches!(kind, FaultKind::Drop | FaultKind::Corrupt),
+                    "a drop-rate plan only randomly drops, got {kind:?}"
+                );
+                drops += 1;
+            }
+            TraceKind::Retransmit { attempt, .. } => retransmits.push(attempt),
+            _ => {}
+        }
+    }
+    assert!(drops > 0, "50% loss must drop something");
+    assert!(!retransmits.is_empty(), "drops must trigger retransmits");
+    assert!(
+        retransmits.iter().any(|&a| a >= 2),
+        "repeated loss must escalate the attempt number: {retransmits:?}"
+    );
+    assert_eq!(
+        wl.trace
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::Dropped { .. }))
+            .count() as u64,
+        wl.counters.packets_dropped,
+        "every counted drop must be traced"
+    );
+    assert_eq!(
+        retransmits.len() as u64,
+        wl.counters.retransmits,
+        "every counted retransmit must be traced"
+    );
+    // Traces arrive in nondecreasing time order.
+    for pair in wl.trace.windows(2) {
+        assert!(pair[0].t_us <= pair[1].t_us);
+    }
+}
+
+/// When the attempt budget starves, `Abandoned` records reach the observer
+/// of the failing run *before* the typed error is raised — the failure
+/// story is fully witnessed, not swallowed with the outcome.
+#[test]
+fn abandonments_are_observed_before_failure() {
+    use optimcast_core::tree::Rank;
+
+    #[derive(Default)]
+    struct AbandonLog {
+        abandoned: Vec<(Rank, Rank, u32, u32)>,
+        dropped: u64,
+    }
+    impl Observer for AbandonLog {
+        fn packet_dropped(
+            &mut self,
+            _t_us: f64,
+            _job: u32,
+            _from: Rank,
+            _to: Rank,
+            _packet: u32,
+            _kind: optimcast_netsim::fault::FaultKind,
+        ) {
+            self.dropped += 1;
+        }
+        fn delivery_abandoned(
+            &mut self,
+            _t_us: f64,
+            _job: u32,
+            from: Rank,
+            to: Rank,
+            packet: u32,
+            attempts: u32,
+        ) {
+            self.abandoned.push((from, to, packet, attempts));
+        }
+    }
+
+    let n = crossbar(8);
+    let tree = Arc::new(binomial_tree(8));
+    // A crashed leaf guarantees abandonment: every attempt to it dies.
+    let dead = *subtree_of(&tree, tree.root_children()[0]).last().unwrap();
+    let mut plan = FaultPlan::new(17);
+    plan.max_attempts = 2;
+    plan.crashes.push(HostCrash {
+        host: HostId(dead.0),
+        at_us: 0.0,
+    });
+    let job = MulticastJob {
+        tree,
+        binding: identity(8),
+        packets: 2,
+        start_us: 0.0,
+        nic: NicKind::Smart(ForwardingDiscipline::Fpfs),
+        payload: JobPayload::Replicated,
+    };
+    let config = WorkloadConfig {
+        contention: ContentionMode::Wormhole,
+        timing: NiTiming::Handshake,
+        trace: false,
+    };
+    let mut log = AbandonLog::default();
+    let err = run_workload_faulted_observed(
+        &n,
+        std::slice::from_ref(&job),
+        &params(),
+        config,
+        &plan,
+        &mut log,
+    )
+    .unwrap_err();
+    let SimError::DeliveryFailed { counters, .. } = err else {
+        panic!("a crashed destination must fail the run, got {err}");
+    };
+    assert_eq!(
+        log.abandoned.len() as u64,
+        counters.deliveries_abandoned,
+        "every counted abandonment must be observed"
+    );
+    assert!(!log.abandoned.is_empty());
+    for &(_, to, _, attempts) in &log.abandoned {
+        assert_eq!(to, dead, "only the dead rank is abandoned");
+        assert_eq!(attempts, plan.max_attempts, "budget must be exhausted");
+    }
+    assert!(log.dropped >= log.abandoned.len() as u64);
 }
 
 /// Construction-time rejections: malformed plans and overlapped timing.

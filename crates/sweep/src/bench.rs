@@ -7,6 +7,7 @@
 //! cache hit rate in the shared figure JSON schema (`BENCH_sweep.json`).
 
 use crate::config::SweepBuilder;
+use crate::engine::SimEffort;
 use crate::error::SweepError;
 use crate::figure::{Figure, FigureId, Series};
 use crate::json::{Json, ToJson};
@@ -26,6 +27,9 @@ pub struct BenchReport {
     pub parallel_seconds: f64,
     /// Cache counters of the parallel run.
     pub cache: CacheStats,
+    /// Aggregate simulator effort of the parallel run (thread-count
+    /// independent: sums and maxima only).
+    pub effort: SimEffort,
     /// Whether the parallel figure JSON was byte-identical to the serial
     /// output (the engine's core guarantee; `false` is a bug).
     pub identical: bool,
@@ -96,6 +100,14 @@ impl BenchReport {
                     ("cache_hits", Json::from(self.cache.hits)),
                     ("cache_misses", Json::from(self.cache.misses)),
                     ("cache_hit_rate", Json::from(self.cache.hit_rate())),
+                    ("route_cache_hits", Json::from(self.cache.route_hits)),
+                    ("route_cache_misses", Json::from(self.cache.route_misses)),
+                    (
+                        "route_cache_hit_rate",
+                        Json::from(self.cache.route_hit_rate()),
+                    ),
+                    ("events_processed", Json::from(self.effort.events_processed)),
+                    ("peak_queue_len", Json::from(self.effort.peak_queue_len)),
                     ("identical", Json::from(self.identical)),
                     ("host_nproc", Json::from(self.host_nproc)),
                     ("host_os", Json::from(self.host_os)),
@@ -115,7 +127,8 @@ impl BenchReport {
 /// [`SweepError`] if the configuration is invalid or a figure cannot be
 /// sampled on its network.
 pub fn bench_sweep(base: &SweepBuilder, threads: usize) -> Result<BenchReport, SweepError> {
-    let run = |workers: usize| -> Result<(Vec<String>, f64, CacheStats, usize), SweepError> {
+    type RunResult = (Vec<String>, f64, CacheStats, SimEffort, usize);
+    let run = |workers: usize| -> Result<RunResult, SweepError> {
         let sweep = (*base).parallelism(workers).build()?;
         let topologies = sweep.config().topologies() as usize;
         let start = Instant::now();
@@ -130,18 +143,25 @@ pub fn bench_sweep(base: &SweepBuilder, threads: usize) -> Result<BenchReport, S
             outputs.push(fig.to_json().to_string_pretty());
         }
         let seconds = start.elapsed().as_secs_f64();
-        Ok((outputs, seconds, sweep.cache_stats(), cells))
+        Ok((
+            outputs,
+            seconds,
+            sweep.cache_stats(),
+            sweep.sim_effort(),
+            cells,
+        ))
     };
 
     let cfg = (*base).parallelism(1).config()?;
-    let (serial_out, serial_seconds, _, cells) = run(1)?;
-    let (parallel_out, parallel_seconds, cache, _) = run(threads)?;
+    let (serial_out, serial_seconds, _, _, cells) = run(1)?;
+    let (parallel_out, parallel_seconds, cache, effort, _) = run(threads)?;
     Ok(BenchReport {
         threads,
         cells,
         serial_seconds,
         parallel_seconds,
         cache,
+        effort,
         identical: serial_out == parallel_out,
         topologies: cfg.topologies(),
         dest_sets: cfg.dest_sets(),
@@ -167,7 +187,20 @@ mod tests {
         assert_eq!(report.cells, (44 + 36 + 44 + 36) * 2);
         assert!(report.serial_seconds > 0.0 && report.parallel_seconds > 0.0);
         assert!(report.cache.hits > 0, "sweep must hit the memo layer");
+        assert!(report.cache.route_hits > 0, "route tables must be reused");
+        assert!(report.effort.events_processed > 0);
+        assert!(report.effort.peak_queue_len > 0);
         let json = report.to_json();
+        let meta = json.get("meta").unwrap();
+        for key in [
+            "route_cache_hits",
+            "route_cache_misses",
+            "route_cache_hit_rate",
+            "events_processed",
+            "peak_queue_len",
+        ] {
+            assert!(meta.get(key).is_some(), "meta missing {key}");
+        }
         assert_eq!(
             json.get("meta").unwrap().get("cells"),
             Some(&Json::Int(320))

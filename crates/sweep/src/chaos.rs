@@ -351,6 +351,7 @@ impl Sweep {
                 &plan,
             ) {
                 Ok((out, c)) => {
+                    self.record_effort(c.events, c.peak_queue_len);
                     agg.delivered += 1;
                     agg.latency_sum += out.latency_us;
                     agg.packets_dropped += c.packets_dropped;
@@ -363,6 +364,7 @@ impl Sweep {
                     unreached,
                     counters,
                 }) => {
+                    self.record_effort(counters.events, counters.peak_queue_len);
                     agg.failed += 1;
                     agg.unreached += unreached.len() as u64;
                     agg.packets_dropped += counters.packets_dropped;

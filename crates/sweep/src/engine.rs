@@ -15,11 +15,23 @@
 use crate::config::SweepConfig;
 use crate::error::SweepError;
 use crate::memo::{CacheStats, SweepCache, TopologyEntry};
-use crate::sampling::{sample_chain, TreePolicy};
+use crate::sampling::TreePolicy;
 use optimcast_core::tree::MulticastTree;
-use optimcast_netsim::{run_multicast_shared, RunConfig};
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use optimcast_netsim::{run_multicast_prerouted, RunConfig};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
+
+/// Aggregate simulator effort across every cell a [`Sweep`] has evaluated.
+///
+/// Sums and maxima are order-insensitive, so these totals are identical for
+/// every worker count — safe to surface in deterministic report metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimEffort {
+    /// Total discrete events processed across all runs.
+    pub events_processed: u64,
+    /// Largest event-queue population seen by any single run.
+    pub peak_queue_len: usize,
+}
 
 /// One sweep coordinate: a tree policy evaluated at `(dests, m)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +80,8 @@ pub struct LatencyStats {
 pub struct Sweep {
     cfg: SweepConfig,
     cache: SweepCache,
+    events: AtomicU64,
+    peak_queue: AtomicUsize,
 }
 
 impl Sweep {
@@ -77,6 +91,8 @@ impl Sweep {
         Sweep {
             cfg,
             cache: SweepCache::default(),
+            events: AtomicU64::new(0),
+            peak_queue: AtomicUsize::new(0),
         }
     }
 
@@ -88,6 +104,23 @@ impl Sweep {
     /// Hit/miss counters of the memoization layer so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Aggregate simulator effort (event totals, queue high-water mark)
+    /// across every run this engine has evaluated so far.
+    pub fn sim_effort(&self) -> SimEffort {
+        SimEffort {
+            events_processed: self.events.load(AtomicOrdering::Relaxed),
+            peak_queue_len: self.peak_queue.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Folds one run's effort into the engine-wide totals (sum + max, so
+    /// the result is identical for every worker count).
+    pub(crate) fn record_effort(&self, events: u64, peak_queue_len: usize) {
+        self.events.fetch_add(events, AtomicOrdering::Relaxed);
+        self.peak_queue
+            .fetch_max(peak_queue_len, AtomicOrdering::Relaxed);
     }
 
     /// The memoized `(network, ordering)` of topology index `t`.
@@ -243,21 +276,40 @@ impl Sweep {
         samples.iter().sum::<f64>() / f64::from(self.cfg.dest_sets())
     }
 
-    /// Per-sample latencies of one cell, in destination-set order.
+    /// Per-sample latencies of one cell, in destination-set order. The
+    /// chain, tree, and interned CSR route table all come from the memo
+    /// layer — a figure series revisits the same `(t, s)` sample for every
+    /// packet-count point, so only the first point of a series pays for
+    /// sampling and routing.
     fn topology_samples(&self, spec: &PointSpec, t: u32) -> Vec<f64> {
         let topo = self.cache.topology(&self.cfg, t);
         (0..self.cfg.dest_sets())
             .map(|s| {
-                let chain = sample_chain(
-                    &topo.net,
-                    &topo.ordering,
-                    self.cfg.set_seed(t, s),
-                    spec.dests,
-                );
+                let chain = self.cache.chain(&self.cfg, &topo, t, s, spec.dests);
                 let tree = self.cache.tree(spec.policy, chain.len() as u32, spec.m);
-                run_multicast_shared(&topo.net, tree, &chain, spec.m, self.cfg.params(), spec.run)
-                    .expect("sampled chains form valid bindings")
-                    .latency_us
+                let routes = self.cache.routes(
+                    &self.cfg,
+                    &topo,
+                    t,
+                    s,
+                    spec.dests,
+                    spec.policy,
+                    spec.m,
+                    &tree,
+                    &chain,
+                );
+                let out = run_multicast_prerouted(
+                    &topo.net,
+                    tree,
+                    &chain,
+                    routes,
+                    spec.m,
+                    self.cfg.params(),
+                    spec.run,
+                )
+                .expect("sampled chains form valid bindings");
+                self.record_effort(out.events, out.peak_queue_len);
+                out.latency_us
             })
             .collect()
     }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod bench;
+mod bench_sim;
 mod chaos;
 mod config;
 mod engine;
@@ -41,9 +42,10 @@ mod memo;
 mod sampling;
 
 pub use bench::{bench_sweep, BenchReport};
+pub use bench_sim::{bench_sim, SimBenchReport};
 pub use chaos::{ChaosCell, ChaosReport};
 pub use config::{SweepBuilder, SweepConfig};
-pub use engine::{LatencyStats, PointSpec, Sweep};
+pub use engine::{LatencyStats, PointSpec, SimEffort, Sweep};
 pub use error::SweepError;
 pub use figure::{Figure, FigureId, Series};
 pub use figures::{

@@ -14,10 +14,12 @@
 //!   (see `optimcast_netsim::run_multicast_shared`).
 
 use crate::config::SweepConfig;
-use crate::sampling::TreePolicy;
+use crate::sampling::{sample_chain, TreePolicy};
 use optimcast_core::builders::{binomial_tree, kbinomial_tree, linear_tree};
 use optimcast_core::optimal::optimal_k;
 use optimcast_core::tree::MulticastTree;
+use optimcast_netsim::JobRoutes;
+use optimcast_topology::graph::HostId;
 use optimcast_topology::irregular::IrregularNetwork;
 use optimcast_topology::ordering::{cco, Ordering};
 use std::collections::HashMap;
@@ -41,17 +43,26 @@ enum TreeShape {
     KBinomial(u32),
 }
 
-/// Hit/miss counters of a [`SweepCache`] (both caches combined).
+/// Hit/miss counters of a [`SweepCache`].
+///
+/// `hits`/`misses` aggregate the topology, tree, and chain caches;
+/// `route_hits`/`route_misses` count the interned CSR route tables
+/// separately (surfaced per the bench/chaos meta contract).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the topology/tree/chain caches.
     pub hits: u64,
-    /// Lookups that had to build the entry.
+    /// Topology/tree/chain lookups that had to build the entry.
     pub misses: u64,
+    /// Route-table lookups served from the cache.
+    pub route_hits: u64,
+    /// Route-table lookups that had to build the CSR table.
+    pub route_misses: u64,
 }
 
 impl CacheStats {
-    /// Fraction of lookups served from the cache (0 when idle).
+    /// Fraction of topology/tree/chain lookups served from the cache (0
+    /// when idle).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -60,15 +71,53 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fraction of route-table lookups served from the cache (0 when idle).
+    pub fn route_hit_rate(&self) -> f64 {
+        let total = self.route_hits + self.route_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.route_hits as f64 / total as f64
+        }
+    }
 }
 
-/// Thread-safe memoization of topologies and trees for one sweep.
+/// Thread-safe memoization of topologies, trees, sampled chains, and
+/// interned CSR route tables for one sweep.
+/// Cache key for a sampled destination chain: `(topology seed, set seed,
+/// dests)`.
+type ChainKey = (u64, u64, u32);
+/// Cache key for an interned route table: a [`ChainKey`] plus the tree
+/// shape the routes were built for.
+type RouteKey = (u64, u64, u32, TreeShape);
+
 #[derive(Debug, Default)]
 pub(crate) struct SweepCache {
     topologies: Mutex<HashMap<u64, Arc<TopologyEntry>>>,
     trees: Mutex<HashMap<(TreeShape, u32), Arc<MulticastTree>>>,
+    /// Sampled destination chains keyed by `(topology seed, set seed,
+    /// dests)` — every figure series revisits the same `(t, s)` sample for
+    /// each of its packet-count points.
+    chains: Mutex<HashMap<ChainKey, Arc<Vec<HostId>>>>,
+    /// Interned route tables keyed by `(topology seed, set seed, dests,
+    /// tree shape)` — the same `(topology, chain, tree)` triple recurs for
+    /// every packet-count point of a series.
+    routes: Mutex<HashMap<RouteKey, Arc<JobRoutes>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    route_hits: AtomicU64,
+    route_misses: AtomicU64,
+}
+
+/// Resolves a policy at `(n, m)` to its canonical cache shape.
+fn shape_of(policy: TreePolicy, n: u32, m: u32) -> TreeShape {
+    match policy {
+        TreePolicy::Linear => TreeShape::Linear,
+        TreePolicy::Binomial => TreeShape::Binomial,
+        TreePolicy::OptimalKBinomial => TreeShape::KBinomial(optimal_k(u64::from(n), m).k),
+        TreePolicy::FixedK(k) => TreeShape::KBinomial(k),
+    }
 }
 
 impl SweepCache {
@@ -92,12 +141,7 @@ impl SweepCache {
     /// Repeated lookups of the same resolved `(shape, n, k)` return the
     /// *same* allocation (`Arc::ptr_eq`).
     pub fn tree(&self, policy: TreePolicy, n: u32, m: u32) -> Arc<MulticastTree> {
-        let shape = match policy {
-            TreePolicy::Linear => TreeShape::Linear,
-            TreePolicy::Binomial => TreeShape::Binomial,
-            TreePolicy::OptimalKBinomial => TreeShape::KBinomial(optimal_k(u64::from(n), m).k),
-            TreePolicy::FixedK(k) => TreeShape::KBinomial(k),
-        };
+        let shape = shape_of(policy, n, m);
         let mut map = self.trees.lock().expect("tree cache poisoned");
         if let Some(tree) = map.get(&(shape, n)) {
             self.hits.fetch_add(1, AtomicOrdering::Relaxed);
@@ -113,11 +157,71 @@ impl SweepCache {
         tree
     }
 
+    /// The memoized destination chain of sample `(t, s)` at `dests`
+    /// destinations: source followed by the CCO-arranged destination hosts,
+    /// exactly as [`sample_chain`] produces it.
+    pub fn chain(
+        &self,
+        cfg: &SweepConfig,
+        topo: &TopologyEntry,
+        t: u32,
+        s: u32,
+        dests: u32,
+    ) -> Arc<Vec<HostId>> {
+        let key = (cfg.topology_seed(t), cfg.set_seed(t, s), dests);
+        let mut map = self.chains.lock().expect("chain cache poisoned");
+        if let Some(chain) = map.get(&key) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return Arc::clone(chain);
+        }
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        let chain = Arc::new(sample_chain(
+            &topo.net,
+            &topo.ordering,
+            cfg.set_seed(t, s),
+            dests,
+        ));
+        map.insert(key, Arc::clone(&chain));
+        chain
+    }
+
+    /// The memoized CSR route table of `tree` bound to sample `(t, s)`'s
+    /// chain on topology `t` — identical to
+    /// `JobRoutes::build(&topo.net, tree, chain)`, built once per
+    /// `(topology, chain, tree shape)` triple.
+    #[allow(clippy::too_many_arguments)]
+    pub fn routes(
+        &self,
+        cfg: &SweepConfig,
+        topo: &TopologyEntry,
+        t: u32,
+        s: u32,
+        dests: u32,
+        policy: TreePolicy,
+        m: u32,
+        tree: &MulticastTree,
+        chain: &[HostId],
+    ) -> Arc<JobRoutes> {
+        let shape = shape_of(policy, chain.len() as u32, m);
+        let key = (cfg.topology_seed(t), cfg.set_seed(t, s), dests, shape);
+        let mut map = self.routes.lock().expect("route cache poisoned");
+        if let Some(routes) = map.get(&key) {
+            self.route_hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return Arc::clone(routes);
+        }
+        self.route_misses.fetch_add(1, AtomicOrdering::Relaxed);
+        let routes = Arc::new(JobRoutes::build(&topo.net, tree, chain));
+        map.insert(key, Arc::clone(&routes));
+        routes
+    }
+
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(AtomicOrdering::Relaxed),
             misses: self.misses.load(AtomicOrdering::Relaxed),
+            route_hits: self.route_hits.load(AtomicOrdering::Relaxed),
+            route_misses: self.route_misses.load(AtomicOrdering::Relaxed),
         }
     }
 }
@@ -158,6 +262,36 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 2);
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chains_and_routes_are_shared_and_counted() {
+        let cfg = SweepBuilder::quick().config().unwrap();
+        let cache = SweepCache::default();
+        let topo = cache.topology(&cfg, 0);
+        // Chain cache: same (t, s, dests) shares one allocation and matches
+        // direct sampling.
+        let a = cache.chain(&cfg, &topo, 0, 0, 15);
+        let b = cache.chain(&cfg, &topo, 0, 0, 15);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            *a,
+            sample_chain(&topo.net, &topo.ordering, cfg.set_seed(0, 0), 15)
+        );
+        assert!(!Arc::ptr_eq(&a, &cache.chain(&cfg, &topo, 0, 1, 15)));
+        // Route cache: same (t, s, dests, shape) shares one table and
+        // matches direct construction; different shapes do not.
+        let tree = cache.tree(TreePolicy::Binomial, a.len() as u32, 4);
+        let r1 = cache.routes(&cfg, &topo, 0, 0, 15, TreePolicy::Binomial, 4, &tree, &a);
+        let r2 = cache.routes(&cfg, &topo, 0, 0, 15, TreePolicy::Binomial, 4, &tree, &a);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        assert_eq!(*r1, JobRoutes::build(&topo.net, &tree, &a));
+        let lin = cache.tree(TreePolicy::Linear, a.len() as u32, 4);
+        let r3 = cache.routes(&cfg, &topo, 0, 0, 15, TreePolicy::Linear, 4, &lin, &a);
+        assert!(!Arc::ptr_eq(&r1, &r3));
+        let stats = cache.stats();
+        assert_eq!((stats.route_hits, stats.route_misses), (1, 2));
+        assert!((stats.route_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! optimcast simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]
 //!                    [--ordering cco|poc|random] [--ideal] [--trace] [--json]
 //! optimcast bench-sweep [--threads N] [--smoke] [--out PATH]
+//! optimcast bench-sim [--quick] [--out PATH]
 //! optimcast chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]
 //!                    [--out PATH]
 //! ```
@@ -19,9 +20,15 @@ use optimcast::netsim::{
     run_workload, JobPayload, MulticastJob, TraceKind, WorkloadConfig, WorkloadOutcome,
 };
 use optimcast::prelude::*;
-use optimcast::sweep::bench_sweep;
+use optimcast::sweep::{bench_sim, bench_sweep};
 use optimcast::topology::ordering::{cco, poc};
 use std::collections::HashMap;
+
+/// Every allocation in the CLI is counted so `bench-sim` can report
+/// allocations-per-event; two relaxed atomic adds per allocation are noise
+/// next to the allocation itself.
+#[global_allocator]
+static ALLOC: optimcast::netsim::CountingAlloc = optimcast::netsim::CountingAlloc::new();
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +46,7 @@ fn main() {
         "table" => cmd_table(&flags),
         "simulate" => cmd_simulate(&flags),
         "bench-sweep" => cmd_bench_sweep(&flags),
+        "bench-sim" => cmd_bench_sim(&flags),
         "chaos" => cmd_chaos(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -61,6 +69,7 @@ fn usage() {
          \u{20}  simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]\n\
          \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]\n\
          \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]\n\
+         \u{20}  bench-sim [--quick] [--out PATH]\n\
          \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M] [--out PATH]"
     );
 }
@@ -353,6 +362,39 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
                 TraceKind::HostDone { rank } => {
                     println!("  {:9.2} us  done  {rank}", r.t_us);
                 }
+                TraceKind::Dropped {
+                    from,
+                    to,
+                    packet,
+                    kind,
+                } => {
+                    println!(
+                        "  {:9.2} us  drop  {from} -> {to}  pkt {packet}  ({kind:?})",
+                        r.t_us
+                    );
+                }
+                TraceKind::Retransmit {
+                    from,
+                    to,
+                    packet,
+                    attempt,
+                } => {
+                    println!(
+                        "  {:9.2} us  retry {from} -> {to}  pkt {packet}  attempt {attempt}",
+                        r.t_us
+                    );
+                }
+                TraceKind::Abandoned {
+                    from,
+                    to,
+                    packet,
+                    attempts,
+                } => {
+                    println!(
+                        "  {:9.2} us  abandon {from} -> {to}  pkt {packet}  after {attempts} attempts",
+                        r.t_us
+                    );
+                }
             }
         }
     }
@@ -402,11 +444,63 @@ fn cmd_bench_sweep(flags: &HashMap<String, String>) {
         100.0 * report.cache.hit_rate(),
         report.identical
     );
+    println!(
+        "routes: {} hits / {} misses ({:.1}% hit rate) | {} events, peak queue {}",
+        report.cache.route_hits,
+        report.cache.route_misses,
+        100.0 * report.cache.route_hit_rate(),
+        report.effort.events_processed,
+        report.effort.peak_queue_len
+    );
     println!("report written to {out_path}");
     if !report.identical {
         eprintln!("bench-sweep: DETERMINISM VIOLATION — parallel figures diverged from serial");
         std::process::exit(1);
     }
+}
+
+/// The `bench-sim` subcommand: simulator-core throughput (event-queue
+/// churn, `run_multicast` events/sec, allocations-per-event via the
+/// counting global allocator registered above), written as
+/// `BENCH_sim.json`.
+fn cmd_bench_sim(flags: &HashMap<String, String>) {
+    let quick = flags.contains_key("quick");
+    let label = if quick { "quick" } else { "full" };
+    eprintln!("bench-sim: {label} sizing...");
+    let report = bench_sim(quick).unwrap_or_else(|e| {
+        eprintln!("bench-sim: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "event queue: {:.2} M schedule+pop pairs/s ({} ops)",
+        report.queue_ops_per_sec / 1e6,
+        report.queue_ops
+    );
+    println!(
+        "run_multicast: {:.2} M events/s over {} runs ({} dests, {} packets, \
+         {} events/run, peak queue {})",
+        report.events_per_sec / 1e6,
+        report.runs,
+        report.dests,
+        report.m,
+        report.events_per_run,
+        report.peak_queue_len
+    );
+    if report.alloc_counting {
+        println!(
+            "allocations: {:.4} per event (incl. per-run setup)",
+            report.allocations_per_event
+        );
+    } else {
+        println!("allocations: not measured (no counting allocator registered)");
+    }
+    let default_out = "BENCH_sim.json".to_string();
+    let out_path = flags.get("out").unwrap_or(&default_out);
+    if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
+        eprintln!("bench-sim: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
 }
 
 /// The `chaos` subcommand: the robustness grid (drop rate × crash count)
@@ -499,6 +593,20 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
              {unreached} surviving destination(s) unreached"
         );
     }
+    // Engine effort is stdout-only context: the JSON report stays
+    // byte-identical across hosts and thread counts.
+    let effort = sweep.sim_effort();
+    let cache = sweep.cache_stats();
+    println!(
+        "engine: {} events processed, peak queue {}, tree cache {}/{} hits, \
+         route cache {}/{} hits",
+        effort.events_processed,
+        effort.peak_queue_len,
+        cache.hits,
+        cache.hits + cache.misses,
+        cache.route_hits,
+        cache.route_hits + cache.route_misses
+    );
     let default_out = "results/chaos.json".to_string();
     let out_path = flags.get("out").unwrap_or(&default_out);
     if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
