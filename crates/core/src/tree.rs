@@ -450,6 +450,25 @@ impl MulticastTree {
     /// [`RepairError::SourceFailed`] if rank 0 is in `failed`;
     /// [`RepairError::UnknownRank`] for an out-of-range rank.
     pub fn repair(&self, failed: &[Rank]) -> Result<TreeRepair, RepairError> {
+        self.repair_partial(failed, &[])
+    }
+
+    /// [`Self::repair`] with partial-delivery state: ranks in `delivered`
+    /// already hold the message, so live mid-run repair must not re-bind
+    /// them. They are excluded from the repaired tree exactly like failed
+    /// ranks — the result spans the source plus the *undelivered survivors*
+    /// only — but excluding them is not a failure: listing the source as
+    /// delivered is a no-op (it always holds the data) and does not error.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::SourceFailed`] if rank 0 is in `failed`;
+    /// [`RepairError::UnknownRank`] for an out-of-range rank in either set.
+    pub fn repair_partial(
+        &self,
+        failed: &[Rank],
+        delivered: &[Rank],
+    ) -> Result<TreeRepair, RepairError> {
         let n = self.len();
         let mut dead = vec![false; n];
         for &r in failed {
@@ -460,6 +479,14 @@ impl MulticastTree {
                 return Err(RepairError::SourceFailed);
             }
             dead[r.index()] = true;
+        }
+        for &r in delivered {
+            if r.index() >= n {
+                return Err(RepairError::UnknownRank(r));
+            }
+            if r != Rank::SOURCE {
+                dead[r.index()] = true;
+            }
         }
 
         // Dense renumbering, original-rank order (source stays rank 0).
@@ -638,6 +665,32 @@ mod repair_tests {
         for &f in &failed {
             assert_eq!(rep.old_to_new[f.index()], None);
         }
+    }
+
+    #[test]
+    fn partial_repair_excludes_delivered_ranks() {
+        let t = kbinomial_tree(16, 2);
+        let failed = [Rank(1)];
+        let delivered = [Rank(2), Rank(3), Rank::SOURCE];
+        let rep = t.repair_partial(&failed, &delivered).unwrap();
+        rep.tree.validate().unwrap();
+        // Source + 16 - 1 source - 1 failed - 2 delivered = 13 ranks remain.
+        assert_eq!(rep.tree.len(), 13);
+        assert_eq!(rep.old_to_new[1], None);
+        assert_eq!(rep.old_to_new[2], None);
+        assert_eq!(rep.old_to_new[3], None);
+        assert_eq!(rep.old_to_new[0], Some(Rank::SOURCE));
+        // Delivered ranks are excluded, not failures.
+        assert_eq!(
+            t.repair_partial(&[Rank(0)], &[]),
+            Err(RepairError::SourceFailed)
+        );
+        assert_eq!(
+            t.repair_partial(&[], &[Rank(99)]),
+            Err(RepairError::UnknownRank(Rank(99)))
+        );
+        // An empty delivered set reduces to plain repair.
+        assert_eq!(t.repair_partial(&failed, &[]), t.repair(&failed));
     }
 }
 

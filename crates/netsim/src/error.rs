@@ -66,6 +66,16 @@ pub enum SimError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// The fault plan's crash schedule kills a job's source host. A crashed
+    /// source has nothing to send and nothing to repair around, so the plan
+    /// is rejected up front instead of silently abandoning every
+    /// destination mid-run.
+    SourceCrashed {
+        /// Offending job index.
+        job: usize,
+        /// The job's source host, present in the crash schedule.
+        host: HostId,
+    },
     /// A non-trivial fault plan was paired with overlapped NI timing.
     /// Reliable delivery is stop-and-wait: the sender must hold each
     /// packet's buffer copy until the receiver's acknowledgement, which is
@@ -118,6 +128,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            SimError::SourceCrashed { job, host } => {
+                write!(
+                    f,
+                    "job {job}: the crash schedule kills the source host {host}; \
+                     a crashed source cannot be repaired around"
+                )
             }
             SimError::FaultsNeedHandshakeTiming => {
                 write!(
@@ -206,6 +223,11 @@ mod tests {
         assert!(SimError::FaultsNeedHandshakeTiming
             .to_string()
             .contains("handshake"));
+        let src = SimError::SourceCrashed {
+            job: 1,
+            host: HostId(0),
+        };
+        assert!(src.to_string().contains("source host"), "{src}");
         let failed = SimError::DeliveryFailed {
             unreached: vec![(0, Rank(3)), (0, Rank(7))],
             counters: Box::default(),

@@ -77,6 +77,30 @@ pub struct HostCrash {
     pub at_us: f64,
 }
 
+/// Live mid-run repair policy: when set on a [`FaultPlan`], an exhausted
+/// delivery (`max_attempts` abandonments) no longer terminates the run.
+/// Instead the source learns of the failure after `notify_us`, calls
+/// `MulticastTree::repair` on the surviving membership, and re-issues the
+/// undelivered packets over the repaired tree — a new *repair epoch*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairPolicy {
+    /// Modeled latency (µs) between the last delivery attempt and the
+    /// source learning enough to trigger a repair.
+    pub notify_us: f64,
+    /// Maximum repair epochs per run (≥ 1); exhausting it yields
+    /// `SimError::DeliveryFailed` with the still-unreached destinations.
+    pub max_epochs: u32,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            notify_us: 120.0,
+            max_epochs: 8,
+        }
+    }
+}
+
 /// A deterministic fault schedule plus the reliability-layer knobs.
 ///
 /// All fields are public: a plan is plain data, validated once when the
@@ -109,6 +133,12 @@ pub struct FaultPlan {
     /// Exponent cap of the backoff: attempt `a` waits
     /// `ack_timeout_us * 2^min(a, backoff_cap)`.
     pub backoff_cap: u32,
+    /// Live mid-run repair policy. `None` (the default) keeps the PR 3
+    /// behaviour: exhausted deliveries terminate the run with
+    /// `SimError::DeliveryFailed`. The policy does not make a plan
+    /// non-trivial — a plan with no fault source never triggers a repair,
+    /// so it still normalises onto the fault-free golden path.
+    pub repair: Option<RepairPolicy>,
 }
 
 impl FaultPlan {
@@ -125,6 +155,7 @@ impl FaultPlan {
             max_attempts: 8,
             ack_timeout_us: 60.0,
             backoff_cap: 4,
+            repair: None,
         }
     }
 
@@ -165,6 +196,14 @@ impl FaultPlan {
                 return Err("crash time must be non-negative and not NaN");
             }
         }
+        if let Some(r) = &self.repair {
+            if r.notify_us < 0.0 || r.notify_us.is_nan() {
+                return Err("repair notify_us must be non-negative and not NaN");
+            }
+            if r.max_epochs == 0 {
+                return Err("repair max_epochs must be at least 1");
+            }
+        }
         Ok(())
     }
 
@@ -187,12 +226,16 @@ impl FaultPlan {
     /// Checked in severity order: a crashed receiver (at arrival time), a
     /// failed link (at depart time), random loss, random corruption.
     /// `None` means the packet is delivered intact. Loss and corruption are
-    /// pure functions of `(seed, job, from, to, packet, attempt)` — each
-    /// retransmission redraws.
+    /// pure functions of `(seed, job, epoch, from, to, packet, attempt)` —
+    /// each retransmission redraws, and each repair epoch redraws
+    /// independently of the epochs before it. Epoch 0 keys are bit-identical
+    /// to the pre-repair scheme, so plans without live repair reproduce the
+    /// committed chaos goldens exactly.
     #[allow(clippy::too_many_arguments)]
     pub fn tx_outcome(
         &self,
         job: u32,
+        epoch: u32,
         from: u32,
         to: u32,
         packet: u32,
@@ -208,10 +251,10 @@ impl FaultPlan {
         if self.link_down(route, depart_us) {
             return Some(FaultKind::LinkDown);
         }
-        if self.decide(1, job, from, to, packet, attempt) < self.drop_rate {
+        if self.decide(1, job, epoch, from, to, packet, attempt) < self.drop_rate {
             return Some(FaultKind::Drop);
         }
-        if self.decide(2, job, from, to, packet, attempt) < self.corrupt_rate {
+        if self.decide(2, job, epoch, from, to, packet, attempt) < self.corrupt_rate {
             return Some(FaultKind::Corrupt);
         }
         None
@@ -225,9 +268,24 @@ impl FaultPlan {
     }
 
     /// One uniform draw in `[0, 1)` keyed by the transmission identity and
-    /// a stream tag (so drop and corruption use independent streams).
-    fn decide(&self, stream: u64, job: u32, from: u32, to: u32, packet: u32, attempt: u32) -> f64 {
+    /// a stream tag (so drop and corruption use independent streams). The
+    /// repair epoch is folded in only when non-zero, keeping epoch-0 draws
+    /// bit-identical to the scheme the committed goldens were pinned under.
+    #[allow(clippy::too_many_arguments)]
+    fn decide(
+        &self,
+        stream: u64,
+        job: u32,
+        epoch: u32,
+        from: u32,
+        to: u32,
+        packet: u32,
+        attempt: u32,
+    ) -> f64 {
         let mut key = self.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        if epoch > 0 {
+            key ^= u64::from(epoch).wrapping_mul(0x94D0_49BB_1331_11EB);
+        }
         for field in [job, from, to, packet, attempt] {
             key = key
                 .wrapping_add(u64::from(field))
@@ -250,9 +308,28 @@ pub struct FaultPlanSpec {
     pub drop_rate: f64,
     /// Per-transmission corruption probability in `[0, 1)`.
     pub corrupt_rate: f64,
-    /// Number of destination hosts to crash at time zero (repaired around
-    /// before the run).
+    /// Number of destination hosts to crash (never the source). With
+    /// `live_repair` off the tree is repaired around them *before* the run;
+    /// with it on they crash mid-run at [`Self::crash_at_us`] and the
+    /// simulator repairs live.
     pub crashes: u32,
+    /// Crash instant (µs) of the drawn hosts. `0.0` reproduces the legacy
+    /// crash-at-time-zero schedule.
+    pub crash_at_us: f64,
+    /// Number of directed channels per sample pulled into a failure window
+    /// `[outage_from_us, outage_until_us)`, drawn deterministically from
+    /// the sample's identity.
+    pub link_outages: u32,
+    /// Outage window start (inclusive, µs).
+    pub outage_from_us: f64,
+    /// Outage window end (exclusive, µs).
+    pub outage_until_us: f64,
+    /// NI forwarding-buffer capacity in packets (`None` = unbounded).
+    pub ni_buffer_capacity: Option<u32>,
+    /// Enable live mid-run repair: crashed hosts are *not* repaired around
+    /// up front; the simulator detects abandonment, repairs the surviving
+    /// membership, and re-issues undelivered packets inside the run.
+    pub live_repair: bool,
     /// Total attempts per packet copy before abandoning.
     pub max_attempts: u32,
     /// Base acknowledgement timeout (µs).
@@ -267,6 +344,12 @@ impl Default for FaultPlanSpec {
             drop_rate: 0.0,
             corrupt_rate: 0.0,
             crashes: 0,
+            crash_at_us: 0.0,
+            link_outages: 0,
+            outage_from_us: 0.0,
+            outage_until_us: 0.0,
+            ni_buffer_capacity: None,
+            live_repair: false,
             max_attempts: 8,
             ack_timeout_us: 60.0,
         }
@@ -274,15 +357,31 @@ impl Default for FaultPlanSpec {
 }
 
 impl FaultPlanSpec {
-    /// True when the spec cannot produce any fault.
+    /// True when the spec cannot produce any fault. (`live_repair` and
+    /// `crash_at_us` are modifiers, not fault sources — they leave a
+    /// trivial spec trivial.)
     pub fn is_trivial(&self) -> bool {
-        self.drop_rate == 0.0 && self.corrupt_rate == 0.0 && self.crashes == 0
+        self.drop_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.crashes == 0
+            && self.link_outages == 0
+            && self.ni_buffer_capacity.is_none()
     }
 
-    /// Expands the spec into a [`FaultPlan`] with the given crash schedule;
-    /// `salt` distinguishes samples so each draws an independent fault
-    /// stream from the same spec.
+    /// Expands the spec into a [`FaultPlan`] with the given crash and link
+    /// outage schedules; `salt` distinguishes samples so each draws an
+    /// independent fault stream from the same spec.
     pub fn plan(&self, salt: u64, crashes: Vec<HostCrash>) -> FaultPlan {
+        self.plan_with_outages(salt, crashes, Vec::new())
+    }
+
+    /// [`Self::plan`] with an explicit link-failure schedule.
+    pub fn plan_with_outages(
+        &self,
+        salt: u64,
+        crashes: Vec<HostCrash>,
+        link_failures: Vec<LinkFailure>,
+    ) -> FaultPlan {
         FaultPlan {
             seed: self
                 .seed
@@ -291,8 +390,14 @@ impl FaultPlanSpec {
             drop_rate: self.drop_rate,
             corrupt_rate: self.corrupt_rate,
             crashes,
+            link_failures,
+            ni_buffer_capacity: self.ni_buffer_capacity,
             max_attempts: self.max_attempts,
             ack_timeout_us: self.ack_timeout_us,
+            repair: self.live_repair.then(|| RepairPolicy {
+                notify_us: 2.0 * self.ack_timeout_us,
+                ..RepairPolicy::default()
+            }),
             ..FaultPlan::new(0)
         }
     }
@@ -308,7 +413,7 @@ mod tests {
         assert!(plan.is_trivial());
         plan.validate().unwrap();
         assert_eq!(
-            plan.tx_outcome(0, 0, 1, 0, 0, &[ChannelId(0)], 0.0, 10.0, HostId(1)),
+            plan.tx_outcome(0, 0, 0, 1, 0, 0, &[ChannelId(0)], 0.0, 10.0, HostId(1)),
             None
         );
         assert!(FaultPlanSpec::default().is_trivial());
@@ -321,18 +426,26 @@ mod tests {
             ..FaultPlan::new(42)
         };
         let route = [ChannelId(3)];
-        let a = plan.tx_outcome(0, 0, 5, 2, 0, &route, 0.0, 10.0, HostId(5));
-        let b = plan.tx_outcome(0, 0, 5, 2, 0, &route, 99.0, 200.0, HostId(5));
+        let a = plan.tx_outcome(0, 0, 0, 5, 2, 0, &route, 0.0, 10.0, HostId(5));
+        let b = plan.tx_outcome(0, 0, 0, 5, 2, 0, &route, 99.0, 200.0, HostId(5));
         // Same identity, different times: the random verdict is identical.
         assert_eq!(a, b);
         // A different attempt redraws.
         let mut varied = false;
         for attempt in 0..16 {
-            if plan.tx_outcome(0, 0, 5, 2, attempt, &route, 0.0, 1.0, HostId(5)) != a {
+            if plan.tx_outcome(0, 0, 0, 5, 2, attempt, &route, 0.0, 1.0, HostId(5)) != a {
                 varied = true;
             }
         }
         assert!(varied, "attempts never redrew at 50% drop rate");
+        // A different repair epoch redraws too.
+        let mut epoch_varied = false;
+        for epoch in 1..16 {
+            if plan.tx_outcome(0, epoch, 0, 5, 2, 0, &route, 0.0, 1.0, HostId(5)) != a {
+                epoch_varied = true;
+            }
+        }
+        assert!(epoch_varied, "epochs never redrew at 50% drop rate");
     }
 
     #[test]
@@ -343,7 +456,7 @@ mod tests {
         };
         let dropped = (0..4000)
             .filter(|&p| {
-                plan.tx_outcome(0, 0, 1, p, 0, &[], 0.0, 1.0, HostId(1)) == Some(FaultKind::Drop)
+                plan.tx_outcome(0, 0, 0, 1, p, 0, &[], 0.0, 1.0, HostId(1)) == Some(FaultKind::Drop)
             })
             .count();
         let rate = dropped as f64 / 4000.0;
@@ -368,7 +481,7 @@ mod tests {
         assert!(!plan.link_down(&route, 20.0));
         assert!(!plan.link_down(&[ChannelId(1)], 15.0));
         assert_eq!(
-            plan.tx_outcome(0, 0, 1, 0, 0, &route, 15.0, 25.0, HostId(1)),
+            plan.tx_outcome(0, 0, 0, 1, 0, 0, &route, 15.0, 25.0, HostId(1)),
             Some(FaultKind::LinkDown)
         );
     }
@@ -387,7 +500,7 @@ mod tests {
         assert!(plan.host_crashed(HostId(3), 1e9));
         assert!(!plan.host_crashed(HostId(2), 60.0));
         assert_eq!(
-            plan.tx_outcome(0, 0, 1, 0, 0, &[], 55.0, 60.0, HostId(3)),
+            plan.tx_outcome(0, 0, 0, 1, 0, 0, &[], 55.0, 60.0, HostId(3)),
             Some(FaultKind::ReceiverDead)
         );
     }
@@ -418,6 +531,67 @@ mod tests {
             at_us: -1.0,
         }))
         .contains("crash"));
+        assert!(bad(|p| p.repair = Some(RepairPolicy {
+            notify_us: -1.0,
+            ..RepairPolicy::default()
+        }))
+        .contains("notify_us"));
+        assert!(bad(|p| p.repair = Some(RepairPolicy {
+            max_epochs: 0,
+            ..RepairPolicy::default()
+        }))
+        .contains("max_epochs"));
+    }
+
+    #[test]
+    fn repair_policy_does_not_break_trivial_normalisation() {
+        let plan = FaultPlan {
+            repair: Some(RepairPolicy::default()),
+            ..FaultPlan::new(3)
+        };
+        assert!(
+            plan.is_trivial(),
+            "repair without a fault source must stay on the fault-free path"
+        );
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn live_repair_spec_expands_to_a_repair_plan() {
+        let spec = FaultPlanSpec {
+            seed: 5,
+            crashes: 1,
+            live_repair: true,
+            ..FaultPlanSpec::default()
+        };
+        let plan = spec.plan(
+            9,
+            vec![HostCrash {
+                host: HostId(4),
+                at_us: 0.0,
+            }],
+        );
+        let policy = plan.repair.expect("live_repair sets a policy");
+        assert_eq!(policy.notify_us, 2.0 * spec.ack_timeout_us);
+        assert!(policy.max_epochs >= 1);
+        plan.validate().unwrap();
+        // Non-crash axes thread through plan_with_outages.
+        let spec2 = FaultPlanSpec {
+            link_outages: 2,
+            outage_until_us: 50.0,
+            ni_buffer_capacity: Some(4),
+            ..FaultPlanSpec::default()
+        };
+        assert!(!spec2.is_trivial());
+        let windows = vec![LinkFailure {
+            channel: ChannelId(1),
+            from_us: 0.0,
+            until_us: 50.0,
+        }];
+        let plan2 = spec2.plan_with_outages(0, Vec::new(), windows.clone());
+        assert_eq!(plan2.link_failures, windows);
+        assert_eq!(plan2.ni_buffer_capacity, Some(4));
+        assert!(plan2.repair.is_none());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod workload;
 
 pub use alloc::CountingAlloc;
 pub use error::SimError;
-pub use fault::{FaultKind, FaultPlan, FaultPlanSpec, HostCrash, LinkFailure};
+pub use fault::{FaultKind, FaultPlan, FaultPlanSpec, HostCrash, LinkFailure, RepairPolicy};
 pub use observe::{Observer, SimCounters};
 pub use routes::JobRoutes;
 pub use sim::{

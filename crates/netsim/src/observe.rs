@@ -110,6 +110,28 @@ pub trait Observer {
     ) {
         let _ = (t_us, job, from, to, packet, attempts);
     }
+
+    /// The source learned of undelivered destinations and opened repair
+    /// epoch `epoch`: `failed` ranks were written off as crashed,
+    /// `reattached` orphaned subtrees were re-bound, after `waited_us` of
+    /// notification latency.
+    fn repair_triggered(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        epoch: u32,
+        failed: u32,
+        reattached: u32,
+        waited_us: f64,
+    ) {
+        let _ = (t_us, job, epoch, failed, reattached, waited_us);
+    }
+
+    /// A repair epoch re-enqueued packet `packet` for overlay child `to` at
+    /// the source.
+    fn packet_reissued(&mut self, t_us: f64, job: u32, to: Rank, packet: u32) {
+        let _ = (t_us, job, to, packet);
+    }
 }
 
 /// Builds the `--trace` timeline.
@@ -233,6 +255,34 @@ impl Observer for TraceCollector {
             },
         });
     }
+
+    fn repair_triggered(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        epoch: u32,
+        failed: u32,
+        reattached: u32,
+        _waited_us: f64,
+    ) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::RepairTriggered {
+                epoch,
+                failed,
+                reattached,
+            },
+        });
+    }
+
+    fn packet_reissued(&mut self, t_us: f64, job: u32, to: Rank, packet: u32) {
+        self.records.push(TraceRecord {
+            t_us,
+            job,
+            kind: TraceKind::Reissued { to, packet },
+        });
+    }
 }
 
 /// Accumulates the per-job outcome metrics (`channel_wait_us`,
@@ -316,6 +366,14 @@ pub struct SimCounters {
     /// Total send-unit stall spent waiting out ACK timeouts (µs) — the
     /// recovery latency the fault plan cost this run.
     pub recovery_wait_us: f64,
+    /// Live repair epochs opened (one per `(job, epoch)` the source
+    /// repaired and re-issued for).
+    pub repairs: u64,
+    /// Packet transmissions re-enqueued at the source by repair epochs.
+    pub reissued_packets: u64,
+    /// Total modeled failure-notification latency spent opening repair
+    /// epochs (µs).
+    pub repair_wait_us: f64,
 }
 
 /// Fills a [`SimCounters`].
@@ -408,6 +466,23 @@ impl Observer for CountersCollector {
         _attempts: u32,
     ) {
         self.counters.deliveries_abandoned += 1;
+    }
+
+    fn repair_triggered(
+        &mut self,
+        _t_us: f64,
+        _job: u32,
+        _epoch: u32,
+        _failed: u32,
+        _reattached: u32,
+        waited_us: f64,
+    ) {
+        self.counters.repairs += 1;
+        self.counters.repair_wait_us += waited_us;
+    }
+
+    fn packet_reissued(&mut self, _t_us: f64, _job: u32, _to: Rank, _packet: u32) {
+        self.counters.reissued_packets += 1;
     }
 }
 
@@ -560,6 +635,29 @@ impl<'a> ObserverHub<'a> {
             self.each_dyn(|o| o.delivery_abandoned(t_us, job, from, to, packet, attempts));
         }
     }
+
+    pub fn repair_triggered(
+        &mut self,
+        t_us: f64,
+        job: u32,
+        epoch: u32,
+        failed: u32,
+        reattached: u32,
+        waited_us: f64,
+    ) {
+        self.counters
+            .repair_triggered(t_us, job, epoch, failed, reattached, waited_us);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.repair_triggered(t_us, job, epoch, failed, reattached, waited_us));
+        }
+    }
+
+    pub fn packet_reissued(&mut self, t_us: f64, job: u32, to: Rank, packet: u32) {
+        self.counters.packet_reissued(t_us, job, to, packet);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.packet_reissued(t_us, job, to, packet));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -628,6 +726,38 @@ mod tests {
         assert!((k.recovery_wait_us - 60.0).abs() < 1e-12);
         assert_eq!(k.faults_triggered, 1);
         assert_eq!(k.deliveries_abandoned, 1);
+    }
+
+    #[test]
+    fn counters_track_repair_epochs() {
+        let mut c = CountersCollector::default();
+        c.repair_triggered(100.0, 0, 1, 2, 1, 120.0);
+        c.packet_reissued(100.0, 0, Rank(3), 0);
+        c.packet_reissued(100.0, 0, Rank(5), 0);
+        let k = &c.counters;
+        assert_eq!(k.repairs, 1);
+        assert_eq!(k.reissued_packets, 2);
+        assert!((k.repair_wait_us - 120.0).abs() < 1e-12);
+        // The trace sink mirrors the same hooks.
+        let mut t = TraceCollector::default();
+        t.repair_triggered(100.0, 0, 1, 2, 1, 120.0);
+        t.packet_reissued(100.0, 0, Rank(3), 0);
+        let out = t.into_sorted();
+        assert_eq!(
+            out[0].kind,
+            TraceKind::RepairTriggered {
+                epoch: 1,
+                failed: 2,
+                reattached: 1
+            }
+        );
+        assert_eq!(
+            out[1].kind,
+            TraceKind::Reissued {
+                to: Rank(3),
+                packet: 0
+            }
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! exact sequence this module produces.
 
 use crate::channel::ChannelManager;
-use crate::discipline::ForwardingDiscipline;
 use crate::discipline::{conventional::Conventional, fcfs::Fcfs, fpfs::Fpfs, scatter::Scatter};
+use crate::discipline::{record_receive, ForwardingDiscipline};
 use crate::engine::EventQueue;
 use crate::error::SimError;
 use crate::event::{Ev, SendItem};
@@ -32,7 +32,7 @@ use crate::sim::{MulticastOutcome, NiTiming, NicKind};
 use crate::time::SimTime;
 use crate::workload::{JobPayload, MulticastJob, WorkloadConfig, WorkloadOutcome};
 use optimcast_core::params::SystemParams;
-use optimcast_core::tree::Rank;
+use optimcast_core::tree::{MulticastTree, Rank};
 use optimcast_topology::graph::HostId;
 use optimcast_topology::Network;
 use std::sync::Arc;
@@ -181,20 +181,43 @@ fn engine_for(job: &MulticastJob) -> Box<dyn ForwardingDiscipline> {
     }
 }
 
-/// One workload execution: the engine table plus all mutable state.
-pub(crate) struct Simulation<'a> {
-    st: SimState<'a>,
-    engines: Vec<Box<dyn ForwardingDiscipline>>,
+/// One repair epoch's forwarding structure for a job: a sparse tree over
+/// the job's *original* rank space spanning the source plus the undelivered
+/// survivors, and its channel routes. Built at the epoch boundary, so the
+/// zero-alloc steady state of fault-free runs is untouched.
+struct EpochOverlay {
+    tree: Arc<MulticastTree>,
+    routes: Arc<JobRoutes>,
 }
 
-impl<'a> Simulation<'a> {
+/// One workload execution: the engine table plus all mutable state.
+pub(crate) struct Simulation<'a, N: Network> {
+    st: SimState<'a>,
+    engines: Vec<Box<dyn ForwardingDiscipline>>,
+    /// The topology, retained so repair epochs can rebuild routes for the
+    /// repaired tree.
+    net: &'a N,
+    /// Current repair epoch (0 = the initial issue; folded into the fault
+    /// PRF so every epoch redraws independently and deterministically).
+    epoch: u32,
+    /// Per-(job, rank) flags for destinations written off as crashed by a
+    /// repair epoch — reported in `WorkloadOutcome::unreached`, not as
+    /// `DeliveryFailed`. Empty until the first exclusion (fault-free runs
+    /// never allocate it).
+    excluded: Vec<Vec<bool>>,
+    /// Per-job overlay for the current repair epoch (`None` until a job's
+    /// first repair). Empty until the first repair.
+    overlay: Vec<Option<EpochOverlay>>,
+}
+
+impl<'a, N: Network> Simulation<'a, N> {
     /// Validates the workload and assembles the components.
     /// `routes`, when given, must hold one table per job, each built by
     /// [`JobRoutes::build`] from the job's `(tree, binding)` on `net` —
     /// the sweep engine passes memoized tables here so repeated cells skip
     /// the route computation. `None` builds the tables from scratch.
-    pub fn new<N: Network>(
-        net: &N,
+    pub fn new(
+        net: &'a N,
         jobs: &'a [MulticastJob],
         params: &'a SystemParams,
         config: WorkloadConfig,
@@ -211,6 +234,17 @@ impl<'a> Simulation<'a> {
                 .map_err(|reason| SimError::InvalidFaultPlan { reason })?;
             if config.timing == NiTiming::Overlapped {
                 return Err(SimError::FaultsNeedHandshakeTiming);
+            }
+            // A crashed source has nothing to repair around and nothing to
+            // send: reject the plan up front instead of silently abandoning
+            // the whole destination set.
+            for (j, job) in jobs.iter().enumerate() {
+                if f.crashes.iter().any(|c| c.host == job.binding[0]) {
+                    return Err(SimError::SourceCrashed {
+                        job: j,
+                        host: job.binding[0],
+                    });
+                }
             }
         }
         let routes = match routes {
@@ -257,6 +291,10 @@ impl<'a> Simulation<'a> {
                 fault,
             },
             engines,
+            net,
+            epoch: 0,
+            excluded: Vec::new(),
+            overlay: Vec::new(),
         })
     }
 
@@ -265,26 +303,186 @@ impl<'a> Simulation<'a> {
     /// With an active fault plan, a run whose losses exceed the
     /// retransmission budget terminates (the attempt cap guarantees event
     /// exhaustion) and reports [`SimError::DeliveryFailed`] instead of
-    /// hanging or panicking.
+    /// hanging or panicking — unless the plan carries a
+    /// [`crate::fault::RepairPolicy`], in which case each queue exhaustion
+    /// with undelivered destinations opens a *repair epoch* (see
+    /// [`Self::start_repair_epoch`]) until every surviving destination is
+    /// reached or the epoch budget is spent.
     pub fn run(mut self) -> Result<WorkloadOutcome, SimError> {
         for j in 0..self.st.jobs.len() {
             self.engines[j].kickoff(&mut self.st, j as u32);
         }
-        while let Some((now, ev)) = self.st.queue.pop() {
-            match ev {
-                Ev::TrySend(h) => self.handle_try_send(now, h),
-                Ev::Arrive { item, corrupt } => self.handle_arrive(now, item, corrupt),
-                Ev::RecvDone { item, corrupt } => self.handle_recv_done(now, item, corrupt),
-                Ev::HostReady { job, at } => {
-                    self.engines[job as usize].on_host_ready(&mut self.st, now, job, at)
+        let mut last = SimTime::ZERO;
+        loop {
+            while let Some((now, ev)) = self.st.queue.pop() {
+                last = now;
+                match ev {
+                    Ev::TrySend(h) => self.handle_try_send(now, h),
+                    Ev::Arrive { item, corrupt } => self.handle_arrive(now, item, corrupt),
+                    Ev::RecvDone { item, corrupt } => self.handle_recv_done(now, item, corrupt),
+                    Ev::HostReady { job, at } => {
+                        self.engines[job as usize].on_host_ready(&mut self.st, now, job, at)
+                    }
+                    Ev::SendPrepared { job, at, child_idx } => self.engines[job as usize]
+                        .on_send_prepared(&mut self.st, now, job, at, child_idx),
+                    Ev::SendRelease(h) => self.release_send_unit(now, h),
+                    Ev::AckTimeout { host, seq } => self.handle_ack_timeout(now, host, seq),
                 }
-                Ev::SendPrepared { job, at, child_idx } => self.engines[job as usize]
-                    .on_send_prepared(&mut self.st, now, job, at, child_idx),
-                Ev::SendRelease(h) => self.release_send_unit(now, h),
-                Ev::AckTimeout { host, seq } => self.handle_ack_timeout(now, host, seq),
+            }
+            if !self.start_repair_epoch(last) {
+                break;
             }
         }
         self.collect()
+    }
+
+    /// The event queue drained. With a repair policy on the fault plan and
+    /// destinations still undelivered, this is an epoch boundary rather
+    /// than the end of the run: the source learns of the failure at
+    /// `notify_us` after the last delivery activity, writes off the crashed
+    /// destinations, repairs the surviving membership
+    /// ([`MulticastTree::repair_partial`] — delivered ranks are not
+    /// re-bound), and re-issues all packets over the repaired tree.
+    /// Returns `true` when a new epoch was opened (events are queued again).
+    ///
+    /// Every decision here is a pure function of delivery state, which is
+    /// itself deterministic, and the fault PRF keys off
+    /// `(stream, job, epoch)` — so repair runs stay byte-identical at any
+    /// worker count.
+    fn start_repair_epoch(&mut self, last: SimTime) -> bool {
+        let Some(f) = self.st.fault else {
+            return false;
+        };
+        let Some(policy) = f.repair else {
+            return false;
+        };
+        if self.epoch >= policy.max_epochs {
+            return false;
+        }
+        let detect = last + policy.notify_us;
+        let epoch = self.epoch + 1;
+        let mut reissued = false;
+        for j in 0..self.st.jobs.len() {
+            let job = self.st.job(j as u32);
+            // Live repair replays the FPFS replication pattern over the
+            // repaired tree; only replicated smart-NI jobs support it.
+            if !matches!(
+                (job.nic, job.payload),
+                (NicKind::Smart(_), JobPayload::Replicated)
+            ) {
+                continue;
+            }
+            let n = job.tree.len();
+            let mut delivered: Vec<Rank> = Vec::new();
+            let mut failed: Vec<Rank> = Vec::new();
+            let mut pending = false;
+            for r in 1..n {
+                if self.st.parts[j][r].host_done.is_some() {
+                    delivered.push(Rank(r as u32));
+                } else if f.host_crashed(job.binding[r], detect.as_us()) {
+                    // Crashes are permanent, so ranks written off in an
+                    // earlier epoch land here again (idempotent).
+                    failed.push(Rank(r as u32));
+                } else {
+                    pending = true;
+                }
+            }
+            if failed.is_empty() && !pending {
+                continue; // job fully delivered
+            }
+            if f.host_crashed(job.binding[0], detect.as_us()) {
+                continue; // dead source: unrecoverable, surfaces at collect()
+            }
+            // Crashed destinations leave the membership for good; they are
+            // reported in the outcome's `unreached`, not as a failure.
+            if !failed.is_empty() {
+                if self.excluded.is_empty() {
+                    self.excluded = self
+                        .st
+                        .jobs
+                        .iter()
+                        .map(|jb| vec![false; jb.tree.len()])
+                        .collect();
+                }
+                for &r in &failed {
+                    self.excluded[j][r.index()] = true;
+                }
+            }
+            if !pending {
+                continue; // pure exclusion: nothing left to re-issue
+            }
+            let rep = job
+                .tree
+                .repair_partial(&failed, &delivered)
+                .expect("surviving membership is repairable");
+            // Re-express the repaired tree over the job's *original* rank
+            // space (sparse: crashed and delivered ranks stay unattached,
+            // which `JobRoutes::build` skips), preserving each parent's
+            // child send order.
+            let mut ov_tree = MulticastTree::with_capacity(n as u32);
+            for u in rep.tree.dfs_preorder() {
+                for &c in rep.tree.children(u) {
+                    ov_tree.attach(rep.new_to_old[u.index()], rep.new_to_old[c.index()]);
+                }
+            }
+            let routes = Arc::new(JobRoutes::build(self.net, &ov_tree, &job.binding));
+            if self.overlay.is_empty() {
+                self.overlay = (0..self.st.jobs.len()).map(|_| None).collect();
+            }
+            self.overlay[j] = Some(EpochOverlay {
+                tree: Arc::new(ov_tree),
+                routes,
+            });
+            self.st.obs.repair_triggered(
+                detect.as_us(),
+                j as u32,
+                epoch,
+                failed.len() as u32,
+                rep.reattached.len() as u32,
+                policy.notify_us,
+            );
+            // Message-level re-issue: partial fragments at the undelivered
+            // survivors are discarded, and the source restages the whole
+            // message packet-major (FPFS order) over the repaired tree.
+            for r in 1..n {
+                let p = &mut self.st.parts[j][r];
+                if p.host_done.is_none() {
+                    p.received = 0;
+                }
+            }
+            let ov = self.overlay[j].as_ref().expect("just installed");
+            let kids = ov.tree.root_children();
+            debug_assert!(!kids.is_empty(), "a pending survivor implies a child");
+            let src_host = job.binding[0];
+            for p in 0..job.packets {
+                for &c in kids {
+                    self.st.obs.packet_reissued(detect.as_us(), j as u32, c, p);
+                    self.st.enqueue_send(
+                        src_host,
+                        SendItem {
+                            job: j as u32,
+                            packet: p,
+                            from: Rank::SOURCE,
+                            child: c,
+                            dest: c,
+                            attempt: 0,
+                        },
+                    );
+                }
+            }
+            self.st.stage(src_host, job.packets);
+            for p in 0..job.packets as usize {
+                self.st.parts[j][0].copies_left[p] = kids.len() as u32;
+            }
+            self.st
+                .queue
+                .schedule(detect + self.st.params.t_s, Ev::TrySend(src_host));
+            reissued = true;
+        }
+        if reissued {
+            self.epoch = epoch;
+        }
+        reissued
     }
 
     /// Dispatches the host's next queued transmission, if its send unit is
@@ -305,9 +503,26 @@ impl<'a> Simulation<'a> {
             return;
         };
         let j = item.job as usize;
-        let route = st.routes[j].route(item.child.index());
+        // During a repair epoch the job's forwarding structure is its
+        // overlay (tree + routes over the original rank space); epoch 0
+        // takes the unchanged hot path.
+        let overlay = if self.epoch > 0 {
+            self.overlay.get(j).and_then(Option::as_ref)
+        } else {
+            None
+        };
+        let route = match overlay {
+            Some(ov) => ov.routes.route(item.child.index()),
+            None => st.routes[j].route(item.child.index()),
+        };
         debug_assert!(!route.is_empty());
-        debug_assert_eq!(st.jobs[j].tree.parent(item.child), Some(item.from));
+        debug_assert_eq!(
+            match overlay {
+                Some(ov) => ov.tree.parent(item.child),
+                None => st.jobs[j].tree.parent(item.child),
+            },
+            Some(item.from)
+        );
         let hold = st.params.t_send + st.params.t_prop;
         let t0 = st.channels.reserve(route, now, hold);
         st.obs.send_start(
@@ -322,6 +537,7 @@ impl<'a> Simulation<'a> {
         let verdict = match st.fault {
             Some(f) => f.tx_outcome(
                 item.job,
+                self.epoch,
                 item.from.0,
                 item.child.0,
                 item.packet,
@@ -418,9 +634,18 @@ impl<'a> Simulation<'a> {
             let jobd = st.job(item.job);
             // Only packets the NI must hold for forwarding compete for
             // buffer space — leaf deliveries and relayed personalized
-            // packets stream through.
+            // packets stream through. In a repair epoch the forwarding
+            // structure is the job's overlay tree.
+            let overlay = if self.epoch > 0 {
+                self.overlay.get(item.job as usize).and_then(Option::as_ref)
+            } else {
+                None
+            };
             let would_stage = match jobd.payload {
-                JobPayload::Replicated => !jobd.tree.children(item.child).is_empty(),
+                JobPayload::Replicated => match overlay {
+                    Some(ov) => !ov.tree.children(item.child).is_empty(),
+                    None => !jobd.tree.children(item.child).is_empty(),
+                },
                 JobPayload::Personalized { .. } => item.dest != item.child,
             };
             if would_stage && st.hosts.resident(h) >= cap {
@@ -479,14 +704,52 @@ impl<'a> Simulation<'a> {
         self.st
             .obs
             .recv_done(now.as_us(), item.job, item.child, item.packet);
-        self.engines[j].on_recv_done(
-            &mut self.st,
-            now,
-            item.job,
-            item.child,
-            item.packet,
-            item.dest,
-        );
+        if self.epoch > 0 && self.overlay.get(j).and_then(Option::as_ref).is_some() {
+            self.overlay_recv_done(now, item.job, item.child, item.packet);
+        } else {
+            self.engines[j].on_recv_done(
+                &mut self.st,
+                now,
+                item.job,
+                item.child,
+                item.packet,
+                item.dest,
+            );
+        }
+    }
+
+    /// Repair-epoch receive handling: the FPFS replication pattern over the
+    /// job's overlay tree — forward the packet to every overlay child
+    /// immediately, complete the host once the whole message is in.
+    fn overlay_recv_done(&mut self, now: SimTime, job: u32, at: Rank, packet: u32) {
+        let j = job as usize;
+        let jobd = self.st.job(job);
+        let packets = jobd.packets;
+        let v_host = jobd.binding[at.index()];
+        let ov = self.overlay[j].as_ref().expect("overlay epoch");
+        let kids = ov.tree.children(at);
+        let received = record_receive(&mut self.st, now, job, at);
+        if !kids.is_empty() {
+            self.st.parts[j][at.index()].copies_left[packet as usize] = kids.len() as u32;
+            self.st.stage(v_host, 1);
+            for &c in kids {
+                self.st.enqueue_send(
+                    v_host,
+                    SendItem {
+                        job,
+                        packet,
+                        from: at,
+                        child: c,
+                        dest: c,
+                        attempt: 0,
+                    },
+                );
+            }
+            self.st.queue.schedule(now, Ev::TrySend(v_host));
+        }
+        if received == packets {
+            self.st.finish_host(now, job, at);
+        }
     }
 
     /// The acknowledgement for a (presumed lost) transmission never came:
@@ -563,12 +826,13 @@ impl<'a> Simulation<'a> {
     /// simulator never deadlocks on validated input, so this indicates an
     /// engine bug.
     fn collect(self) -> Result<WorkloadOutcome, SimError> {
-        let Simulation { st, .. } = self;
+        let Simulation { st, excluded, .. } = self;
         let params = st.params;
+        let is_excluded = |j: usize, r: usize| excluded.get(j).is_some_and(|e| e[r]);
         let mut unreached = Vec::new();
         for (j, job) in st.jobs.iter().enumerate() {
             for r in 1..job.tree.len() {
-                if st.parts[j][r].host_done.is_none() {
+                if st.parts[j][r].host_done.is_none() && !is_excluded(j, r) {
                     unreached.push((j as u32, Rank(r as u32)));
                 }
             }
@@ -586,6 +850,17 @@ impl<'a> Simulation<'a> {
             let (j, r) = unreached[0];
             panic!("job {j}: rank {} never completed", r.index());
         }
+        // Destinations written off as crashed by repair epochs: the run
+        // *succeeded* for the surviving membership; these are reported in
+        // the outcome, with zeroed per-rank times.
+        let mut written_off = Vec::new();
+        for (j, e) in excluded.iter().enumerate() {
+            for (r, &dead) in e.iter().enumerate() {
+                if dead && st.parts[j][r].host_done.is_none() {
+                    written_off.push((j as u32, Rank(r as u32)));
+                }
+            }
+        }
         let mut outcomes = Vec::with_capacity(st.jobs.len());
         let mut makespan = 0.0f64;
         for (j, job) in st.jobs.iter().enumerate() {
@@ -595,7 +870,9 @@ impl<'a> Simulation<'a> {
             let mut latency = if n == 1 { params.t_s + params.t_r } else { 0.0 };
             for r in 1..n {
                 let p = &st.parts[j][r];
-                let done = p.host_done.expect("unreached set was empty");
+                let Some(done) = p.host_done else {
+                    continue; // written off as crashed by a repair epoch
+                };
                 host_done[r] = done.as_us() - job.start_us;
                 last_recv[r] = p.last_recv.as_us() - job.start_us;
                 latency = latency.max(host_done[r]);
@@ -628,6 +905,7 @@ impl<'a> Simulation<'a> {
             max_host_buffer: st.hosts.all_max_resident(),
             events: st.queue.processed(),
             counters,
+            unreached: written_off,
             trace: st
                 .obs
                 .trace

@@ -203,6 +203,24 @@ pub enum TraceKind {
         /// Attempts spent before giving up.
         attempts: u32,
     },
+    /// The source opened a live repair epoch: crashed destinations were
+    /// written off, the surviving membership was repaired, and the message
+    /// is about to be re-issued.
+    RepairTriggered {
+        /// Repair epoch number (first repair = 1).
+        epoch: u32,
+        /// Ranks written off as crashed this epoch.
+        failed: u32,
+        /// Orphaned subtrees re-attached by the repair.
+        reattached: u32,
+    },
+    /// A repair epoch re-enqueued a packet at the source.
+    Reissued {
+        /// Overlay child the copy is addressed to.
+        to: Rank,
+        /// Packet index.
+        packet: u32,
+    },
 }
 
 /// Results of a workload run.
@@ -223,6 +241,11 @@ pub struct WorkloadOutcome {
     /// Structured aggregate counters (always collected; never affects
     /// simulated timing).
     pub counters: SimCounters,
+    /// Destinations written off as crashed by live repair epochs, as
+    /// `(job, rank)` in job-then-rank order. Always empty without a
+    /// [`crate::fault::RepairPolicy`]: without repair an undelivered
+    /// destination is a [`SimError::DeliveryFailed`], not an outcome.
+    pub unreached: Vec<(u32, Rank)>,
     /// Timeline (empty unless [`WorkloadConfig::trace`] is set).
     pub trace: Vec<TraceRecord>,
 }

@@ -4,13 +4,26 @@
 //! the same topologies, destination sets, and optimal-k trees as the
 //! latency figures — under a deterministic fault plan: every transmission
 //! is dropped with the cell's probability, and the cell's crash count of
-//! destination hosts fail at time zero. Crashed participants are repaired
-//! *around* with [`MulticastTree::repair`] (the multicast proceeds over the
-//! surviving hosts), so a cell's failures measure exhausted retransmission
-//! budgets, not the crashes themselves. The all-reached invariant is
-//! enforced per run by the simulator: a run either reaches every surviving
-//! destination or returns `SimError::DeliveryFailed`, which the cell counts
-//! and reports as `unreached`.
+//! destination hosts fail. The base [`FaultPlanSpec`] adds further axes on
+//! top of the grid: corruption rate, link-outage windows, and NI
+//! forwarding-buffer capacity.
+//!
+//! Crashed participants are handled one of two ways, selected by
+//! [`FaultPlanSpec::live_repair`]:
+//!
+//! * **off** (default): the tree is repaired *around* the crashes with
+//!   [`MulticastTree::repair`] before the run, so a cell's failures measure
+//!   exhausted retransmission budgets, not the crashes themselves;
+//! * **on**: the full tree is bound and the drawn hosts crash mid-run at
+//!   [`FaultPlanSpec::crash_at_us`]; the simulator detects the abandonment,
+//!   repairs the surviving membership live, and re-issues undelivered
+//!   packets. The cell then reports repair epochs, re-issued packets, and
+//!   the crashed destinations written off as `unreachable_crashed`.
+//!
+//! The all-reached invariant is enforced per run by the simulator: a run
+//! either reaches every surviving destination or returns
+//! `SimError::DeliveryFailed`, which the cell counts and reports as
+//! `unreached`.
 //!
 //! Like the figure grids, chaos cells fan out over the worker pool with a
 //! fixed floating-point reduction order, so the emitted JSON is
@@ -23,10 +36,14 @@ use crate::figure::{Figure, Series};
 use crate::json::{Json, ToJson};
 use crate::sampling::{sample_chain, TreePolicy};
 use optimcast_core::tree::Rank;
-use optimcast_netsim::fault::HostCrash;
-use optimcast_netsim::{run_multicast_with_faults, FaultPlanSpec, RunConfig, SimError};
-use optimcast_rng::{ChaCha8Rng, SliceRandom};
-use optimcast_topology::graph::HostId;
+use optimcast_netsim::fault::{HostCrash, LinkFailure};
+use optimcast_netsim::{
+    run_multicast_with_faults, run_workload_with_faults, FaultPlanSpec, MulticastJob, RunConfig,
+    SimError, WorkloadConfig,
+};
+use optimcast_rng::{ChaCha8Rng, Rng, SliceRandom};
+use optimcast_topology::graph::{ChannelId, HostId};
+use optimcast_topology::Network;
 use std::sync::Arc;
 
 /// Aggregated outcome of one `(drop rate, crash count)` chaos cell over the
@@ -35,7 +52,8 @@ use std::sync::Arc;
 pub struct ChaosCell {
     /// Per-transmission loss probability of this cell.
     pub drop_rate: f64,
-    /// Destination hosts crashed (and repaired around) per sample.
+    /// Destination hosts crashed (and repaired around, up front or live)
+    /// per sample.
     pub crashes: u32,
     /// Samples evaluated (`topologies × dest_sets`).
     pub samples: u32,
@@ -59,8 +77,23 @@ pub struct ChaosCell {
     pub deliveries_abandoned: u64,
     /// Total time (µs) spent waiting on acknowledgement timeouts.
     pub recovery_wait_us: f64,
-    /// Orphaned subtrees re-attached by tree repair across all samples.
+    /// Orphaned subtrees re-attached by *pre-run* tree repair across all
+    /// samples (zero under live repair, whose re-attachments happen inside
+    /// the run).
     pub reattached: u64,
+    /// Live repair epochs triggered across all samples (zero unless
+    /// [`FaultPlanSpec::live_repair`]).
+    pub repairs: u64,
+    /// Packets re-issued by the source over repaired trees.
+    pub reissued_packets: u64,
+    /// Total time (µs) between failure and the source triggering repair.
+    pub repair_wait_us: f64,
+    /// Delivered samples that needed at least one live repair epoch.
+    pub reached_after_repair: u32,
+    /// Crashed destinations written off by live repair across delivered
+    /// samples (they were unreachable, not abandoned: the run still
+    /// succeeds for the surviving membership).
+    pub unreachable_crashed: u64,
 }
 
 /// The full chaos grid: every `(drop rate, crash count)` cell plus the
@@ -103,8 +136,12 @@ impl ChaosReport {
     /// the methodology, a `cells` table, and a `figure` charting mean
     /// delivered latency against drop rate (one series per crash count).
     ///
-    /// The document deliberately omits worker/thread counts: identical
-    /// seeds must produce byte-identical reports at any parallelism.
+    /// Keys for the newer fault axes (live repair, crash instant, link
+    /// outages, buffer capacity) are emitted only when the axis is active,
+    /// so reports from a default spec stay byte-identical to the committed
+    /// goldens. The document deliberately omits worker/thread counts:
+    /// identical seeds must produce byte-identical reports at any
+    /// parallelism.
     pub fn to_json(&self) -> Json {
         let series = self
             .crash_counts
@@ -127,42 +164,57 @@ impl ChaosReport {
             y_label: "latency (us)".into(),
             series,
         };
+        let mut meta = vec![
+            ("dests", Json::from(self.dests)),
+            ("m", Json::from(self.m)),
+            ("topologies", Json::from(self.topologies)),
+            ("dest_sets", Json::from(self.dest_sets)),
+            ("base_seed", Json::from(self.base_seed)),
+            ("fault_seed", Json::from(self.fault.seed)),
+            ("corrupt_rate", Json::from(self.fault.corrupt_rate)),
+            ("max_attempts", Json::from(self.fault.max_attempts)),
+            ("ack_timeout_us", Json::from(self.fault.ack_timeout_us)),
+        ];
+        if self.fault.live_repair {
+            meta.push(("live_repair", Json::from(true)));
+            meta.push(("crash_at_us", Json::from(self.fault.crash_at_us)));
+        }
+        if self.fault.link_outages > 0 {
+            meta.push(("link_outages", Json::from(self.fault.link_outages)));
+            meta.push(("outage_from_us", Json::from(self.fault.outage_from_us)));
+            meta.push(("outage_until_us", Json::from(self.fault.outage_until_us)));
+        }
+        if let Some(cap) = self.fault.ni_buffer_capacity {
+            meta.push(("ni_buffer_capacity", Json::from(cap)));
+        }
+        meta.push((
+            "drop_rates",
+            Json::Arr(self.drop_rates.iter().map(|&d| Json::from(d)).collect()),
+        ));
+        meta.push((
+            "crash_counts",
+            Json::Arr(self.crash_counts.iter().map(|&c| Json::from(c)).collect()),
+        ));
+        meta.push(("all_reached", Json::from(self.all_reached())));
         Json::obj(vec![
             ("id", Json::from("chaos")),
-            (
-                "meta",
-                Json::obj(vec![
-                    ("dests", Json::from(self.dests)),
-                    ("m", Json::from(self.m)),
-                    ("topologies", Json::from(self.topologies)),
-                    ("dest_sets", Json::from(self.dest_sets)),
-                    ("base_seed", Json::from(self.base_seed)),
-                    ("fault_seed", Json::from(self.fault.seed)),
-                    ("corrupt_rate", Json::from(self.fault.corrupt_rate)),
-                    ("max_attempts", Json::from(self.fault.max_attempts)),
-                    ("ack_timeout_us", Json::from(self.fault.ack_timeout_us)),
-                    (
-                        "drop_rates",
-                        Json::Arr(self.drop_rates.iter().map(|&d| Json::from(d)).collect()),
-                    ),
-                    (
-                        "crash_counts",
-                        Json::Arr(self.crash_counts.iter().map(|&c| Json::from(c)).collect()),
-                    ),
-                    ("all_reached", Json::from(self.all_reached())),
-                ]),
-            ),
+            ("meta", Json::obj(meta)),
             (
                 "cells",
-                Json::Arr(self.cells.iter().map(cell_json).collect()),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|cell| cell_json(cell, self.fault.live_repair))
+                        .collect(),
+                ),
             ),
             ("figure", chart.to_json()),
         ])
     }
 }
 
-fn cell_json(cell: &ChaosCell) -> Json {
-    Json::obj(vec![
+fn cell_json(cell: &ChaosCell, live_repair: bool) -> Json {
+    let mut fields = vec![
         ("drop_rate", Json::from(cell.drop_rate)),
         ("crashes", Json::from(cell.crashes)),
         ("samples", Json::from(cell.samples)),
@@ -179,7 +231,18 @@ fn cell_json(cell: &ChaosCell) -> Json {
         ),
         ("recovery_wait_us", Json::from(cell.recovery_wait_us)),
         ("reattached", Json::from(cell.reattached)),
-    ])
+    ];
+    if live_repair {
+        fields.push(("repairs", Json::from(cell.repairs)));
+        fields.push(("reissued_packets", Json::from(cell.reissued_packets)));
+        fields.push(("repair_wait_us", Json::from(cell.repair_wait_us)));
+        fields.push((
+            "reached_after_repair",
+            Json::from(cell.reached_after_repair),
+        ));
+        fields.push(("unreachable_crashed", Json::from(cell.unreachable_crashed)));
+    }
+    Json::obj(fields)
 }
 
 /// Per-topology partial aggregate of one cell; combined across topologies
@@ -196,6 +259,26 @@ struct TopoAgg {
     deliveries_abandoned: u64,
     recovery_wait_us: f64,
     reattached: u64,
+    repairs: u64,
+    reissued_packets: u64,
+    repair_wait_us: f64,
+    reached_after_repair: u32,
+    unreachable_crashed: u64,
+}
+
+impl TopoAgg {
+    /// Folds one sample's counters in (shared by the delivered and failed
+    /// arms of both crash-handling modes).
+    fn add_counters(&mut self, c: &optimcast_netsim::SimCounters) {
+        self.packets_dropped += c.packets_dropped;
+        self.packets_corrupted += c.packets_corrupted;
+        self.retransmits += c.retransmits;
+        self.deliveries_abandoned += c.deliveries_abandoned;
+        self.recovery_wait_us += c.recovery_wait_us;
+        self.repairs += c.repairs;
+        self.reissued_packets += c.reissued_packets;
+        self.repair_wait_us += c.repair_wait_us;
+    }
 }
 
 impl Sweep {
@@ -266,6 +349,11 @@ impl Sweep {
                     deliveries_abandoned: 0,
                     recovery_wait_us: 0.0,
                     reattached: 0,
+                    repairs: 0,
+                    reissued_packets: 0,
+                    repair_wait_us: 0.0,
+                    reached_after_repair: 0,
+                    unreachable_crashed: 0,
                 };
                 let mut latency_sum = 0.0;
                 for agg in per_topology {
@@ -279,6 +367,11 @@ impl Sweep {
                     out.deliveries_abandoned += agg.deliveries_abandoned;
                     out.recovery_wait_us += agg.recovery_wait_us;
                     out.reattached += agg.reattached;
+                    out.repairs += agg.repairs;
+                    out.reissued_packets += agg.reissued_packets;
+                    out.repair_wait_us += agg.repair_wait_us;
+                    out.reached_after_repair += agg.reached_after_repair;
+                    out.unreachable_crashed += agg.unreachable_crashed;
                 }
                 if out.delivered > 0 {
                     out.mean_latency_us = latency_sum / f64::from(out.delivered);
@@ -324,56 +417,109 @@ impl Sweep {
             ranks.shuffle(&mut rng);
             let failed: Vec<Rank> = ranks[..spec.crashes as usize].to_vec();
 
-            let repair = tree
-                .repair(&failed)
-                .expect("crash sets exclude the source and are in range");
-            agg.reattached += repair.reattached.len() as u64;
-            let binding: Vec<HostId> = repair
-                .new_to_old
-                .iter()
-                .map(|&old| chain[old.index()])
-                .collect();
+            // Link-outage channels come from the same stream *after* the
+            // crash shuffle, so enabling the outage axis never changes a
+            // cell's crash sets.
+            let outages: Vec<LinkFailure> = if spec.link_outages > 0 {
+                let channels = u64::from(topo.net.num_channels());
+                let wanted = u64::from(spec.link_outages).min(channels) as usize;
+                let mut chosen: Vec<ChannelId> = Vec::with_capacity(wanted);
+                while chosen.len() < wanted {
+                    let c = ChannelId((rng.next_u64() % channels) as u32);
+                    if !chosen.contains(&c) {
+                        chosen.push(c);
+                    }
+                }
+                chosen
+                    .into_iter()
+                    .map(|channel| LinkFailure {
+                        channel,
+                        from_us: spec.outage_from_us,
+                        until_us: spec.outage_until_us,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
             let crashes: Vec<HostCrash> = failed
                 .iter()
                 .map(|&r| HostCrash {
                     host: chain[r.index()],
-                    at_us: 0.0,
+                    at_us: spec.crash_at_us,
                 })
                 .collect();
-            let plan = spec.plan(salt, crashes);
-            match run_multicast_with_faults(
-                &topo.net,
-                Arc::new(repair.tree),
-                &binding,
-                m,
-                cfg.params(),
-                RunConfig::default(),
-                &plan,
-            ) {
-                Ok((out, c)) => {
-                    self.record_effort(c.events, c.peak_queue_len);
-                    agg.delivered += 1;
-                    agg.latency_sum += out.latency_us;
-                    agg.packets_dropped += c.packets_dropped;
-                    agg.packets_corrupted += c.packets_corrupted;
-                    agg.retransmits += c.retransmits;
-                    agg.deliveries_abandoned += c.deliveries_abandoned;
-                    agg.recovery_wait_us += c.recovery_wait_us;
+            let plan = spec.plan_with_outages(salt, crashes, outages);
+
+            if spec.live_repair {
+                // Bind the FULL membership: the drawn hosts crash mid-run
+                // and the simulator repairs around them live.
+                let job = MulticastJob::fpfs(tree, chain, m);
+                match run_workload_with_faults(
+                    &topo.net,
+                    std::slice::from_ref(&job),
+                    cfg.params(),
+                    WorkloadConfig::default(),
+                    &plan,
+                ) {
+                    Ok(out) => {
+                        let c = &out.counters;
+                        self.record_effort(c.events, c.peak_queue_len);
+                        agg.delivered += 1;
+                        agg.latency_sum += out.jobs[0].latency_us;
+                        agg.add_counters(c);
+                        if c.repairs > 0 {
+                            agg.reached_after_repair += 1;
+                        }
+                        agg.unreachable_crashed += out.unreached.len() as u64;
+                    }
+                    Err(SimError::DeliveryFailed {
+                        unreached,
+                        counters,
+                    }) => {
+                        self.record_effort(counters.events, counters.peak_queue_len);
+                        agg.failed += 1;
+                        agg.unreached += unreached.len() as u64;
+                        agg.add_counters(&counters);
+                    }
+                    Err(other) => unreachable!("validated chaos plan rejected: {other}"),
                 }
-                Err(SimError::DeliveryFailed {
-                    unreached,
-                    counters,
-                }) => {
-                    self.record_effort(counters.events, counters.peak_queue_len);
-                    agg.failed += 1;
-                    agg.unreached += unreached.len() as u64;
-                    agg.packets_dropped += counters.packets_dropped;
-                    agg.packets_corrupted += counters.packets_corrupted;
-                    agg.retransmits += counters.retransmits;
-                    agg.deliveries_abandoned += counters.deliveries_abandoned;
-                    agg.recovery_wait_us += counters.recovery_wait_us;
+            } else {
+                let repair = tree
+                    .repair(&failed)
+                    .expect("crash sets exclude the source and are in range");
+                agg.reattached += repair.reattached.len() as u64;
+                let binding: Vec<HostId> = repair
+                    .new_to_old
+                    .iter()
+                    .map(|&old| chain[old.index()])
+                    .collect();
+                match run_multicast_with_faults(
+                    &topo.net,
+                    Arc::new(repair.tree),
+                    &binding,
+                    m,
+                    cfg.params(),
+                    RunConfig::default(),
+                    &plan,
+                ) {
+                    Ok((out, c)) => {
+                        self.record_effort(c.events, c.peak_queue_len);
+                        agg.delivered += 1;
+                        agg.latency_sum += out.latency_us;
+                        agg.add_counters(&c);
+                    }
+                    Err(SimError::DeliveryFailed {
+                        unreached,
+                        counters,
+                    }) => {
+                        self.record_effort(counters.events, counters.peak_queue_len);
+                        agg.failed += 1;
+                        agg.unreached += unreached.len() as u64;
+                        agg.add_counters(&counters);
+                    }
+                    Err(other) => unreachable!("validated chaos plan rejected: {other}"),
                 }
-                Err(other) => unreachable!("validated chaos plan rejected: {other}"),
             }
         }
         agg
@@ -409,6 +555,12 @@ mod tests {
             .avg_latency(TreePolicy::OptimalKBinomial, 15, 2, RunConfig::default())
             .unwrap();
         assert_eq!(cell.mean_latency_us.to_bits(), clean.to_bits());
+        // A default-spec report must not leak the live-repair JSON schema:
+        // the committed goldens pin the old key set byte-for-byte.
+        let json = report.to_json().to_string_pretty();
+        for key in ["live_repair", "repairs", "unreachable_crashed"] {
+            assert!(!json.contains(key), "default report leaked {key:?}");
+        }
     }
 
     #[test]
@@ -446,6 +598,107 @@ mod tests {
         };
         let serial = json_for(1);
         assert_eq!(serial, json_for(4), "4 workers diverged");
+    }
+
+    #[test]
+    fn live_repair_rescues_mid_run_crashes() {
+        // Acceptance scenario: drop rate 0, hosts crash mid-run *before*
+        // any packet lands (t_s = 12.5 µs > crash at 5 µs). Without a
+        // repair policy every crashed interior node would strand its
+        // subtree as SimError::DeliveryFailed; with live repair every run
+        // completes, reaching all survivors and writing off the crashed.
+        let spec = FaultPlanSpec {
+            seed: 7,
+            live_repair: true,
+            crash_at_us: 5.0,
+            ..FaultPlanSpec::default()
+        };
+        let sweep = SweepBuilder::quick().fault(spec).build().unwrap();
+        let report = sweep.chaos(&[0.0], &[0, 2], 15, 2).unwrap();
+        let samples = sweep.config().samples();
+
+        let clean = report.cell(0, 0);
+        assert_eq!(clean.delivered, samples);
+        assert_eq!((clean.repairs, clean.unreachable_crashed), (0, 0));
+
+        let crashed = report.cell(0, 1);
+        assert_eq!(crashed.failed, 0, "live repair must rescue every run");
+        assert_eq!(crashed.delivered, samples);
+        assert!(crashed.repairs > 0, "no sample drew an interior crash");
+        assert!(crashed.reissued_packets > 0);
+        assert!(crashed.repair_wait_us > 0.0);
+        assert!(crashed.reached_after_repair > 0);
+        // Both crashed destinations of every sample are written off: they
+        // died before the first arrival, so none can have been reached.
+        assert_eq!(crashed.unreachable_crashed, u64::from(2 * samples));
+        assert!(report.all_reached());
+        let json = report.to_json().to_string_pretty();
+        for key in ["live_repair", "repairs", "reached_after_repair"] {
+            assert!(json.contains(key), "live-repair report missing {key:?}");
+        }
+    }
+
+    #[test]
+    fn live_repair_chaos_is_byte_identical_across_workers() {
+        let json_for = |threads: usize| {
+            let spec = FaultPlanSpec {
+                seed: 42,
+                live_repair: true,
+                crash_at_us: 5.0,
+                ..FaultPlanSpec::default()
+            };
+            let sweep = SweepBuilder::quick()
+                .fault(spec)
+                .parallelism(threads)
+                .build()
+                .unwrap();
+            sweep
+                .chaos(&[0.0, 0.05], &[0, 2], 15, 2)
+                .unwrap()
+                .to_json()
+                .to_string_pretty()
+        };
+        let serial = json_for(1);
+        assert_eq!(serial, json_for(8), "8 workers diverged under repair");
+    }
+
+    #[test]
+    fn chaos_axes_cover_outages_corruption_and_buffer_pressure() {
+        // The remaining FaultPlan axes — link-outage windows, corruption,
+        // and NI buffer capacity — ride on the base spec under the grid.
+        let spec = FaultPlanSpec {
+            seed: 13,
+            corrupt_rate: 0.05,
+            link_outages: 2,
+            outage_from_us: 0.0,
+            outage_until_us: 40.0,
+            ni_buffer_capacity: Some(2),
+            ..FaultPlanSpec::default()
+        };
+        let sweep = SweepBuilder::quick().fault(spec).build().unwrap();
+        let report = sweep.chaos(&[0.0], &[0], 15, 4).unwrap();
+        let cell = report.cell(0, 0);
+        assert!(cell.packets_corrupted > 0, "5% corruption never fired");
+        assert!(
+            cell.retransmits > 0,
+            "outage windows and corruption never forced a retransmit"
+        );
+        let json = report.to_json().to_string_pretty();
+        for key in ["link_outages", "outage_until_us", "ni_buffer_capacity"] {
+            assert!(json.contains(key), "axis metadata missing {key:?}");
+        }
+        // The same spec at two worker counts stays byte-identical.
+        let rerun = SweepBuilder::quick()
+            .fault(spec)
+            .parallelism(4)
+            .build()
+            .unwrap();
+        let parallel = rerun.chaos(&[0.0], &[0], 15, 4).unwrap();
+        assert_eq!(
+            json,
+            parallel.to_json().to_string_pretty(),
+            "4 workers diverged on the extended axes"
+        );
     }
 
     #[test]

@@ -256,6 +256,26 @@ pub(crate) fn validate_fault_spec(spec: &FaultPlanSpec) -> Result<(), SweepError
             "ack_timeout_us must be positive and finite",
         ));
     }
+    if !(spec.crash_at_us >= 0.0 && spec.crash_at_us.is_finite()) {
+        return Err(SweepError::InvalidFaultSpec(
+            "crash_at_us must be non-negative and finite",
+        ));
+    }
+    if spec.link_outages > 0 {
+        let window_ok = spec.outage_from_us >= 0.0
+            && spec.outage_until_us.is_finite()
+            && spec.outage_until_us > spec.outage_from_us;
+        if !window_ok {
+            return Err(SweepError::InvalidFaultSpec(
+                "link outage window must be finite, non-negative, and non-empty",
+            ));
+        }
+    }
+    if spec.ni_buffer_capacity == Some(0) {
+        return Err(SweepError::InvalidFaultSpec(
+            "ni_buffer_capacity must be at least 1 packet",
+        ));
+    }
     Ok(())
 }
 
@@ -332,6 +352,20 @@ mod tests {
             },
             FaultPlanSpec {
                 ack_timeout_us: 0.0,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                crash_at_us: -1.0,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                link_outages: 1,
+                outage_from_us: 30.0,
+                outage_until_us: 10.0,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                ni_buffer_capacity: Some(0),
                 ..FaultPlanSpec::default()
             },
         ] {

@@ -11,7 +11,7 @@
 //! optimcast bench-sweep [--threads N] [--smoke] [--out PATH]
 //! optimcast bench-sim [--quick] [--out PATH]
 //! optimcast chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]
-//!                    [--out PATH]
+//!                    [--live-repair] [--crash-at US] [--out PATH]
 //! ```
 
 use optimcast::core::schedule::ForwardingDiscipline;
@@ -70,7 +70,8 @@ fn usage() {
          \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]\n\
          \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]\n\
          \u{20}  bench-sim [--quick] [--out PATH]\n\
-         \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M] [--out PATH]"
+         \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]\n\
+         \u{20}           [--live-repair] [--crash-at US] [--out PATH]"
     );
 }
 
@@ -395,6 +396,19 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
                         r.t_us
                     );
                 }
+                TraceKind::RepairTriggered {
+                    epoch,
+                    failed,
+                    reattached,
+                } => {
+                    println!(
+                        "  {:9.2} us  repair epoch {epoch}  ({failed} failed, {reattached} reattached)",
+                        r.t_us
+                    );
+                }
+                TraceKind::Reissued { to, packet } => {
+                    println!("  {:9.2} us  reissue -> {to}  pkt {packet}", r.t_us);
+                }
             }
         }
     }
@@ -516,8 +530,15 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
     let seed: u64 = get(flags, "seed", 1997);
     let dests: u32 = get(flags, "dests", 31);
     let m: u32 = get(flags, "m", 4);
+    let live_repair = flags.contains_key("live-repair");
+    // With live repair the drawn hosts crash mid-run (default 5 µs: before
+    // the first send completes, so every crash exercises the repair path);
+    // without it they are repaired around before the run, at time zero.
+    let crash_at_us: f64 = get(flags, "crash-at", if live_repair { 5.0 } else { 0.0 });
     let spec = FaultPlanSpec {
         seed,
+        live_repair,
+        crash_at_us,
         ..FaultPlanSpec::default()
     };
     let (base, drops, crashes, label) = if quick {
@@ -553,10 +574,11 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
         std::process::exit(1);
     });
     println!(
-        "chaos grid: {dests} dests, {m} packets, fault seed {seed}, {} samples/cell",
-        sweep.config().samples()
+        "chaos grid: {dests} dests, {m} packets, fault seed {seed}, {} samples/cell{}",
+        sweep.config().samples(),
+        if live_repair { ", live repair on" } else { "" }
     );
-    println!(
+    print!(
         "{:>6} {:>7} {:>9} {:>6} {:>9} {:>12} {:>11} {:>10}",
         "drop",
         "crashes",
@@ -567,10 +589,14 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
         "retransmits",
         "reattached"
     );
+    if live_repair {
+        print!(" {:>7} {:>8} {:>11}", "repairs", "reissued", "written-off");
+    }
+    println!();
     for d in 0..report.drop_rates.len() {
         for c in 0..report.crash_counts.len() {
             let cell = report.cell(d, c);
-            println!(
+            print!(
                 "{:>6.2} {:>7} {:>9} {:>6} {:>9} {:>12.2} {:>11} {:>10}",
                 cell.drop_rate,
                 cell.crashes,
@@ -581,6 +607,13 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
                 cell.retransmits,
                 cell.reattached
             );
+            if live_repair {
+                print!(
+                    " {:>7} {:>8} {:>11}",
+                    cell.repairs, cell.reissued_packets, cell.unreachable_crashed
+                );
+            }
+            println!();
         }
     }
     if report.all_reached() {
@@ -607,7 +640,11 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
         cache.route_hits,
         cache.route_hits + cache.route_misses
     );
-    let default_out = "results/chaos.json".to_string();
+    let default_out = if live_repair {
+        "results/chaos_repair.json".to_string()
+    } else {
+        "results/chaos.json".to_string()
+    };
     let out_path = flags.get("out").unwrap_or(&default_out);
     if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
         eprintln!("chaos: cannot write {out_path}: {e}");

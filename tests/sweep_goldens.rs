@@ -125,3 +125,37 @@ fn chaos_report_matches_committed_golden() {
         "chaos drifted from results/chaos.json"
     );
 }
+
+/// The committed live-repair chaos report (`results/chaos_repair.json`)
+/// regenerates byte-identically. This is the grid the CI `repair-smoke`
+/// job produces with `optimcast chaos --quick --live-repair`: the quick
+/// methodology, crashes landing mid-run at 5 µs, and the simulator
+/// repairing the surviving membership live.
+#[test]
+fn chaos_repair_report_matches_committed_golden() {
+    let spec = FaultPlanSpec {
+        seed: 1997,
+        live_repair: true,
+        crash_at_us: 5.0,
+        ..FaultPlanSpec::default()
+    };
+    let sweep = SweepBuilder::quick()
+        .parallelism(4)
+        .fault(spec)
+        .build()
+        .unwrap();
+    let report = sweep
+        .chaos(&[0.0, 0.05, 0.1], &[0, 1, 2], 31, 4)
+        .expect("the committed repair grid is valid");
+    assert!(
+        report.all_reached(),
+        "a committed live-repair cell lost surviving destinations"
+    );
+    let path = format!("{}/results/chaos_repair.json", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        report.to_json().to_string_pretty(),
+        committed,
+        "live-repair chaos drifted from results/chaos_repair.json"
+    );
+}
