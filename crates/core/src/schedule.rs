@@ -126,11 +126,27 @@ impl Schedule {
 
     /// Sends performed by `rank`, in step order.
     pub fn sends_from(&self, rank: Rank) -> Vec<SendEvent> {
-        self.events
-            .iter()
-            .copied()
-            .filter(|e| e.from == rank)
-            .collect()
+        self.sends_from_iter(rank).collect()
+    }
+
+    /// Sends performed by `rank`, in step order, without allocating — the
+    /// schedule iteration a real transport drives directly: each yielded
+    /// event is one packet to put on the wire, in exactly the order the
+    /// step model prescribes, decoupled from any notion of simulated time.
+    pub fn sends_from_iter(&self, rank: Rank) -> impl Iterator<Item = SendEvent> + '_ {
+        self.events.iter().copied().filter(move |e| e.from == rank)
+    }
+
+    /// The packet indices in the order `rank` receives them under this
+    /// schedule (ties in receive step broken by packet index, matching the
+    /// senders' emission order). This is the *predicted delivery order* a
+    /// real transport is measured against in the sim-vs-wire parity test:
+    /// on a clean link, packets must complete reassembly at `rank` in
+    /// exactly this sequence.
+    pub fn arrival_order(&self, rank: Rank) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.packets).collect();
+        order.sort_by_key(|&p| self.receive_step(rank, p));
+        order
     }
 
     /// For each step `1..=total_steps()`, the number of packets buffered at
@@ -502,6 +518,48 @@ mod tests {
         let t = binomial_tree(16);
         let s = fpfs_schedule(&t, 3);
         assert_eq!(s.sends_from(Rank::SOURCE).len(), 4 * 3);
+    }
+
+    /// The allocation-free iterator yields exactly the `sends_from` events,
+    /// in the same (step) order.
+    #[test]
+    fn sends_from_iter_matches_vec() {
+        for disc in [ForwardingDiscipline::Fpfs, ForwardingDiscipline::Fcfs] {
+            let t = kbinomial_tree(23, 3);
+            let s = build_schedule(&t, 4, disc);
+            for r in 0..t.len() as u32 {
+                let rank = Rank(r);
+                let collected: Vec<SendEvent> = s.sends_from_iter(rank).collect();
+                assert_eq!(collected, s.sends_from(rank));
+                assert!(collected.windows(2).all(|w| w[0].step <= w[1].step));
+            }
+        }
+    }
+
+    /// FPFS delivers packets in index order everywhere; FCFS does too (the
+    /// whole message goes child by child, packets in order within a child) —
+    /// and the order is always a permutation of `0..m` consistent with the
+    /// receive table.
+    #[test]
+    fn arrival_order_is_receive_step_sorted() {
+        for disc in [ForwardingDiscipline::Fpfs, ForwardingDiscipline::Fcfs] {
+            let t = kbinomial_tree(16, 2);
+            let m = 5;
+            let s = build_schedule(&t, m, disc);
+            for r in 0..t.len() as u32 {
+                let rank = Rank(r);
+                let order = s.arrival_order(rank);
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..m).collect::<Vec<_>>(), "permutation of 0..m");
+                assert!(order
+                    .windows(2)
+                    .all(|w| s.receive_step(rank, w[0]) <= s.receive_step(rank, w[1])));
+                // On the paper's disciplines a node never receives packet
+                // p+1 before packet p from the same parent pipeline.
+                assert_eq!(order, (0..m).collect::<Vec<_>>(), "{disc:?} rank {r}");
+            }
+        }
     }
 
     #[test]

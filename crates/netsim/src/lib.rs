@@ -42,6 +42,7 @@ pub mod routes;
 pub mod sim;
 mod simulation;
 pub mod time;
+pub mod transport;
 pub mod workload;
 
 pub use alloc::CountingAlloc;
@@ -54,6 +55,9 @@ pub use sim::{
     ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig,
 };
 pub use time::SimTime;
+pub use transport::{
+    Delivery, LinkContext, PacketView, SimTransport, Transport, TransportError, TransportResult,
+};
 pub use workload::{
     run_workload, run_workload_faulted_observed, run_workload_observed, run_workload_prerouted,
     run_workload_with_faults, JobPayload, MulticastJob, PersonalizedOrder, TraceKind, TraceRecord,

@@ -18,7 +18,6 @@
 //! time resolve by insertion order, so the golden-equivalence tests pin the
 //! exact sequence this module produces.
 
-use crate::channel::ChannelManager;
 use crate::discipline::{conventional::Conventional, fcfs::Fcfs, fpfs::Fpfs, scatter::Scatter};
 use crate::discipline::{record_receive, ForwardingDiscipline};
 use crate::engine::EventQueue;
@@ -30,6 +29,7 @@ use crate::observe::{Observer, ObserverHub};
 use crate::routes::JobRoutes;
 use crate::sim::{MulticastOutcome, NiTiming, NicKind};
 use crate::time::SimTime;
+use crate::transport::{LinkContext, PacketView, SimTransport, Transport, TransportResult};
 use crate::workload::{JobPayload, MulticastJob, WorkloadConfig, WorkloadOutcome};
 use optimcast_core::params::SystemParams;
 use optimcast_core::tree::{MulticastTree, Rank};
@@ -70,7 +70,10 @@ pub(crate) struct SimState<'a> {
     pub routes: Vec<Arc<JobRoutes>>,
     pub hosts: HostModel,
     pub parts: Vec<Vec<PartState>>,
-    pub channels: ChannelManager,
+    /// The packet-motion backend. Every send decision — channel stall,
+    /// arrival instant, loss verdict — flows through this trait object; the
+    /// default is [`SimTransport`] over the wormhole channel manager.
+    pub transport: Box<dyn Transport + 'a>,
     pub queue: EventQueue<Ev>,
     pub obs: ObserverHub<'a>,
     /// Active fault plan, if any. `None` (including trivial plans, filtered
@@ -285,7 +288,12 @@ impl<'a, N: Network> Simulation<'a, N> {
                 routes,
                 hosts: HostModel::new(net.num_hosts() as usize),
                 parts,
-                channels: ChannelManager::new(config.contention, net.num_channels() as usize),
+                transport: Box::new(SimTransport::new(
+                    config.contention,
+                    net.num_channels() as usize,
+                    params,
+                    fault,
+                )),
                 queue: EventQueue::new(),
                 obs: ObserverHub::new(jobs.len(), config.trace, user_observer),
                 fault,
@@ -523,80 +531,72 @@ impl<'a, N: Network> Simulation<'a, N> {
             },
             Some(item.from)
         );
-        let hold = st.params.t_send + st.params.t_prop;
-        let t0 = st.channels.reserve(route, now, hold);
+        let dest_host = st.jobs[j].binding[item.child.index()];
+        let view = PacketView {
+            stream: item.job,
+            epoch: self.epoch,
+            packet: item.packet,
+            attempt: item.attempt,
+            payload: &[],
+        };
+        let ctx = LinkContext {
+            now_us: now.as_us(),
+            route,
+            from_rank: item.from.0,
+            to_rank: item.child.0,
+        };
+        let outcome = st
+            .transport
+            .send(h, dest_host, view, ctx)
+            .expect("the simulator transport is infallible");
+        let start_us = match outcome {
+            TransportResult::Delivered { start_us, .. }
+            | TransportResult::Lost { start_us, .. } => start_us,
+        };
         st.obs.send_start(
-            t0.as_us(),
+            start_us,
             item.job,
             item.from,
             item.child,
             item.packet,
-            t0 - now,
+            start_us - now.as_us(),
         );
-        let arrival = t0 + st.params.t_send + st.params.t_prop;
-        let verdict = match st.fault {
-            Some(f) => f.tx_outcome(
-                item.job,
-                self.epoch,
-                item.from.0,
-                item.child.0,
-                item.packet,
-                item.attempt,
-                route,
-                t0.as_us(),
-                arrival.as_us(),
-                st.jobs[j].binding[item.child.index()],
-            ),
-            None => None,
-        };
-        match verdict {
-            None => st.queue.schedule(
-                arrival,
-                Ev::Arrive {
-                    item,
-                    corrupt: false,
-                },
-            ),
-            Some(FaultKind::Corrupt) => {
-                // Damaged in flight: still occupies the wire and receive
+        match outcome {
+            TransportResult::Delivered {
+                arrival_us,
+                corrupt,
+                ..
+            } => {
+                // A corrupt arrival still occupies the wire and receive
                 // unit; the receiver NACKs it at RecvDone.
-                st.queue.schedule(
-                    arrival,
-                    Ev::Arrive {
-                        item,
-                        corrupt: true,
-                    },
-                )
+                st.queue
+                    .schedule(SimTime::us(arrival_us), Ev::Arrive { item, corrupt })
             }
-            Some(kind) => {
+            TransportResult::Lost {
+                kind, retry_at_us, ..
+            } => {
                 // Lost in the network: no arrival. The sender's unit stays
                 // held until its acknowledgement timeout fires (handshake
                 // timing is guaranteed here — construction rejects
                 // overlapped timing with faults).
-                let f = st.fault.expect("fault verdict without a plan");
-                st.obs.packet_dropped(
-                    t0.as_us(),
-                    item.job,
-                    item.from,
-                    item.child,
-                    item.packet,
-                    kind,
-                );
+                st.obs
+                    .packet_dropped(start_us, item.job, item.from, item.child, item.packet, kind);
                 if matches!(kind, FaultKind::LinkDown | FaultKind::ReceiverDead) {
                     let affected = if kind == FaultKind::ReceiverDead {
-                        st.jobs[j].binding[item.child.index()]
+                        dest_host
                     } else {
                         h
                     };
-                    st.obs.fault_triggered(t0.as_us(), kind, affected);
+                    st.obs.fault_triggered(start_us, kind, affected);
                 }
                 let seq = st.hosts.in_flight_seq(h).expect("just dispatched");
                 st.queue
-                    .schedule(t0 + f.rto(item.attempt), Ev::AckTimeout { host: h, seq });
+                    .schedule(SimTime::us(retry_at_us), Ev::AckTimeout { host: h, seq });
             }
         }
         if st.config.timing == NiTiming::Overlapped {
-            st.queue.schedule(t0 + st.params.t_send, Ev::SendRelease(h));
+            st.queue
+                .schedule(SimTime::us(start_us) + st.params.t_send, Ev::SendRelease(h));
         }
     }
 

@@ -302,6 +302,28 @@ impl Sweep {
         dests: u32,
         m: u32,
     ) -> Result<ChaosReport, SweepError> {
+        self.chaos_with_spec(self.config().fault(), drop_rates, crash_counts, dests, m)
+    }
+
+    /// [`Self::chaos`] with an explicit base fault spec overriding the
+    /// builder's [`crate::SweepConfig::fault`]. The chaos-axis figures use
+    /// this to sweep spec fields (outage windows, corruption rates, buffer
+    /// capacities) point by point while reusing one engine's memoized
+    /// topologies, trees, and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::chaos`], plus
+    /// [`SweepError::InvalidFaultSpec`] for a malformed override spec.
+    pub fn chaos_with_spec(
+        &self,
+        fault: FaultPlanSpec,
+        drop_rates: &[f64],
+        crash_counts: &[u32],
+        dests: u32,
+        m: u32,
+    ) -> Result<ChaosReport, SweepError> {
+        crate::config::validate_fault_spec(&fault)?;
         let cfg = *self.config();
         if m == 0 {
             return Err(SweepError::ZeroPackets);
@@ -327,7 +349,7 @@ impl Sweep {
             let spec = FaultPlanSpec {
                 drop_rate: drop_rates[cell / crash_counts.len()],
                 crashes: crash_counts[cell % crash_counts.len()],
-                ..cfg.fault()
+                ..fault
             };
             self.chaos_topology(spec, dests, m, (i % topologies) as u32)
         });
@@ -385,7 +407,7 @@ impl Sweep {
             topologies: cfg.topologies(),
             dest_sets: cfg.dest_sets(),
             base_seed: cfg.base_seed(),
-            fault: cfg.fault(),
+            fault,
             drop_rates: drop_rates.to_vec(),
             crash_counts: crash_counts.to_vec(),
             cells,

@@ -32,6 +32,7 @@
 mod bench;
 mod bench_sim;
 mod chaos;
+mod chaos_figures;
 mod config;
 mod engine;
 mod error;
@@ -44,6 +45,7 @@ mod sampling;
 pub use bench::{bench_sweep, BenchReport};
 pub use bench_sim::{bench_sim, SimBenchReport};
 pub use chaos::{ChaosCell, ChaosReport};
+pub use chaos_figures::ChaosFigureId;
 pub use config::{SweepBuilder, SweepConfig};
 pub use engine::{LatencyStats, PointSpec, SimEffort, Sweep};
 pub use error::SweepError;

@@ -1,0 +1,134 @@
+//! Property tests for the wire codec: encode/decode round-trips, typed
+//! rejection of truncated and corrupted buffers, and fragment reassembly
+//! under adversarial (shuffled) arrival orders.
+
+use optimcast_netsim::bytes::Bytes;
+use optimcast_transport_udp::frame::{
+    fragment_packet, FrameError, PacketAssembler, WireFrame, HEADER_LEN,
+};
+
+/// Deterministic payload from a drawn seed — the vendored proptest only
+/// draws scalars, so byte vectors are derived.
+fn payload_from(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64)
+                >> 33) as u8
+        })
+        .collect()
+}
+
+proptest::proptest! {
+    /// decode(encode(x)) == x for arbitrary header fields and payloads,
+    /// and re-encoding the decoded frame reproduces the exact bytes.
+    #[test]
+    fn roundtrip_is_identity(
+        stream in 0u32..u32::MAX,
+        epoch in 0u32..16,
+        packet in 0u32..u32::MAX,
+        attempt in 0u32..64,
+        from_rank in 0u32..4096,
+        frag_total in 1u16..64,
+        frag_off in 0u16..64,
+        payload_len in 0usize..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        let frag = frag_off % frag_total;
+        let f = WireFrame {
+            stream,
+            epoch,
+            packet,
+            attempt,
+            from_rank,
+            frag,
+            frag_total,
+            payload: Bytes::from(payload_from(seed, payload_len)),
+        };
+        let buf = f.encode().unwrap();
+        proptest::prop_assert_eq!(buf.len(), HEADER_LEN + payload_len);
+        let back = WireFrame::decode(&buf).unwrap();
+        proptest::prop_assert_eq!(&back, &f);
+        proptest::prop_assert_eq!(back.encode().unwrap(), buf);
+    }
+
+    /// Every strict prefix of a valid frame decodes to a typed error,
+    /// never to a frame and never to a panic.
+    #[test]
+    fn truncation_yields_typed_errors(
+        payload_len in 0usize..300,
+        cut_num in 0u32..10_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let f = WireFrame {
+            stream: 7,
+            epoch: 0,
+            packet: 3,
+            attempt: 0,
+            from_rank: 1,
+            frag: 0,
+            frag_total: 1,
+            payload: Bytes::from(payload_from(seed, payload_len)),
+        };
+        let buf = f.encode().unwrap();
+        let cut = (cut_num as usize) % buf.len(); // strict prefix
+        let err = WireFrame::decode(&buf[..cut]).unwrap_err();
+        if cut < HEADER_LEN {
+            proptest::prop_assert_eq!(err, FrameError::TooShort { need: HEADER_LEN, got: cut });
+        } else {
+            proptest::prop_assert_eq!(
+                err,
+                FrameError::LengthMismatch { declared: payload_len, got: cut - HEADER_LEN }
+            );
+        }
+    }
+
+    /// Arbitrary garbage never decodes successfully unless it happens to
+    /// be a well-formed frame — and then re-encoding reproduces it, so
+    /// decode is total and lossless either way.
+    #[test]
+    fn garbage_decode_is_total(
+        len in 0usize..200,
+        seed in 0u64..u64::MAX,
+    ) {
+        let buf = payload_from(seed, len);
+        // A typed rejection is the expected outcome for most draws.
+        if let Ok(f) = WireFrame::decode(&buf) {
+            proptest::prop_assert_eq!(f.encode().unwrap(), buf);
+        }
+    }
+
+    /// Fragmentation + reassembly under a drawn arrival permutation is the
+    /// identity on the payload, for any MTU that admits a payload byte.
+    #[test]
+    fn reassembly_survives_shuffled_arrival(
+        payload_len in 1usize..3000,
+        room in 1usize..200,
+        rot in 0usize..64,
+        swap_a in 0usize..64,
+        swap_b in 0usize..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let payload = payload_from(seed, payload_len);
+        let mtu = HEADER_LEN + room;
+        let mut frames =
+            fragment_packet(1, 0, 5, 0, 2, Bytes::from(payload.clone()), mtu).unwrap();
+        proptest::prop_assert_eq!(frames.len(), payload_len.div_ceil(room));
+        // Shuffle deterministically: rotate, then swap two positions.
+        let n = frames.len();
+        frames.rotate_left(rot % n);
+        frames.swap(swap_a % n, swap_b % n);
+        let mut asm = PacketAssembler::new(frames[0].frag_total);
+        let mut out = None;
+        for f in frames {
+            // Wire-shaped path: every fragment travels encoded.
+            let f = WireFrame::decode(&f.encode().unwrap()).unwrap();
+            if let Some(msg) = asm.accept(f).unwrap() {
+                out = Some(msg);
+            }
+        }
+        let msg = out.expect("all fragments accepted");
+        proptest::prop_assert_eq!(&*msg, &payload[..]);
+    }
+}

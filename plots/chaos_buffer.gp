@@ -1,0 +1,10 @@
+set title "Mean delivered latency vs NI buffer capacity"
+set xlabel "NI buffer capacity (packets)"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "chaos_buffer.png"
+set datafile missing "?"
+plot "chaos_buffer.dat" using 1:2 with linespoints title "4 packets", \
+     "chaos_buffer.dat" using 1:3 with linespoints title "8 packets"

@@ -1,0 +1,10 @@
+set title "Mean delivered latency vs corruption rate"
+set xlabel "corruption rate"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "chaos_corrupt.png"
+set datafile missing "?"
+plot "chaos_corrupt.dat" using 1:2 with linespoints title "0.00 drop rate", \
+     "chaos_corrupt.dat" using 1:3 with linespoints title "0.05 drop rate"

@@ -1,0 +1,11 @@
+set title "Mean delivered latency vs link-outage window"
+set xlabel "outage window (us)"
+set ylabel "latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "chaos_outage.png"
+set datafile missing "?"
+plot "chaos_outage.dat" using 1:2 with linespoints title "1 links down", \
+     "chaos_outage.dat" using 1:3 with linespoints title "2 links down", \
+     "chaos_outage.dat" using 1:4 with linespoints title "4 links down"

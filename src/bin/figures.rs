@@ -4,7 +4,8 @@
 //! ```text
 //! figures [--quick] [--threads N] [--json DIR] [--gnuplot DIR] [FIG ...]
 //!   FIG ∈ {fig4, fig5, fig8, buffers, fig12a, fig12b,
-//!          fig13a, fig13b, fig14a, fig14b, disciplines, all}   (default: all)
+//!          fig13a, fig13b, fig14a, fig14b, disciplines,
+//!          chaos_outage, chaos_corrupt, chaos_buffer, all}     (default: all)
 //!   --quick     2 topologies × 3 destination sets instead of the paper's 10 × 30
 //!   --threads N run simulated figures on N workers (bit-identical for any N)
 //!   --json D    also write <D>/<fig>.json
@@ -22,6 +23,8 @@ fn main() {
     let mut json_dir: Option<String> = None;
     let mut gnuplot_dir: Option<String> = None;
     let mut figs: Vec<FigureId> = Vec::new();
+    let mut chaos_figs: Vec<ChaosFigureId> = Vec::new();
+    let mut explicit = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,19 +55,30 @@ fn main() {
                 eprintln!(
                     "usage: figures [--quick] [--threads N] [--json DIR] [--gnuplot DIR] [FIG ...]\n\
                      FIG: fig4 fig5 fig8 buffers fig12a fig12b fig13a fig13b fig14a fig14b \
-                     disciplines all"
+                     disciplines chaos_outage chaos_corrupt chaos_buffer all"
                 );
                 return;
             }
-            "all" => figs.extend(FigureId::ALL),
-            other => match other.parse::<FigureId>() {
-                Ok(id) => figs.push(id),
-                Err(e) => eprintln!("{e}, skipping"),
-            },
+            "all" => {
+                explicit = true;
+                figs.extend(FigureId::ALL);
+                chaos_figs.extend(ChaosFigureId::ALL);
+            }
+            other => {
+                explicit = true;
+                match other.parse::<FigureId>() {
+                    Ok(id) => figs.push(id),
+                    Err(_) => match other.parse::<ChaosFigureId>() {
+                        Ok(id) => chaos_figs.push(id),
+                        Err(e) => eprintln!("{e}, skipping"),
+                    },
+                }
+            }
         }
     }
-    if figs.is_empty() {
+    if !explicit {
         figs = FigureId::ALL.to_vec();
+        chaos_figs = ChaosFigureId::ALL.to_vec();
     }
 
     let builder = if quick {
@@ -88,6 +102,28 @@ fn main() {
     for fig in figs {
         let start = Instant::now();
         let figure = match sweep.figure(fig) {
+            Ok(figure) => figure,
+            Err(e) => {
+                eprintln!("{fig}: {e}, skipping");
+                continue;
+            }
+        };
+        print_figure(&figure, start.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            write_json(dir, &figure);
+        }
+        if let Some(dir) = &gnuplot_dir {
+            write_gnuplot(dir, &figure);
+        }
+    }
+
+    // The chaos-axis figures (outage window, corruption rate, NI buffer
+    // capacity) chart the fault extension on top of the paper's sampling
+    // methodology: 31 destinations, 4-packet messages, matching the
+    // `optimcast chaos` grid defaults.
+    for fig in chaos_figs {
+        let start = Instant::now();
+        let figure = match sweep.chaos_figure(fig, 31, 4) {
             Ok(figure) => figure,
             Err(e) => {
                 eprintln!("{fig}: {e}, skipping");
@@ -192,7 +228,13 @@ fn print_figure(fig: &Figure, elapsed: f64) {
     }
     println!();
     for &x in &xs {
-        print!("{x:>24.0}");
+        // Fractional axes (e.g. corruption rate) keep two decimals;
+        // integral axes (packets, dests) stay as before.
+        if x.fract() == 0.0 {
+            print!("{x:>24.0}");
+        } else {
+            print!("{x:>24.2}");
+        }
         for s in &fig.series {
             match s.points.iter().find(|&&(px, _)| px == x) {
                 Some(&(_, y)) => print!("{y:>16.2}"),

@@ -8,20 +8,29 @@
 //! optimcast table    --max-n N --max-m M    # the §4.3.1 lookup table
 //! optimcast simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]
 //!                    [--ordering cco|poc|random] [--ideal] [--trace] [--json]
+//!                    [--drop-rate R] [--corrupt-rate R] [--crashes C]
+//!                    [--crash-at US] [--live-repair] [--fault-seed N]
 //! optimcast bench-sweep [--threads N] [--smoke] [--out PATH]
 //! optimcast bench-sim [--quick] [--out PATH]
 //! optimcast chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]
 //!                    [--live-repair] [--crash-at US] [--out PATH]
+//! optimcast wire     [--role demo|source|sink] --n N [--k K] [--m M]
+//!                    [--rank R] [--port-base P] [--payload B] [--mtu M]
+//!                    [--timeout-ms T]
 //! ```
 
 use optimcast::core::schedule::ForwardingDiscipline;
 use optimcast::jsonout::Json;
 use optimcast::netsim::{
-    run_workload, JobPayload, MulticastJob, TraceKind, WorkloadConfig, WorkloadOutcome,
+    run_workload, run_workload_with_faults, JobPayload, MulticastJob, TraceKind, Transport,
+    WorkloadConfig, WorkloadOutcome,
 };
 use optimcast::prelude::*;
 use optimcast::sweep::{bench_sim, bench_sweep};
 use optimcast::topology::ordering::{cco, poc};
+use optimcast::transport_udp::{
+    loopback_demo, run_sink, run_source, UdpTransport, WirePlan, DEFAULT_MTU, HEADER_LEN,
+};
 use std::collections::HashMap;
 
 /// Every allocation in the CLI is counted so `bench-sim` can report
@@ -48,6 +57,7 @@ fn main() {
         "bench-sweep" => cmd_bench_sweep(&flags),
         "bench-sim" => cmd_bench_sim(&flags),
         "chaos" => cmd_chaos(&flags),
+        "wire" => cmd_wire(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -68,10 +78,14 @@ fn usage() {
          \u{20}  table    [--max-n N] [--max-m M]\n\
          \u{20}  simulate [--seed N] [--dests D] [--m M] [--nic conv|fcfs|fpfs]\n\
          \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]\n\
+         \u{20}           [--drop-rate R] [--corrupt-rate R] [--crashes C]\n\
+         \u{20}           [--crash-at US] [--live-repair] [--fault-seed N]\n\
          \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]\n\
          \u{20}  bench-sim [--quick] [--out PATH]\n\
          \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]\n\
-         \u{20}           [--live-repair] [--crash-at US] [--out PATH]"
+         \u{20}           [--live-repair] [--crash-at US] [--out PATH]\n\
+         \u{20}  wire     [--role demo|source|sink] --n N [--k K] [--m M] [--rank R]\n\
+         \u{20}           [--port-base P] [--payload B] [--mtu M] [--timeout-ms T]"
     );
 }
 
@@ -276,23 +290,54 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
     let n = chain.len() as u32;
     let opt = optimal_k(u64::from(n), m);
     let tree = kbinomial_tree(n, opt.k);
-    let wl = run_workload(
-        &net,
-        &[MulticastJob {
-            tree: tree.into(),
-            binding: chain.clone(),
-            packets: m,
-            start_us: 0.0,
-            nic,
-            payload: JobPayload::Replicated,
-        }],
-        &params,
-        WorkloadConfig {
-            contention,
-            timing: NiTiming::Handshake,
-            trace: flags.contains_key("trace"),
-        },
-    )
+    let live_repair = flags.contains_key("live-repair");
+    let crash_count: u32 = get(flags, "crashes", 0);
+    let spec = FaultPlanSpec {
+        seed: get(flags, "fault-seed", 1997u64),
+        drop_rate: get(flags, "drop-rate", 0.0),
+        corrupt_rate: get(flags, "corrupt-rate", 0.0),
+        crashes: crash_count,
+        crash_at_us: get(flags, "crash-at", if live_repair { 5.0 } else { 0.0 }),
+        live_repair,
+        ..FaultPlanSpec::default()
+    };
+    if crash_count as usize >= chain.len() {
+        eprintln!(
+            "simulate: --crashes {crash_count} must leave at least the source and one \
+             destination out of {} participants",
+            chain.len()
+        );
+        std::process::exit(1);
+    }
+    let jobs = [MulticastJob {
+        tree: tree.into(),
+        binding: chain.clone(),
+        packets: m,
+        start_us: 0.0,
+        nic,
+        payload: JobPayload::Replicated,
+    }];
+    let config = WorkloadConfig {
+        contention,
+        timing: NiTiming::Handshake,
+        trace: flags.contains_key("trace"),
+    };
+    let wl = if !spec.is_trivial() {
+        // The crashed hosts are the deepest in the ordering: the last
+        // `--crashes` destinations of the arranged chain.
+        let crashes: Vec<HostCrash> = chain
+            .iter()
+            .rev()
+            .take(crash_count as usize)
+            .map(|&host| HostCrash {
+                host,
+                at_us: spec.crash_at_us,
+            })
+            .collect();
+        run_workload_with_faults(&net, &jobs, &params, config, &spec.plan(0, crashes))
+    } else {
+        run_workload(&net, &jobs, &params, config)
+    }
     .unwrap_or_else(|e| {
         eprintln!("simulate: {e}");
         std::process::exit(1);
@@ -327,6 +372,31 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
         c.max_send_queue,
         c.events
     );
+    if c.packets_dropped + c.packets_corrupted + c.retransmits + c.repairs > 0 {
+        println!(
+            "faults: {} dropped, {} corrupted, {} retransmits, {} abandoned ({:.1} us recovering) \
+             | {} repair epoch(s), {} reissued ({:.1} us repairing)",
+            c.packets_dropped,
+            c.packets_corrupted,
+            c.retransmits,
+            c.deliveries_abandoned,
+            c.recovery_wait_us,
+            c.repairs,
+            c.reissued_packets,
+            c.repair_wait_us
+        );
+    }
+    if !wl.unreached.is_empty() {
+        let ranks: Vec<String> = wl
+            .unreached
+            .iter()
+            .map(|(job, rank)| format!("job {job} rank {}", rank.0))
+            .collect();
+        println!(
+            "unreached (written off by live repair): {}",
+            ranks.join(", ")
+        );
+    }
     let histo: Vec<String> = c
         .buffer_occupancy
         .iter()
@@ -653,6 +723,116 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
     println!("report written to {out_path}");
 }
 
+/// The `wire` subcommand: the same k-binomial tree and FPFS schedule the
+/// simulator executes, driven over real `std::net::UdpSocket` datagrams.
+///
+/// * `--role demo` (default): single-process loopback demo — one socket per
+///   rank, sinks on threads, the source on the caller's thread. Prints one
+///   JSON line per sink and exits non-zero unless every sink reached parity
+///   with [`optimcast::core::schedule::Schedule::arrival_order`].
+/// * `--role source` / `--role sink --rank R`: multi-process mode. Every
+///   process binds `127.0.0.1:(port-base + rank)` and reconstructs the same
+///   deterministic plan from `(n, k, m)`, so no coordination channel is
+///   needed; start the sinks first, then the source.
+fn cmd_wire(flags: &HashMap<String, String>) {
+    let n: u32 = get(flags, "n", 8);
+    let m: u32 = get(flags, "m", 4);
+    if n < 2 {
+        eprintln!("wire: --n must be at least 2 (source plus one destination)");
+        std::process::exit(2);
+    }
+    if m == 0 {
+        eprintln!("wire: --m must be at least 1 packet");
+        std::process::exit(2);
+    }
+    let k: u32 = match flags.get("k") {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("--k: {e}");
+            std::process::exit(2);
+        }),
+        None => optimal_k(u64::from(n), m).k,
+    };
+    let payload: usize = get(flags, "payload", 4096);
+    let mtu: usize = get(flags, "mtu", DEFAULT_MTU);
+    if mtu <= HEADER_LEN {
+        eprintln!("wire: --mtu must exceed the {HEADER_LEN}-byte frame header");
+        std::process::exit(2);
+    }
+    let timeout = std::time::Duration::from_millis(get(flags, "timeout-ms", 10_000u64));
+    let role = flags.get("role").map(String::as_str).unwrap_or("demo");
+    match role {
+        "demo" => {
+            let reports = loopback_demo(n, k, m, payload, mtu, timeout).unwrap_or_else(|e| {
+                eprintln!("wire: {e}");
+                std::process::exit(1);
+            });
+            let mut ok = true;
+            for r in &reports {
+                println!("{}", r.to_json_line());
+                ok &= r.parity();
+            }
+            if ok {
+                eprintln!(
+                    "wire demo: {} sink(s) all at parity with the predicted delivery order \
+                     (n={n}, k={k}, m={m})",
+                    reports.len()
+                );
+            } else {
+                eprintln!("wire demo: PARITY VIOLATION — wire order diverged from the schedule");
+                std::process::exit(1);
+            }
+        }
+        "source" | "sink" => {
+            let port_base: u32 = get(flags, "port-base", 47_000u32);
+            let rank: u32 = if role == "source" {
+                0
+            } else {
+                get(flags, "rank", 0)
+            };
+            if role == "sink" && (rank == 0 || rank >= n) {
+                eprintln!("wire: --role sink needs --rank R with 1 <= R < n");
+                std::process::exit(2);
+            }
+            if port_base + n > u32::from(u16::MAX) {
+                eprintln!("wire: --port-base {port_base} leaves no room for {n} ranks");
+                std::process::exit(2);
+            }
+            let plan = WirePlan::new(n, k, m, payload, mtu);
+            let fail = |e: optimcast::netsim::TransportError| -> ! {
+                eprintln!("wire: {e}");
+                std::process::exit(1);
+            };
+            let mut t = UdpTransport::bind(("127.0.0.1", (port_base + rank) as u16))
+                .unwrap_or_else(|e| fail(e));
+            t.set_peers(
+                (0..n)
+                    .map(|r| std::net::SocketAddr::from(([127, 0, 0, 1], (port_base + r) as u16)))
+                    .collect(),
+            );
+            t.set_mtu(mtu);
+            if role == "source" {
+                let sent = run_source(&plan, &mut t).unwrap_or_else(|e| fail(e));
+                t.close().unwrap_or_else(|e| fail(e));
+                println!(
+                    "wire source: {sent} send(s) across {} schedule steps (n={n}, k={k}, m={m})",
+                    plan.schedule.total_steps()
+                );
+            } else {
+                let report =
+                    run_sink(&plan, Rank(rank), &mut t, timeout).unwrap_or_else(|e| fail(e));
+                println!("{}", report.to_json_line());
+                if !report.parity() {
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("wire: unknown role '{other}' (demo, source, or sink)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The `simulate --json` document: headline metrics plus the structured
 /// counters, machine-readable for scripting around the CLI.
 fn simulate_json(wl: &WorkloadOutcome, k: u32, steps: u64) -> Json {
@@ -678,6 +858,15 @@ fn simulate_json(wl: &WorkloadOutcome, k: u32, steps: u64) -> Json {
                     Json::Arr(c.buffer_occupancy.iter().map(|&n| Json::from(n)).collect()),
                 ),
                 ("events", Json::from(c.events)),
+                ("packets_dropped", Json::from(c.packets_dropped)),
+                ("packets_corrupted", Json::from(c.packets_corrupted)),
+                ("retransmits", Json::from(c.retransmits)),
+                ("deliveries_abandoned", Json::from(c.deliveries_abandoned)),
+                ("faults_triggered", Json::from(c.faults_triggered)),
+                ("recovery_wait_us", Json::from(c.recovery_wait_us)),
+                ("repairs", Json::from(c.repairs)),
+                ("reissued_packets", Json::from(c.reissued_packets)),
+                ("repair_wait_us", Json::from(c.repair_wait_us)),
             ]),
         ),
         (
@@ -685,6 +874,20 @@ fn simulate_json(wl: &WorkloadOutcome, k: u32, steps: u64) -> Json {
             Json::from(u64::from(
                 out.max_ni_buffer[1..].iter().max().copied().unwrap_or(0),
             )),
+        ),
+        (
+            "unreached",
+            Json::Arr(
+                wl.unreached
+                    .iter()
+                    .map(|&(job, rank)| {
+                        Json::obj(vec![
+                            ("job", Json::from(u64::from(job))),
+                            ("rank", Json::from(u64::from(rank.0))),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
 }

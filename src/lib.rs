@@ -15,7 +15,11 @@
 //! * `optimcast_topology` (re-exported as [`topology`]) — networks,
 //!   routing, orderings, contention analysis;
 //! * `optimcast_netsim` (re-exported as [`netsim`]) — the discrete-event
-//!   simulator;
+//!   simulator, and the object-safe `Transport` trait every packet-motion
+//!   decision flows through;
+//! * `optimcast_transport_udp` (re-exported as [`transport_udp`]) — the
+//!   real-wire backend: the same trees and FPFS schedules driven over
+//!   `std::net::UdpSocket` datagrams (`optimcast wire`);
 //! * `optimcast_sweep` (re-exported as [`sweep`]) — the deterministic
 //!   parallel sweep engine: the validated [`SweepBuilder`](prelude::SweepBuilder)
 //!   API, memoized topology/tree construction, figure regeneration, and the
@@ -66,6 +70,7 @@ pub use optimcast_core as core;
 pub use optimcast_netsim as netsim;
 pub use optimcast_sweep as sweep;
 pub use optimcast_topology as topology;
+pub use optimcast_transport_udp as transport_udp;
 
 pub mod analysis;
 pub mod comm;
@@ -81,8 +86,8 @@ pub mod prelude {
         RunConfig, SimError,
     };
     pub use optimcast_sweep::{
-        ChaosCell, ChaosReport, Figure, FigureId, Series, Sweep, SweepBuilder, SweepError,
-        TreePolicy,
+        ChaosCell, ChaosFigureId, ChaosReport, Figure, FigureId, Series, Sweep, SweepBuilder,
+        SweepError, TreePolicy,
     };
     pub use optimcast_topology::cube::CubeNetwork;
     pub use optimcast_topology::graph::{ChannelId, HostId, LinkId, SwitchId};

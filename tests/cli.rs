@@ -80,12 +80,69 @@ fn simulate_json_output() {
         "\"max_send_queue\"",
         "\"buffer_occupancy\"",
         "\"events\"",
+        "\"packets_dropped\"",
+        "\"packets_corrupted\"",
+        "\"retransmits\"",
+        "\"deliveries_abandoned\"",
+        "\"faults_triggered\"",
+        "\"recovery_wait_us\"",
+        "\"repairs\"",
+        "\"reissued_packets\"",
+        "\"repair_wait_us\"",
+        "\"unreached\"",
     ] {
         assert!(out.contains(key), "missing {key} in {out}");
     }
+    // A fault-free run has an empty write-off list and zero fault counters.
+    assert!(out.contains("\"unreached\": []"), "{out}");
+    assert!(out.contains("\"packets_dropped\": 0"), "{out}");
     // Valid JSON shape at least at the bracket level.
     assert!(out.trim_start().starts_with('{'), "{out}");
     assert!(out.trim_end().ends_with('}'), "{out}");
+}
+
+#[test]
+fn simulate_json_surfaces_faults_and_unreached() {
+    // Drop faults plus one live-repair crash: the counters and the
+    // written-off destination must surface in the JSON document.
+    let (out, ok) = optimcast(&[
+        "simulate",
+        "--dests",
+        "15",
+        "--m",
+        "4",
+        "--seed",
+        "2",
+        "--drop-rate",
+        "0.05",
+        "--crashes",
+        "1",
+        "--live-repair",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    assert!(!out.contains("\"packets_dropped\": 0"), "{out}");
+    assert!(!out.contains("\"retransmits\": 0"), "{out}");
+    assert!(out.contains("\"unreached\": ["), "{out}");
+    assert!(out.contains("\"rank\""), "{out}");
+}
+
+#[test]
+fn simulate_rejects_crashing_every_destination() {
+    let out = Command::new(env!("CARGO_BIN_EXE_optimcast"))
+        .args([
+            "simulate",
+            "--dests",
+            "3",
+            "--crashes",
+            "4",
+            "--live-repair",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--crashes"), "{err}");
 }
 
 #[test]
@@ -158,6 +215,22 @@ fn figures_quick_analytic_subset() {
 }
 
 #[test]
+fn figures_chaos_axis_by_name() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--quick", "chaos_outage"])
+        .output()
+        .expect("figures runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("## chaos_outage"), "{text}");
+    assert!(text.contains("links down"), "{text}");
+    assert!(
+        !text.contains("## fig5"),
+        "chaos name should not pull in paper figures: {text}"
+    );
+}
+
+#[test]
 fn figures_threads_flag_is_output_invariant() {
     let run = |threads: &str| {
         let dir = std::env::temp_dir().join(format!("optimcast-figjson-{threads}"));
@@ -214,6 +287,60 @@ fn bench_sweep_smoke() {
         "\"figure\"",
     ] {
         assert!(body.contains(key), "missing {key} in {body}");
+    }
+}
+
+#[test]
+fn wire_demo_reaches_parity() {
+    let (out, ok) = optimcast(&[
+        "wire",
+        "--n",
+        "6",
+        "--m",
+        "3",
+        "--payload",
+        "600",
+        "--timeout-ms",
+        "15000",
+    ]);
+    assert!(ok, "{out}");
+    // One JSON line per sink, every one at parity with the schedule.
+    assert_eq!(out.lines().count(), 5, "{out}");
+    for line in out.lines() {
+        assert!(line.contains("\"parity\": true"), "{out}");
+    }
+}
+
+#[test]
+fn wire_source_and_sinks_as_separate_processes() {
+    // The multi-process mode: two sink processes and one source process
+    // reconstruct the same plan from (n, k, m) with no side channel.
+    let base_args = ["--n", "3", "--k", "1", "--m", "2", "--port-base", "51234"];
+    let sink = |rank: &str| {
+        Command::new(env!("CARGO_BIN_EXE_optimcast"))
+            .args(["wire", "--role", "sink", "--rank", rank])
+            .args(base_args)
+            .args(["--timeout-ms", "20000"])
+            .spawn()
+            .expect("sink spawns")
+    };
+    let sinks = [sink("1"), sink("2")];
+    // Sinks bind synchronously on spawn-ish; give them a beat to be safe.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let source = Command::new(env!("CARGO_BIN_EXE_optimcast"))
+        .args(["wire", "--role", "source"])
+        .args(base_args)
+        .output()
+        .expect("source runs");
+    assert!(
+        source.status.success(),
+        "source stderr: {}",
+        String::from_utf8_lossy(&source.stderr)
+    );
+    assert!(String::from_utf8_lossy(&source.stdout).contains("wire source:"));
+    for s in sinks {
+        let out = s.wait_with_output().expect("sink exits");
+        assert!(out.status.success(), "sink failed");
     }
 }
 
