@@ -5,7 +5,7 @@
 mod common;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use optimcast::netsim::{run_workload, MulticastJob, WorkloadConfig};
+use optimcast::netsim::{MulticastJob, SimRun, WorkloadConfig};
 use optimcast::prelude::*;
 use optimcast_rng::{ChaCha8Rng, SliceRandom};
 
@@ -30,7 +30,9 @@ fn bench_workloads(c: &mut Criterion) {
     let mut g = c.benchmark_group("multi_multicast");
     for jobs in [1usize, 2, 4, 8] {
         let job_list = make_jobs(&net, jobs, 8);
-        let wl = run_workload(&net, &job_list, &params, WorkloadConfig::default()).unwrap();
+        let wl = SimRun::new(&net, &job_list, &params, WorkloadConfig::default())
+            .run()
+            .unwrap();
         let avg = wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / jobs as f64;
         println!(
             "[multi] {jobs} jobs: avg latency {avg:.1} us, makespan {:.1} us, stall {:.1} us",
@@ -38,12 +40,13 @@ fn bench_workloads(c: &mut Criterion) {
         );
         g.bench_function(format!("jobs{jobs}_m8"), |b| {
             b.iter(|| {
-                run_workload(
+                SimRun::new(
                     &net,
                     black_box(&job_list),
                     &params,
                     WorkloadConfig::default(),
                 )
+                .run()
             })
         });
     }

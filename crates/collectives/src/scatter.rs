@@ -342,12 +342,12 @@ pub fn simulate_scatter<N: optimcast_topology::Network>(
     params: &optimcast_core::params::SystemParams,
     config: optimcast_netsim::WorkloadConfig,
 ) -> optimcast_netsim::MulticastOutcome {
-    use optimcast_netsim::{run_workload, MulticastJob, PersonalizedOrder};
+    use optimcast_netsim::{MulticastJob, PersonalizedOrder, SimRun};
     let order = match policy {
         OrderPolicy::OwnFirst => PersonalizedOrder::OwnFirst,
         OrderPolicy::DeepestFirst => PersonalizedOrder::DeepestFirst,
     };
-    run_workload(
+    SimRun::new(
         net,
         &[MulticastJob::scatter(
             tree.clone(),
@@ -358,6 +358,7 @@ pub fn simulate_scatter<N: optimcast_topology::Network>(
         params,
         config,
     )
+    .run()
     .expect("scatter constructs a valid single-job workload")
     .jobs
     .swap_remove(0)

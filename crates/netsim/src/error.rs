@@ -60,6 +60,14 @@ pub enum SimError {
         /// The host bound twice.
         host: HostId,
     },
+    /// A prerouted run supplied a route-table count that does not match
+    /// its job count.
+    RouteCountMismatch {
+        /// Jobs in the workload.
+        jobs: usize,
+        /// Route tables supplied.
+        routes: usize,
+    },
     /// A fault plan failed validation (probability out of range, zero
     /// attempt budget, negative times).
     InvalidFaultPlan {
@@ -125,6 +133,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::DuplicateHost { job, host } => {
                 write!(f, "job {job}: host {host} bound twice")
+            }
+            SimError::RouteCountMismatch { jobs, routes } => {
+                write!(
+                    f,
+                    "expected one route table per job ({jobs} job(s), {routes} table(s))"
+                )
             }
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
@@ -206,6 +220,10 @@ mod tests {
                     host: HostId(1),
                 },
                 "bound twice",
+            ),
+            (
+                SimError::RouteCountMismatch { jobs: 3, routes: 1 },
+                "one route table per job",
             ),
         ];
         for (err, needle) in cases {

@@ -11,6 +11,14 @@ use optimcast_topology::graph::HostId;
 /// participates in; the remaining events are scoped to one (job, rank).
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Ev {
+    /// A smart-NI job with a deferred start finished its `t_s` source
+    /// staging: enqueue its packets and let the source send unit go. Jobs
+    /// starting at time zero skip this event and stage before the run
+    /// (their packets cannot be dispatched early — no send unit fires
+    /// before `t_s`); a staggered job must not surface packets in the
+    /// shared host queues before it starts, or a host serving an
+    /// already-running job would relay them ahead of arrival.
+    JobStart(u32),
     /// The host's send unit may dispatch its next queued packet.
     TrySend(HostId),
     /// A packet's head reached the receiving NI; queue it on the receive

@@ -39,6 +39,7 @@ mod host;
 pub mod observe;
 pub mod packet;
 pub mod routes;
+pub mod scheduler;
 pub mod sim;
 mod simulation;
 pub mod time;
@@ -50,6 +51,10 @@ pub use error::SimError;
 pub use fault::{FaultKind, FaultPlan, FaultPlanSpec, HostCrash, LinkFailure, RepairPolicy};
 pub use observe::{Observer, SimCounters};
 pub use routes::JobRoutes;
+pub use scheduler::{
+    AdmissionRequest, ContentionAware, FifoAdmission, InFlight, JobScheduler, JobStats,
+    ScheduledOutcome, ScheduledRun,
+};
 pub use sim::{
     run_multicast, run_multicast_prerouted, run_multicast_shared, run_multicast_with_faults,
     ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig,
@@ -58,8 +63,12 @@ pub use time::SimTime;
 pub use transport::{
     Delivery, LinkContext, PacketView, SimTransport, Transport, TransportError, TransportResult,
 };
+#[allow(deprecated)]
 pub use workload::{
     run_workload, run_workload_faulted_observed, run_workload_observed, run_workload_prerouted,
-    run_workload_with_faults, JobPayload, MulticastJob, PersonalizedOrder, TraceKind, TraceRecord,
-    WorkloadConfig, WorkloadOutcome,
+    run_workload_with_faults,
+};
+pub use workload::{
+    JobPayload, MulticastJob, PersonalizedOrder, SimRun, TraceKind, TraceRecord, WorkloadConfig,
+    WorkloadOutcome,
 };

@@ -488,7 +488,7 @@ impl Observer for CountersCollector {
 
 /// The statically composed observer set of one run: outcome metrics and
 /// counters always; a trace timeline when requested; optionally one caller
-/// sink (`run_workload_observed`).
+/// sink ([`SimRun::observer`](crate::workload::SimRun::observer)).
 pub(crate) struct ObserverHub<'a> {
     pub metrics: MetricsCollector,
     pub counters: CountersCollector,

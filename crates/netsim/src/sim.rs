@@ -29,9 +29,7 @@
 
 use crate::error::SimError;
 use crate::fault::FaultPlan;
-use crate::workload::{
-    run_workload, run_workload_with_faults, JobPayload, MulticastJob, WorkloadConfig,
-};
+use crate::workload::{JobPayload, MulticastJob, SimRun, WorkloadConfig};
 use optimcast_core::params::SystemParams;
 use optimcast_core::schedule::ForwardingDiscipline;
 use optimcast_core::tree::MulticastTree;
@@ -170,7 +168,7 @@ pub fn run_multicast_shared<N: Network>(
         nic: config.nic,
         payload: JobPayload::Replicated,
     };
-    let wl = run_workload(
+    let wl = SimRun::new(
         net,
         std::slice::from_ref(&job),
         params,
@@ -179,7 +177,8 @@ pub fn run_multicast_shared<N: Network>(
             timing: config.timing,
             trace: false,
         },
-    )?;
+    )
+    .run()?;
     let mut out = wl.jobs.into_iter().next().expect("one job in, one out");
     out.events = wl.events;
     out.peak_queue_len = wl.counters.peak_queue_len;
@@ -213,17 +212,18 @@ pub fn run_multicast_prerouted<N: Network>(
         nic: config.nic,
         payload: JobPayload::Replicated,
     };
-    let wl = crate::workload::run_workload_prerouted(
+    let wl = SimRun::new(
         net,
         std::slice::from_ref(&job),
-        vec![routes],
         params,
         WorkloadConfig {
             contention: config.contention,
             timing: config.timing,
             trace: false,
         },
-    )?;
+    )
+    .routes(vec![routes])
+    .run()?;
     let mut out = wl.jobs.into_iter().next().expect("one job in, one out");
     out.events = wl.events;
     out.peak_queue_len = wl.counters.peak_queue_len;
@@ -259,7 +259,7 @@ pub fn run_multicast_with_faults<N: Network>(
         nic: config.nic,
         payload: JobPayload::Replicated,
     };
-    let wl = run_workload_with_faults(
+    let wl = SimRun::new(
         net,
         std::slice::from_ref(&job),
         params,
@@ -268,8 +268,9 @@ pub fn run_multicast_with_faults<N: Network>(
             timing: config.timing,
             trace: false,
         },
-        fault,
-    )?;
+    )
+    .faults(fault)
+    .run()?;
     let counters = wl.counters;
     let mut out = wl.jobs.into_iter().next().expect("one job in, one out");
     out.events = wl.events;

@@ -318,13 +318,31 @@ impl<'a, N: Network> Simulation<'a, N> {
     /// reached or the epoch budget is spent.
     pub fn run(mut self) -> Result<WorkloadOutcome, SimError> {
         for j in 0..self.st.jobs.len() {
-            self.engines[j].kickoff(&mut self.st, j as u32);
+            let job = &self.st.jobs[j];
+            // Smart-NI kickoff surfaces the job's packets in the shared
+            // host send queues immediately; for a staggered job that would
+            // let a host already relaying another job dispatch them before
+            // the job arrives. Defer those kickoffs behind a JobStart
+            // event at the end of the job's `t_s` source staging (the
+            // moment its packets become sendable). Zero-start jobs keep
+            // the original pre-seeded path byte-for-byte, and the
+            // conventional NI is already fully event-driven (kickoff only
+            // schedules `HostReady` at the job's start).
+            if job.start_us == 0.0 || matches!(job.nic, NicKind::Conventional) {
+                self.engines[j].kickoff(&mut self.st, j as u32);
+            } else {
+                self.st.queue.schedule(
+                    SimTime::us(job.start_us + self.st.params.t_s),
+                    Ev::JobStart(j as u32),
+                );
+            }
         }
         let mut last = SimTime::ZERO;
         loop {
             while let Some((now, ev)) = self.st.queue.pop() {
                 last = now;
                 match ev {
+                    Ev::JobStart(j) => self.engines[j as usize].kickoff(&mut self.st, j),
                     Ev::TrySend(h) => self.handle_try_send(now, h),
                     Ev::Arrive { item, corrupt } => self.handle_arrive(now, item, corrupt),
                     Ev::RecvDone { item, corrupt } => self.handle_recv_done(now, item, corrupt),

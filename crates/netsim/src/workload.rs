@@ -5,9 +5,9 @@
 //! jobs run concurrently: they contend both for **channels** (wormhole links)
 //! and for **nodes** (a host's NI send/receive units are shared by every job
 //! it participates in). This module generalises the single-multicast
-//! simulator to a [`Workload`] of jobs with per-job trees, bindings, packet
-//! counts, start times, and NI disciplines; [`run_workload`] executes them
-//! on one shared network and reports per-job and aggregate metrics.
+//! simulator to a workload of jobs with per-job trees, bindings, packet
+//! counts, start times, and NI disciplines; the [`SimRun`] builder executes
+//! them on one shared network and reports per-job and aggregate metrics.
 //!
 //! The execution itself lives in [`crate::simulation`], which composes the
 //! per-job forwarding engines ([`crate::discipline`]), the shared NI state
@@ -250,6 +250,120 @@ pub struct WorkloadOutcome {
     pub trace: Vec<TraceRecord>,
 }
 
+/// Builder for one workload execution — the single entry point to the
+/// simulator.
+///
+/// Historically this module exported one free function per option
+/// combination (`run_workload`, `_prerouted`, `_with_faults`, `_observed`,
+/// `_faulted_observed`); every new orthogonal option doubled the surface.
+/// `SimRun` replaces all of them: construct with the four mandatory inputs,
+/// chain any subset of [`routes`](SimRun::routes), [`faults`](SimRun::faults)
+/// and [`observer`](SimRun::observer), then [`run`](SimRun::run).
+///
+/// The zero-option path compiles to exactly the old `run_workload` body —
+/// `Simulation::new(net, jobs, params, config, None, None, None)?.run()` —
+/// so the goldens and the zero-alloc guarantee are untouched by
+/// construction.
+///
+/// ```ignore
+/// let outcome = SimRun::new(&net, &jobs, &params, config)
+///     .routes(route_tables)   // optional: memoized CSR route tables
+///     .faults(&plan)          // optional: deterministic fault injection
+///     .observer(&mut probe)   // optional: simulation hook subscriber
+///     .run()?;
+/// ```
+pub struct SimRun<'a, N: Network> {
+    net: &'a N,
+    jobs: &'a [MulticastJob],
+    params: &'a SystemParams,
+    config: WorkloadConfig,
+    routes: Option<Vec<Arc<crate::routes::JobRoutes>>>,
+    fault: Option<&'a FaultPlan>,
+    observer: Option<&'a mut dyn Observer>,
+}
+
+impl<'a, N: Network> SimRun<'a, N> {
+    /// Starts a run description from the mandatory inputs: the shared
+    /// network, the job list, the system timing parameters, and the
+    /// workload-level configuration.
+    pub fn new(
+        net: &'a N,
+        jobs: &'a [MulticastJob],
+        params: &'a SystemParams,
+        config: WorkloadConfig,
+    ) -> Self {
+        SimRun {
+            net,
+            jobs,
+            params,
+            config,
+            routes: None,
+            fault: None,
+            observer: None,
+        }
+    }
+
+    /// Supplies interned route tables, one per job, each built by
+    /// [`crate::routes::JobRoutes::build`] from the job's `(tree, binding)`
+    /// on the same network. Sweep engines memoize the tables across cells
+    /// (the same `(topology, chain, tree)` triple recurs for every
+    /// packet-count point of a series) and skip the per-run route
+    /// computation; the outcome is identical to an un-routed run.
+    #[must_use]
+    pub fn routes(mut self, routes: Vec<Arc<crate::routes::JobRoutes>>) -> Self {
+        self.routes = Some(routes);
+        self
+    }
+
+    /// Runs under a [`FaultPlan`]: packets may be dropped, corrupted, or
+    /// refused per the plan, the stop-and-wait reliability layer
+    /// retransmits with capped exponential backoff, and crashed hosts stay
+    /// silent. A trivial (fault-free) plan follows the exact fault-free
+    /// code path, so outcomes are byte-identical to an un-faulted run.
+    #[must_use]
+    pub fn faults(mut self, fault: &'a FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Attaches a caller-supplied [`Observer`] receiving every simulation
+    /// hook alongside the built-in metric/counter/trace sinks. Observers
+    /// see plain values and cannot perturb the simulation; unlike the
+    /// trace in [`WorkloadOutcome`] they also witness *failing* runs — the
+    /// hooks fire before [`SimError::DeliveryFailed`] is raised.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Executes the described workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for an empty workload, a job with zero
+    /// packets, a binding that does not cover its tree, repeats a host
+    /// within one job, names a host outside the network, starts at a
+    /// negative time, or pairs a personalized payload with a conventional
+    /// NI. With [`faults`](SimRun::faults), additionally
+    /// [`SimError::InvalidFaultPlan`] for a malformed plan,
+    /// [`SimError::FaultsNeedHandshakeTiming`] when a non-trivial plan is
+    /// paired with overlapped NI timing, and [`SimError::DeliveryFailed`]
+    /// when the plan's losses exceed the retransmission budget.
+    pub fn run(self) -> Result<WorkloadOutcome, SimError> {
+        Simulation::new(
+            self.net,
+            self.jobs,
+            self.params,
+            self.config,
+            self.fault,
+            self.observer,
+            self.routes,
+        )?
+        .run()
+    }
+}
+
 /// Executes a workload of multicast jobs on a shared network.
 ///
 /// # Errors
@@ -258,13 +372,14 @@ pub struct WorkloadOutcome {
 /// binding that does not cover its tree, repeats a host within one job,
 /// names a host outside the network, starts at a negative time, or pairs a
 /// personalized payload with a conventional NI.
+#[deprecated(note = "use `SimRun::new(net, jobs, params, config).run()`")]
 pub fn run_workload<N: Network>(
     net: &N,
     jobs: &[MulticastJob],
     params: &SystemParams,
     config: WorkloadConfig,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, None, None, None)?.run()
+    SimRun::new(net, jobs, params, config).run()
 }
 
 /// [`run_workload`] with caller-supplied interned route tables, one per job,
@@ -277,6 +392,7 @@ pub fn run_workload<N: Network>(
 /// # Errors
 ///
 /// Same contract as [`run_workload`].
+#[deprecated(note = "use `SimRun::new(net, jobs, params, config).routes(routes).run()`")]
 pub fn run_workload_prerouted<N: Network>(
     net: &N,
     jobs: &[MulticastJob],
@@ -284,7 +400,7 @@ pub fn run_workload_prerouted<N: Network>(
     params: &SystemParams,
     config: WorkloadConfig,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, None, None, Some(routes))?.run()
+    SimRun::new(net, jobs, params, config).routes(routes).run()
 }
 
 /// [`run_workload`] under a [`FaultPlan`]: packets may be dropped,
@@ -300,6 +416,7 @@ pub fn run_workload_prerouted<N: Network>(
 /// [`SimError::FaultsNeedHandshakeTiming`] when a non-trivial plan is paired
 /// with overlapped NI timing, and [`SimError::DeliveryFailed`] when the
 /// plan's losses exceed the retransmission budget.
+#[deprecated(note = "use `SimRun::new(net, jobs, params, config).faults(fault).run()`")]
 pub fn run_workload_with_faults<N: Network>(
     net: &N,
     jobs: &[MulticastJob],
@@ -307,7 +424,7 @@ pub fn run_workload_with_faults<N: Network>(
     config: WorkloadConfig,
     fault: &FaultPlan,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, Some(fault), None, None)?.run()
+    SimRun::new(net, jobs, params, config).faults(fault).run()
 }
 
 /// [`run_workload`] with a caller-supplied [`Observer`] receiving every
@@ -319,6 +436,7 @@ pub fn run_workload_with_faults<N: Network>(
 /// # Errors
 ///
 /// Same contract as [`run_workload`].
+#[deprecated(note = "use `SimRun::new(net, jobs, params, config).observer(observer).run()`")]
 pub fn run_workload_observed<N: Network>(
     net: &N,
     jobs: &[MulticastJob],
@@ -326,7 +444,9 @@ pub fn run_workload_observed<N: Network>(
     config: WorkloadConfig,
     observer: &mut dyn Observer,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, None, Some(observer), None)?.run()
+    SimRun::new(net, jobs, params, config)
+        .observer(observer)
+        .run()
 }
 
 /// [`run_workload_with_faults`] with a caller-supplied [`Observer`]. Unlike
@@ -338,6 +458,9 @@ pub fn run_workload_observed<N: Network>(
 /// # Errors
 ///
 /// Same contract as [`run_workload_with_faults`].
+#[deprecated(
+    note = "use `SimRun::new(net, jobs, params, config).faults(fault).observer(observer).run()`"
+)]
 pub fn run_workload_faulted_observed<N: Network>(
     net: &N,
     jobs: &[MulticastJob],
@@ -346,7 +469,10 @@ pub fn run_workload_faulted_observed<N: Network>(
     fault: &FaultPlan,
     observer: &mut dyn Observer,
 ) -> Result<WorkloadOutcome, SimError> {
-    Simulation::new(net, jobs, params, config, Some(fault), Some(observer), None)?.run()
+    SimRun::new(net, jobs, params, config)
+        .faults(fault)
+        .observer(observer)
+        .run()
 }
 
 #[cfg(test)]
@@ -378,12 +504,13 @@ mod tests {
         let binding: Vec<HostId> = (0..32).map(HostId).collect();
         let direct =
             run_multicast(&n, &tree, &binding, 6, &params(), RunConfig::default()).unwrap();
-        let wl = run_workload(
+        let wl = SimRun::new(
             &n,
             &[job(tree, (0..32).collect(), 6)],
             &params(),
             WorkloadConfig::default(),
         )
+        .run()
         .unwrap();
         assert_eq!(wl.jobs[0].latency_us, direct.latency_us);
         assert_eq!(wl.jobs[0].host_done_us, direct.host_done_us);
@@ -421,7 +548,7 @@ mod tests {
             },
         )
         .unwrap();
-        let wl = run_workload(
+        let wl = SimRun::new(
             &n,
             &[
                 job(t1, (0..16).collect(), 4),
@@ -434,6 +561,7 @@ mod tests {
                 ..WorkloadConfig::default()
             },
         )
+        .run()
         .unwrap();
         assert_eq!(wl.jobs[0].latency_us, solo1.latency_us);
         assert_eq!(wl.jobs[1].latency_us, solo2.latency_us);
@@ -459,12 +587,13 @@ mod tests {
             RunConfig::default(),
         )
         .unwrap();
-        let wl = run_workload(
+        let wl = SimRun::new(
             &n,
             &[job(tree.clone(), binding, m), job(tree.clone(), rev, m)],
             &params(),
             WorkloadConfig::default(),
         )
+        .run()
         .unwrap();
         for out in &wl.jobs {
             assert!(
@@ -487,7 +616,7 @@ mod tests {
         let tree = binomial_tree(8);
         let mut j2 = job(tree.clone(), (8..16).collect(), 2);
         j2.start_us = 1000.0;
-        let wl = run_workload(
+        let wl = SimRun::new(
             &n,
             &[job(tree, (0..8).collect(), 2), j2],
             &params(),
@@ -497,6 +626,7 @@ mod tests {
                 ..WorkloadConfig::default()
             },
         )
+        .run()
         .unwrap();
         // Per-job latency is measured from the job's own start.
         assert!((wl.jobs[0].latency_us - wl.jobs[1].latency_us).abs() < 1e-9);
@@ -509,7 +639,7 @@ mod tests {
         let n = net(5);
         let tree = binomial_tree(16);
         let m = 8;
-        let wl = run_workload(
+        let wl = SimRun::new(
             &n,
             &[
                 job(tree.clone(), (0..16).collect(), m),
@@ -518,11 +648,12 @@ mod tests {
             &params(),
             WorkloadConfig::default(),
         )
+        .run()
         .unwrap();
         // The shared source NI stages both messages.
         assert!(wl.max_host_buffer[0] >= m);
         // Workload-level determinism.
-        let wl2 = run_workload(
+        let wl2 = SimRun::new(
             &n,
             &[
                 job(tree.clone(), (0..16).collect(), m),
@@ -531,6 +662,7 @@ mod tests {
             &params(),
             WorkloadConfig::default(),
         )
+        .run()
         .unwrap();
         assert_eq!(wl, wl2);
     }
@@ -542,7 +674,7 @@ mod tests {
         let tree = binomial_tree(8);
         let mut conv = job(tree.clone(), (8..16).collect(), 3);
         conv.nic = NicKind::Conventional;
-        let wl = run_workload(
+        let wl = SimRun::new(
             &n,
             &[job(tree, (0..8).collect(), 3), conv],
             &params(),
@@ -552,6 +684,7 @@ mod tests {
                 ..WorkloadConfig::default()
             },
         )
+        .run()
         .unwrap();
         assert!(wl.jobs[1].latency_us > wl.jobs[0].latency_us);
     }
@@ -562,7 +695,7 @@ mod tests {
         let n = net(7);
         let tree = binomial_tree(8);
         let m = 3;
-        let wl = run_workload(
+        let wl = SimRun::new(
             &n,
             &[job(tree, (0..8).collect(), m)],
             &params(),
@@ -571,6 +704,7 @@ mod tests {
                 ..WorkloadConfig::default()
             },
         )
+        .run()
         .unwrap();
         let sends = wl
             .trace
@@ -594,19 +728,22 @@ mod tests {
             assert!(w[1].t_us >= w[0].t_us - 1e-9, "trace out of order");
         }
         // Untraced runs stay lean.
-        let quiet = run_workload(
+        let quiet = SimRun::new(
             &n,
             &[job(binomial_tree(8), (0..8).collect(), m)],
             &params(),
             WorkloadConfig::default(),
         )
+        .run()
         .unwrap();
         assert!(quiet.trace.is_empty());
     }
 
     #[test]
     fn empty_workload_is_an_error() {
-        let err = run_workload(&net(0), &[], &params(), WorkloadConfig::default()).unwrap_err();
+        let err = SimRun::new(&net(0), &[], &params(), WorkloadConfig::default())
+            .run()
+            .unwrap_err();
         assert_eq!(err, SimError::EmptyWorkload);
         assert!(err.to_string().contains("at least one job"));
     }
@@ -652,12 +789,13 @@ mod scatter_tests {
     ) -> MulticastOutcome {
         let n = tree.len() as u32;
         let binding: Vec<HostId> = (0..n).map(HostId).collect();
-        run_workload(
+        SimRun::new(
             net,
             &[MulticastJob::scatter(tree, binding, m, order)],
             &params(),
             cfg,
         )
+        .run()
         .unwrap()
         .jobs
         .swap_remove(0)
@@ -745,9 +883,12 @@ mod scatter_tests {
         let binding: Vec<HostId> = (0..32).map(HostId).collect();
         let job = |order| MulticastJob::scatter(tree.clone(), binding.clone(), 4, order);
         for order in [PersonalizedOrder::OwnFirst, PersonalizedOrder::DeepestFirst] {
-            let ideal_out = run_workload(&net, &[job(order)], &params(), ideal()).unwrap();
-            let worm =
-                run_workload(&net, &[job(order)], &params(), WorkloadConfig::default()).unwrap();
+            let ideal_out = SimRun::new(&net, &[job(order)], &params(), ideal())
+                .run()
+                .unwrap();
+            let worm = SimRun::new(&net, &[job(order)], &params(), WorkloadConfig::default())
+                .run()
+                .unwrap();
             assert!(
                 worm.jobs[0].latency_us >= ideal_out.jobs[0].latency_us - 1e-9,
                 "{order:?}"
@@ -766,7 +907,9 @@ mod scatter_tests {
             4,
             PersonalizedOrder::DeepestFirst,
         );
-        let wl = run_workload(&net, &[mc, sc], &params(), WorkloadConfig::default()).unwrap();
+        let wl = SimRun::new(&net, &[mc, sc], &params(), WorkloadConfig::default())
+            .run()
+            .unwrap();
         assert!(wl.jobs[0].latency_us > 0.0);
         assert!(wl.jobs[1].latency_us > 0.0);
         assert_eq!(wl.jobs.len(), 2);
@@ -781,7 +924,7 @@ mod scatter_tests {
         let m = 2;
         let n = tree.len() as u32;
         let binding: Vec<HostId> = (0..n).map(HostId).collect();
-        let wl = run_workload(
+        let wl = SimRun::new(
             &net,
             &[MulticastJob::scatter(
                 tree,
@@ -792,6 +935,7 @@ mod scatter_tests {
             &params(),
             ideal(),
         )
+        .run()
         .unwrap();
         assert_eq!(wl.max_host_buffer[0], m * 7, "source stages everything");
         for h in 1..7 {
@@ -813,7 +957,9 @@ mod scatter_tests {
             PersonalizedOrder::OwnFirst,
         );
         job.nic = NicKind::Conventional;
-        let err = run_workload(&net, &[job], &params(), WorkloadConfig::default()).unwrap_err();
+        let err = SimRun::new(&net, &[job], &params(), WorkloadConfig::default())
+            .run()
+            .unwrap_err();
         assert_eq!(err, SimError::PersonalizedNeedsSmartNic { job: 0 });
         assert!(err.to_string().contains("require smart NI"));
     }

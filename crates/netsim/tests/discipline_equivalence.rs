@@ -32,7 +32,9 @@ fn run_with(
     config: WorkloadConfig,
 ) -> WorkloadOutcome {
     job.nic = NicKind::Smart(disc);
-    run_workload(net, &[job], &SystemParams::paper_1997(), config).unwrap()
+    SimRun::new(net, &[job], &SystemParams::paper_1997(), config)
+        .run()
+        .unwrap()
 }
 
 proptest! {
@@ -87,14 +89,14 @@ proptest! {
         let binding: Vec<HostId> = (0..n).map(HostId).collect();
         let job = MulticastJob::fpfs(kbinomial_tree(n, k), binding, m);
         let params = SystemParams::paper_1997();
-        let quiet = run_workload(&network, std::slice::from_ref(&job), &params, WorkloadConfig::default())
+        let quiet = SimRun::new(&network, std::slice::from_ref(&job), &params, WorkloadConfig::default()).run()
             .unwrap();
-        let mut traced = run_workload(
+        let mut traced = SimRun::new(
             &network,
             &[job],
             &params,
             WorkloadConfig { trace: true, ..WorkloadConfig::default() },
-        )
+        ).run()
         .unwrap();
         prop_assert!(!traced.trace.is_empty());
         traced.trace.clear();
@@ -143,9 +145,14 @@ fn user_observer_is_pure_observation() {
     let job = MulticastJob::fpfs(kbinomial_tree(24, 2), binding, 5);
     let params = SystemParams::paper_1997();
     let config = WorkloadConfig::default();
-    let plain = run_workload(&network, std::slice::from_ref(&job), &params, config).unwrap();
+    let plain = SimRun::new(&network, std::slice::from_ref(&job), &params, config)
+        .run()
+        .unwrap();
     let mut obs = CountingObserver::default();
-    let observed = run_workload_observed(&network, &[job], &params, config, &mut obs).unwrap();
+    let observed = SimRun::new(&network, &[job], &params, config)
+        .observer(&mut obs)
+        .run()
+        .unwrap();
     assert_eq!(plain, observed);
     assert_eq!(obs.send_starts, observed.jobs[0].total_sends);
     assert_eq!(obs.host_dones, 23, "every destination host completes once");

@@ -16,12 +16,13 @@ fn net() -> IrregularNetwork {
 }
 
 fn run(jobs: &[MulticastJob]) -> Result<WorkloadOutcome, SimError> {
-    run_workload(
+    SimRun::new(
         &net(),
         jobs,
         &SystemParams::paper_1997(),
         WorkloadConfig::default(),
     )
+    .run()
 }
 
 fn fpfs_job(hosts: std::ops::Range<u32>, m: u32) -> MulticastJob {

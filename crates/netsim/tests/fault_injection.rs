@@ -345,14 +345,16 @@ fn traced_faulted_run_records_drop_retransmit_abandon() {
         timing: NiTiming::Handshake,
         trace: true,
     };
-    let wl =
-        match run_workload_with_faults(&n, std::slice::from_ref(&job), &params(), config, &plan) {
-            Ok(wl) => wl,
-            // At 40% loss with 8 attempts, abandonment needs ~0.4^8 bad luck
-            // per copy; seed 0xACE is pinned to a completing run, so a failure
-            // here is a test bug.
-            Err(e) => panic!("pinned seed must complete: {e}"),
-        };
+    let wl = match SimRun::new(&n, std::slice::from_ref(&job), &params(), config)
+        .faults(&plan)
+        .run()
+    {
+        Ok(wl) => wl,
+        // At 40% loss with 8 attempts, abandonment needs ~0.4^8 bad luck
+        // per copy; seed 0xACE is pinned to a completing run, so a failure
+        // here is a test bug.
+        Err(e) => panic!("pinned seed must complete: {e}"),
+    };
 
     let mut drops = 0u32;
     let mut retransmits = Vec::new();
@@ -455,15 +457,11 @@ fn abandonments_are_observed_before_failure() {
         trace: false,
     };
     let mut log = AbandonLog::default();
-    let err = run_workload_faulted_observed(
-        &n,
-        std::slice::from_ref(&job),
-        &params(),
-        config,
-        &plan,
-        &mut log,
-    )
-    .unwrap_err();
+    let err = SimRun::new(&n, std::slice::from_ref(&job), &params(), config)
+        .faults(&plan)
+        .observer(&mut log)
+        .run()
+        .unwrap_err();
     let SimError::DeliveryFailed { counters, .. } = err else {
         panic!("a crashed destination must fail the run, got {err}");
     };

@@ -70,12 +70,13 @@ fn wl_gold(wl: &WorkloadOutcome) -> WorkloadGold {
 #[test]
 fn golden_single_fpfs() {
     let n = IrregularNetwork::generate(IrregularConfig::default(), 11);
-    let wl = run_workload(
+    let wl = SimRun::new(
         &n,
         &[MulticastJob::fpfs(kbinomial_tree(40, 2), hosts(0..40), 5)],
         &SystemParams::paper_1997(),
         WorkloadConfig::default(),
     )
+    .run()
     .unwrap();
     assert_eq!(
         job_gold(&wl.jobs[0]),
@@ -103,6 +104,12 @@ fn golden_single_fpfs() {
 
 /// Scenario 2 (topology seed 12): FPFS + FCFS + conventional jobs with
 /// staggered starts on overlapping host ranges.
+///
+/// Re-pinned when deferred job starts landed with the multi-tenant
+/// scheduler: a staggered smart-NI job's packets now enter the shared
+/// host queues at its own `start_us + t_s` (one `JobStart` event each)
+/// instead of surfacing at time zero, where hosts relaying an
+/// already-running job could dispatch them before the job arrived.
 #[test]
 fn golden_multi_job_mixed_disciplines() {
     let n = IrregularNetwork::generate(IrregularConfig::default(), 12);
@@ -112,7 +119,7 @@ fn golden_multi_job_mixed_disciplines() {
     let mut j_conv = MulticastJob::fpfs(binomial_tree(16), hosts(48..64), 3);
     j_conv.nic = NicKind::Conventional;
     j_conv.start_us = 80.0;
-    let wl = run_workload(
+    let wl = SimRun::new(
         &n,
         &[
             MulticastJob::fpfs(kbinomial_tree(32, 3), hosts(0..32), 4),
@@ -122,25 +129,26 @@ fn golden_multi_job_mixed_disciplines() {
         &SystemParams::paper_1997(),
         WorkloadConfig::default(),
     )
+    .run()
     .unwrap();
     let golds = [
         JobGold {
-            latency_us: 169.0,
-            channel_wait_us: 19.0,
-            blocked_sends: 9,
+            latency_us: 137.0,
+            channel_wait_us: 14.0,
+            blocked_sends: 6,
             total_sends: 124,
             max_ni_buffer: 6,
-            host_done_sum: 3238.0,
-            ni_last_recv_sum: 2850.5,
+            host_done_sum: 3027.0,
+            ni_last_recv_sum: 2639.5,
         },
         JobGold {
-            latency_us: 109.0,
-            channel_wait_us: 9.0,
-            blocked_sends: 6,
+            latency_us: 138.0,
+            channel_wait_us: 7.0,
+            blocked_sends: 3,
             total_sends: 92,
             max_ni_buffer: 6,
-            host_done_sum: 1742.0,
-            ni_last_recv_sum: 1454.5,
+            host_done_sum: 2314.0,
+            ni_last_recv_sum: 2026.5,
         },
         JobGold {
             latency_us: 160.0,
@@ -159,10 +167,10 @@ fn golden_multi_job_mixed_disciplines() {
         wl_gold(&wl),
         WorkloadGold {
             makespan_us: 240.0,
-            channel_wait_us: 28.0,
-            host_buffer_sum: 64,
+            channel_wait_us: 21.0,
+            host_buffer_sum: 61,
             host_buffer_max: 6,
-            events: 939,
+            events: 940,
         }
     );
 }
@@ -197,21 +205,23 @@ fn golden_scenarios_survive_a_trivial_fault_plan() {
     ];
     for (seed, jobs) in scenarios {
         let n = IrregularNetwork::generate(IrregularConfig::default(), seed);
-        let plain = run_workload(
+        let plain = SimRun::new(
             &n,
             &jobs,
             &SystemParams::paper_1997(),
             WorkloadConfig::default(),
         )
+        .run()
         .unwrap();
         let trivial = FaultPlan::new(seed ^ 0xABCD);
-        let faulted = run_workload_with_faults(
+        let faulted = SimRun::new(
             &n,
             &jobs,
             &SystemParams::paper_1997(),
             WorkloadConfig::default(),
-            &trivial,
         )
+        .faults(&trivial)
+        .run()
         .unwrap();
         assert_eq!(
             plain, faulted,
@@ -240,19 +250,13 @@ proptest::proptest! {
         let jobs = [MulticastJob::fpfs(kbinomial_tree(n, k), hosts(0..n), m)];
         let params = SystemParams::paper_1997();
         let plain =
-            run_workload(&net, &jobs, &params, WorkloadConfig::default()).unwrap();
+            SimRun::new(&net, &jobs, &params, WorkloadConfig::default()).run().unwrap();
         let mut plan = FaultPlan::new(seed);
         plan.max_attempts = max_attempts;
         plan.ack_timeout_us = ack_timeout_us;
         plan.backoff_cap = backoff_cap;
         proptest::prop_assert!(plan.is_trivial());
-        let faulted = run_workload_with_faults(
-            &net,
-            &jobs,
-            &params,
-            WorkloadConfig::default(),
-            &plan,
-        )
+        let faulted = SimRun::new(&net, &jobs, &params, WorkloadConfig::default()).faults(&plan).run()
         .unwrap();
         proptest::prop_assert_eq!(plain, faulted);
     }
@@ -276,12 +280,13 @@ fn golden_scatter_pair() {
         PersonalizedOrder::DeepestFirst,
     );
     s2.start_us = 25.0;
-    let wl = run_workload(
+    let wl = SimRun::new(
         &n,
         &[s1, s2],
         &SystemParams::paper_1997(),
         WorkloadConfig::default(),
     )
+    .run()
     .unwrap();
     let golds = [
         JobGold {
@@ -313,7 +318,7 @@ fn golden_scatter_pair() {
             channel_wait_us: 28.0,
             host_buffer_sum: 188,
             host_buffer_max: 69,
-            events: 1640,
+            events: 1641,
         }
     );
 }

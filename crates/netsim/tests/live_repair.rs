@@ -5,7 +5,7 @@
 //! learns of the failure at the policy's notification latency, repairs the
 //! surviving membership with `MulticastTree::repair_partial`, and re-issues
 //! undelivered packets over the repaired tree — inside one
-//! `run_workload_with_faults` invocation. The battery checks:
+//! `SimRun` (with faults) invocation. The battery checks:
 //!
 //! * an interior-node crash that is `SimError::DeliveryFailed` without the
 //!   policy completes with every survivor reached under it;
@@ -87,26 +87,28 @@ fn live_repair_rescues_an_interior_crash() {
     // Contrast: the identical schedule without the policy is terminal.
     let mut bare = plan.clone();
     bare.repair = None;
-    let err = run_workload_with_faults(
+    let err = SimRun::new(
         &n,
         std::slice::from_ref(&job),
         &params(),
         WorkloadConfig::default(),
-        &bare,
     )
+    .faults(&bare)
+    .run()
     .unwrap_err();
     assert!(
         matches!(err, SimError::DeliveryFailed { .. }),
         "expected DeliveryFailed without repair, got {err}"
     );
 
-    let out = run_workload_with_faults(
+    let out = SimRun::new(
         &n,
         std::slice::from_ref(&job),
         &params(),
         WorkloadConfig::default(),
-        &plan,
     )
+    .faults(&plan)
+    .run()
     .expect("live repair must rescue the run");
     assert_eq!(out.unreached, vec![(0, crashed)]);
     let done = &out.jobs[0].host_done_us;
@@ -135,13 +137,14 @@ fn crashing_the_source_is_a_typed_error() {
         host: HostId(0),
         at_us: 10.0,
     });
-    let err = run_workload_with_faults(
+    let err = SimRun::new(
         &n,
         std::slice::from_ref(&job),
         &params(),
         WorkloadConfig::default(),
-        &plan,
     )
+    .faults(&plan)
+    .run()
     .unwrap_err();
     assert_eq!(
         err,
@@ -177,13 +180,7 @@ proptest! {
             });
         }
         let job = MulticastJob::fpfs(tree, identity(n), m);
-        let out = run_workload_with_faults(
-            &net,
-            std::slice::from_ref(&job),
-            &params(),
-            traced(),
-            &plan,
-        )
+        let out = SimRun::new(&net, std::slice::from_ref(&job), &params(), traced()).faults(&plan).run()
         .expect("drop-free crashes must always be repairable");
 
         let mut host_dones = vec![0u32; n as usize];
@@ -234,13 +231,7 @@ proptest! {
             });
         }
         let job = MulticastJob::fpfs(kbinomial_tree(n, 2), identity(n), 2);
-        let unobserved = run_workload_with_faults(
-            &net,
-            std::slice::from_ref(&job),
-            &params(),
-            traced(),
-            &plan,
-        );
+        let unobserved = SimRun::new(&net, std::slice::from_ref(&job), &params(), traced()).faults(&plan).run();
 
         #[derive(Default)]
         struct Spy {
@@ -264,14 +255,7 @@ proptest! {
             }
         }
         let mut spy = Spy::default();
-        let observed = run_workload_faulted_observed(
-            &net,
-            std::slice::from_ref(&job),
-            &params(),
-            traced(),
-            &plan,
-            &mut spy,
-        );
+        let observed = SimRun::new(&net, std::slice::from_ref(&job), &params(), traced()).faults(&plan).observer(&mut spy).run();
         prop_assert_eq!(&unobserved, &observed, "observer perturbed the run");
         if let Ok(out) = &observed {
             prop_assert_eq!(spy.repairs, out.counters.repairs);
@@ -292,20 +276,14 @@ proptest! {
         let job = MulticastJob::fpfs(kbinomial_tree(n, k), identity(n), m);
         let plan = repair_plan(7);
         prop_assert!(plan.is_trivial(), "repair alone must not untrivialise");
-        let plain = run_workload(
+        let plain = SimRun::new(
             &net,
             std::slice::from_ref(&job),
             &params(),
             traced(),
-        )
+        ).run()
         .expect("fault-free run failed");
-        let repaired = run_workload_with_faults(
-            &net,
-            std::slice::from_ref(&job),
-            &params(),
-            traced(),
-            &plan,
-        )
+        let repaired = SimRun::new(&net, std::slice::from_ref(&job), &params(), traced()).faults(&plan).run()
         .expect("trivial plan failed");
         prop_assert_eq!(&plain, &repaired);
         prop_assert_eq!(repaired.counters.repairs, 0);

@@ -38,8 +38,8 @@ use crate::sampling::{sample_chain, TreePolicy};
 use optimcast_core::tree::Rank;
 use optimcast_netsim::fault::{HostCrash, LinkFailure};
 use optimcast_netsim::{
-    run_multicast_with_faults, run_workload_with_faults, FaultPlanSpec, MulticastJob, RunConfig,
-    SimError, WorkloadConfig,
+    run_multicast_with_faults, FaultPlanSpec, MulticastJob, RunConfig, SimError, SimRun,
+    WorkloadConfig,
 };
 use optimcast_rng::{ChaCha8Rng, Rng, SliceRandom};
 use optimcast_topology::graph::{ChannelId, HostId};
@@ -477,13 +477,15 @@ impl Sweep {
                 // Bind the FULL membership: the drawn hosts crash mid-run
                 // and the simulator repairs around them live.
                 let job = MulticastJob::fpfs(tree, chain, m);
-                match run_workload_with_faults(
+                match SimRun::new(
                     &topo.net,
                     std::slice::from_ref(&job),
                     cfg.params(),
                     WorkloadConfig::default(),
-                    &plan,
-                ) {
+                )
+                .faults(&plan)
+                .run()
+                {
                     Ok(out) => {
                         let c = &out.counters;
                         self.record_effort(c.events, c.peak_queue_len);

@@ -69,7 +69,7 @@ impl SweepConfig {
     }
 
     /// Seed of random topology `t`. The derivation is the historic
-    /// `EvalConfig` scheme, so sweeps reproduce the committed
+    /// serial-runner scheme, so sweeps reproduce the committed
     /// `results/*.json` bit-identically.
     pub fn topology_seed(&self, t: u32) -> u64 {
         self.base_seed
@@ -86,7 +86,7 @@ impl SweepConfig {
 }
 
 /// Builder for [`SweepConfig`] / [`Sweep`] with validated setters — the
-/// replacement for free-form `EvalConfig` struct mutation.
+/// replacement for free-form config-struct mutation.
 ///
 /// ```
 /// use optimcast_sweep::{FigureId, SweepBuilder};

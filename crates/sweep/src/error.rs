@@ -5,7 +5,7 @@ use std::fmt;
 /// Why a sweep configuration or a sweep request is invalid.
 ///
 /// [`crate::SweepBuilder::build`] rejects nonsense configurations that the
-/// old free-form `EvalConfig` silently accepted (zero topologies, zero
+/// old free-form config struct silently accepted (zero topologies, zero
 /// destination sets, unrealisable networks); grid execution rejects points
 /// that cannot be sampled on the configured network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +47,9 @@ pub enum SweepError {
         /// Destinations per sample.
         dests: u32,
     },
+    /// A multi-tenant grid axis is malformed (empty axis, zero job count
+    /// or group size, non-finite mean inter-arrival).
+    InvalidTenantAxis(&'static str),
 }
 
 impl fmt::Display for SweepError {
@@ -81,6 +84,9 @@ impl fmt::Display for SweepError {
                 f,
                 "cannot crash {crashes} of {dests} destinations; at least one must survive"
             ),
+            SweepError::InvalidTenantAxis(why) => {
+                write!(f, "invalid multi-tenant axis: {why}")
+            }
         }
     }
 }
@@ -105,5 +111,10 @@ mod tests {
         assert!(SweepError::UnknownFigure("fig99".into())
             .to_string()
             .contains("fig99"));
+        assert!(
+            SweepError::InvalidTenantAxis("job counts must be at least 1")
+                .to_string()
+                .contains("job counts")
+        );
     }
 }

@@ -41,6 +41,7 @@ mod figures;
 mod json;
 mod memo;
 mod sampling;
+mod tenants;
 
 pub use bench::{bench_sweep, BenchReport};
 pub use bench_sim::{bench_sim, SimBenchReport};
@@ -60,3 +61,4 @@ pub use sampling::{
     m_axis, sample_chain, sample_instance, Instance, TreePolicy, DEST_COUNTS, M_SWEEP, N_SWEEP,
     PACKET_COUNTS,
 };
+pub use tenants::{TenantCell, TenantPolicyStats, TenantReport};

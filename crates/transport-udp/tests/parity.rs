@@ -12,7 +12,7 @@
 use optimcast_core::builders::kbinomial_tree;
 use optimcast_core::params::SystemParams;
 use optimcast_core::tree::Rank;
-use optimcast_netsim::{run_workload, MulticastJob, TraceKind, WorkloadConfig, WorkloadOutcome};
+use optimcast_netsim::{MulticastJob, SimRun, TraceKind, WorkloadConfig, WorkloadOutcome};
 use optimcast_topology::graph::HostId;
 use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
 use optimcast_transport_udp::{loopback_demo, WirePlan};
@@ -39,7 +39,7 @@ fn wire_order_matches_simulator_prediction() {
     // irregular network, full wormhole contention, trace on.
     let net = IrregularNetwork::generate(IrregularConfig::default(), 42);
     let binding: Vec<HostId> = (0..N).map(HostId).collect();
-    let wl = run_workload(
+    let wl = SimRun::new(
         &net,
         &[MulticastJob::fpfs(kbinomial_tree(N, K), binding, M)],
         &SystemParams::paper_1997(),
@@ -48,6 +48,7 @@ fn wire_order_matches_simulator_prediction() {
             ..WorkloadConfig::default()
         },
     )
+    .run()
     .expect("sim runs");
     let sim = sim_orders(&wl, N);
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example multi_multicast [JOBS]
 //! ```
 
-use optimcast::netsim::{run_workload, MulticastJob, WorkloadConfig};
+use optimcast::netsim::{MulticastJob, SimRun, WorkloadConfig};
 use optimcast::prelude::*;
 use optimcast_rng::{ChaCha8Rng, SliceRandom};
 
@@ -53,18 +53,21 @@ fn main() {
         let solo: Vec<f64> = job_list
             .iter()
             .map(|j| {
-                run_workload(
+                SimRun::new(
                     &net,
                     std::slice::from_ref(j),
                     &params,
                     WorkloadConfig::default(),
                 )
+                .run()
                 .unwrap()
                 .jobs[0]
                     .latency_us
             })
             .collect();
-        let wl = run_workload(&net, &job_list, &params, WorkloadConfig::default()).unwrap();
+        let wl = SimRun::new(&net, &job_list, &params, WorkloadConfig::default())
+            .run()
+            .unwrap();
         let avg_solo = solo.iter().sum::<f64>() / solo.len() as f64;
         let avg_conc = wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / wl.jobs.len() as f64;
         println!(

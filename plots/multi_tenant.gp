@@ -1,0 +1,16 @@
+set title "p99 tenant completion: FIFO vs contention-aware admission"
+set xlabel "concurrent jobs"
+set ylabel "p99 completion (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "multi_tenant.png"
+set datafile missing "?"
+plot "multi_tenant.dat" using 1:2 with linespoints title "fifo ia25 g8", \
+     "multi_tenant.dat" using 1:3 with linespoints title "fifo ia25 g16", \
+     "multi_tenant.dat" using 1:4 with linespoints title "fifo ia100 g8", \
+     "multi_tenant.dat" using 1:5 with linespoints title "fifo ia100 g16", \
+     "multi_tenant.dat" using 1:6 with linespoints title "contention-aware ia25 g8", \
+     "multi_tenant.dat" using 1:7 with linespoints title "contention-aware ia25 g16", \
+     "multi_tenant.dat" using 1:8 with linespoints title "contention-aware ia100 g8", \
+     "multi_tenant.dat" using 1:9 with linespoints title "contention-aware ia100 g16"

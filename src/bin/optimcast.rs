@@ -14,6 +14,8 @@
 //! optimcast bench-sim [--quick] [--out PATH]
 //! optimcast chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]
 //!                    [--live-repair] [--crash-at US] [--out PATH]
+//! optimcast jobs     [--quick] [--seed N] [--threads N] [--m M] [--json]
+//!                    [--out PATH] [--plots DIR]
 //! optimcast wire     [--role demo|source|sink] --n N [--k K] [--m M]
 //!                    [--rank R] [--port-base P] [--payload B] [--mtu M]
 //!                    [--timeout-ms T]
@@ -22,8 +24,7 @@
 use optimcast::core::schedule::ForwardingDiscipline;
 use optimcast::jsonout::Json;
 use optimcast::netsim::{
-    run_workload, run_workload_with_faults, JobPayload, MulticastJob, TraceKind, Transport,
-    WorkloadConfig, WorkloadOutcome,
+    JobPayload, MulticastJob, SimRun, TraceKind, Transport, WorkloadConfig, WorkloadOutcome,
 };
 use optimcast::prelude::*;
 use optimcast::sweep::{bench_sim, bench_sweep};
@@ -57,6 +58,7 @@ fn main() {
         "bench-sweep" => cmd_bench_sweep(&flags),
         "bench-sim" => cmd_bench_sim(&flags),
         "chaos" => cmd_chaos(&flags),
+        "jobs" => cmd_jobs(&flags),
         "wire" => cmd_wire(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -84,6 +86,8 @@ fn usage() {
          \u{20}  bench-sim [--quick] [--out PATH]\n\
          \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]\n\
          \u{20}           [--live-repair] [--crash-at US] [--out PATH]\n\
+         \u{20}  jobs     [--quick] [--seed N] [--threads N] [--m M] [--json] [--out PATH]\n\
+         \u{20}           [--plots DIR]\n\
          \u{20}  wire     [--role demo|source|sink] --n N [--k K] [--m M] [--rank R]\n\
          \u{20}           [--port-base P] [--payload B] [--mtu M] [--timeout-ms T]"
     );
@@ -334,9 +338,11 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
                 at_us: spec.crash_at_us,
             })
             .collect();
-        run_workload_with_faults(&net, &jobs, &params, config, &spec.plan(0, crashes))
+        SimRun::new(&net, &jobs, &params, config)
+            .faults(&spec.plan(0, crashes))
+            .run()
     } else {
-        run_workload(&net, &jobs, &params, config)
+        SimRun::new(&net, &jobs, &params, config).run()
     }
     .unwrap_or_else(|e| {
         eprintln!("simulate: {e}");
@@ -721,6 +727,194 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
         std::process::exit(1);
     }
     println!("report written to {out_path}");
+}
+
+/// The `jobs` subcommand: the multi-tenant admission grid (concurrent job
+/// count × mean inter-arrival × group size), every cell scheduled under
+/// both FIFO and contention-aware admission on identical sampled job sets.
+/// The JSON records no thread count and is byte-identical for every
+/// `--threads` value — CI runs it twice and diffs.
+fn cmd_jobs(flags: &HashMap<String, String>) {
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = get(flags, "threads", default_threads);
+    let quick = flags.contains_key("quick");
+    let seed: u64 = get(flags, "seed", 1997);
+    let (base, job_counts, interarrivals, groups, m, label) = if quick {
+        (
+            SweepBuilder::quick(),
+            vec![1u32, 2, 4],
+            vec![25.0],
+            vec![8u32],
+            get(flags, "m", 2),
+            "quick (2x3)",
+        )
+    } else {
+        // Multi-tenant cells pool `samples × jobs` completions each, so a
+        // 3×5 methodology already gives the percentiles hundreds of
+        // observations at the larger job counts — the full 10×30 sampling
+        // would add minutes for no visible change in the figure.
+        (
+            SweepBuilder::paper().topologies(3).dest_sets(5),
+            vec![1u32, 2, 4, 8, 16],
+            vec![25.0, 100.0],
+            vec![8u32, 16],
+            get(flags, "m", 4),
+            "tenant (3x5)",
+        )
+    };
+    eprintln!(
+        "jobs: {label} methodology, {}x{}x{} grid, {threads} worker(s)...",
+        job_counts.len(),
+        interarrivals.len(),
+        groups.len()
+    );
+    let sweep = base
+        .base_seed(seed)
+        .parallelism(threads)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("jobs: {e}");
+            std::process::exit(2);
+        });
+    let report = sweep
+        .multi_tenant(&job_counts, &interarrivals, &groups, m)
+        .unwrap_or_else(|e| {
+            eprintln!("jobs: {e}");
+            std::process::exit(1);
+        });
+    if flags.contains_key("json") {
+        print!("{}", report.to_json().to_string_pretty());
+        return;
+    }
+    println!(
+        "multi-tenant grid: {m} packets/job, base seed {seed}, {} samples/cell, \
+         channel load bound {}",
+        sweep.config().samples(),
+        report.max_channel_load
+    );
+    println!(
+        "{:>5} {:>8} {:>6} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} {:>9}",
+        "jobs",
+        "gap(us)",
+        "group",
+        "fifo p50",
+        "fifo p99",
+        "defer",
+        "shaped p50",
+        "shaped p99",
+        "defer",
+        "queue(us)"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:>5} {:>8.0} {:>6} | {:>10.2} {:>10.2} {:>8} | {:>10.2} {:>10.2} {:>8} {:>9.2}",
+            cell.jobs,
+            cell.mean_interarrival_us,
+            cell.group,
+            cell.fifo.p50_completion_us,
+            cell.fifo.p99_completion_us,
+            cell.fifo.deferred,
+            cell.shaped.p50_completion_us,
+            cell.shaped.p99_completion_us,
+            cell.shaped.deferred,
+            cell.shaped.mean_queue_us
+        );
+    }
+    let effort = sweep.sim_effort();
+    println!(
+        "engine: {} events processed, peak queue {}, {} cells x {} samples x 2 policies",
+        effort.events_processed,
+        effort.peak_queue_len,
+        report.cells.len(),
+        sweep.config().samples()
+    );
+    let default_out = "results/multi_tenant.json".to_string();
+    let out_path = flags.get("out").unwrap_or(&default_out);
+    if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
+        eprintln!("jobs: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
+    // The committed plots chart the full tenant grid; quick smoke runs
+    // (CI's determinism check) must not overwrite them with the 3-cell
+    // quick figure.
+    if !quick {
+        let plot_dir = flags.get("plots").map(String::as_str).unwrap_or("plots");
+        write_tenant_plots(plot_dir, &report.figure());
+    }
+}
+
+/// Writes `<dir>/multi_tenant.dat` + `.gp` in the same gnuplot format the
+/// `figures` binary uses for every other committed plot: a `# x "label"…`
+/// header, one column per series with `?` for missing points, and a
+/// pngcairo script.
+fn write_tenant_plots(dir: &str, fig: &optimcast::sweep::Figure) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("jobs: cannot create {dir}: {e}");
+        return;
+    }
+    let mut xs: Vec<f64> = Vec::new();
+    for s in &fig.series {
+        for &(x, _) in &s.points {
+            if !xs.contains(&x) {
+                xs.push(x);
+            }
+        }
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let dat_path = format!("{dir}/{}.dat", fig.id);
+    let mut dat = String::new();
+    dat.push_str("# x");
+    for s in &fig.series {
+        dat.push_str(&format!("  \"{}\"", s.label));
+    }
+    dat.push('\n');
+    for &x in &xs {
+        dat.push_str(&format!("{x}"));
+        for s in &fig.series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => dat.push_str(&format!(" {y}")),
+                None => dat.push_str(" ?"),
+            }
+        }
+        dat.push('\n');
+    }
+    if let Err(e) = std::fs::write(&dat_path, dat) {
+        eprintln!("jobs: cannot write {dat_path}: {e}");
+        return;
+    }
+    let gp_path = format!("{dir}/{}.gp", fig.id);
+    let mut gp = String::new();
+    gp.push_str(&format!(
+        "set title \"{}\"\nset xlabel \"{}\"\nset ylabel \"{}\"\nset key left top\nset grid\n",
+        fig.title, fig.x_label, fig.y_label
+    ));
+    gp.push_str(&format!(
+        "set terminal pngcairo size 800,600\nset output \"{}.png\"\nset datafile missing \"?\"\nplot ",
+        fig.id
+    ));
+    let plots: Vec<String> = fig
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                "\"{}.dat\" using 1:{} with linespoints title \"{}\"",
+                fig.id,
+                i + 2,
+                s.label
+            )
+        })
+        .collect();
+    gp.push_str(&plots.join(", \\\n     "));
+    gp.push('\n');
+    if let Err(e) = std::fs::write(&gp_path, gp) {
+        eprintln!("jobs: cannot write {gp_path}: {e}");
+        return;
+    }
+    println!("plots written to {dat_path} and {gp_path}");
 }
 
 /// The `wire` subcommand: the same k-binomial tree and FPFS schedule the

@@ -1,229 +1,41 @@
-//! End-to-end experiment pipeline — now a facade over the
+//! End-to-end experiment pipeline — a pure re-export facade over the
 //! [`optimcast_sweep`] engine crate.
 //!
 //! The sweep engine owns the evaluation methodology (§5.2): validated
 //! configuration via [`SweepBuilder`], deterministic parallel execution via
 //! [`Sweep`], memoized topology/tree construction, and the figure
 //! vocabulary ([`Figure`]/[`Series`]/[`FigureId`]). This module re-exports
-//! that API under its historic path and keeps the pre-redesign
-//! [`EvalConfig`] entry points compiling as deprecated shims for one
-//! release.
+//! that API under its historic path; the pre-redesign free-form config
+//! struct and its deprecated shims have been removed.
 //!
-//! Migration map:
+//! Migration map (historic name → replacement):
 //!
-//! | pre-redesign                         | replacement                                  |
-//! |--------------------------------------|----------------------------------------------|
-//! | `EvalConfig::paper()` + field edits  | [`SweepBuilder::paper()`] + validated setters |
-//! | `fig13a(&cfg)` … `fig14b(&cfg)`      | [`Sweep::figure`] with a [`FigureId`]        |
-//! | `avg_latency(&cfg, …)`               | [`Sweep::avg_latency`]                       |
-//! | `latency_stats(&cfg, …)`             | [`Sweep::latency_stats`]                     |
-//! | `improvement_factor(&cfg, …)`        | [`Sweep::improvement_factor`]                |
-//! | `sample_instance(&cfg, …)`           | [`Sweep::topology`] + [`sample_chain`]       |
+//! | pre-redesign                        | replacement                                   |
+//! |-------------------------------------|-----------------------------------------------|
+//! | free-form config + field edits      | [`SweepBuilder::paper()`] + validated setters |
+//! | `fig13a(&cfg)` … `fig14b(&cfg)`     | [`Sweep::figure`] with a [`FigureId`]         |
+//! | `avg_latency(&cfg, …)`              | [`Sweep::avg_latency`]                        |
+//! | `latency_stats(&cfg, …)`            | [`Sweep::latency_stats`]                      |
+//! | `improvement_factor(&cfg, …)`       | [`Sweep::improvement_factor`]                 |
+//! | `sample_instance(&cfg, …)`          | [`sample_instance`] with a [`SweepConfig`]    |
 
 pub use optimcast_sweep::{
     bench_sweep, buffer_figure, fig12a, fig12b, fig4, fig5, fig8, fig_disciplines,
-    k_search_interval, m_axis, sample_chain, BenchReport, CacheStats, Figure, FigureId, Instance,
-    LatencyStats, PointSpec, Series, Sweep, SweepBuilder, SweepConfig, SweepError, TopologyEntry,
-    TreePolicy, DEST_COUNTS, M_SWEEP, N_SWEEP, PACKET_COUNTS,
+    k_search_interval, m_axis, sample_chain, sample_instance, BenchReport, CacheStats, Figure,
+    FigureId, Instance, LatencyStats, PointSpec, Series, Sweep, SweepBuilder, SweepConfig,
+    SweepError, TenantCell, TenantPolicyStats, TenantReport, TopologyEntry, TreePolicy,
+    DEST_COUNTS, M_SWEEP, N_SWEEP, PACKET_COUNTS,
 };
 
-use optimcast_core::params::SystemParams;
-use optimcast_netsim::RunConfig;
-use optimcast_topology::irregular::IrregularConfig;
-
-/// Pre-redesign evaluation configuration with free-form public fields.
-///
-/// Superseded by [`SweepBuilder`], which validates at build time and adds
-/// `.parallelism(n)`. The fields stay public so struct-update call sites
-/// (`EvalConfig { topologies: 2, ..EvalConfig::paper() }`) keep compiling
-/// during the migration.
-#[deprecated(since = "0.2.0", note = "use SweepBuilder::paper()/quick() instead")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EvalConfig {
-    /// System timing/sizing parameters.
-    pub params: SystemParams,
-    /// Shape of the random irregular networks.
-    pub net: IrregularConfig,
-    /// Number of random topologies averaged per point (paper: 10).
-    pub topologies: u32,
-    /// Number of random destination sets per topology (paper: 30).
-    pub dest_sets: u32,
-    /// Base RNG seed; every sample seed derives deterministically from it.
-    pub base_seed: u64,
-}
-
-#[allow(deprecated)]
-impl EvalConfig {
-    /// The paper's full methodology: 10 topologies × 30 destination sets.
-    pub fn paper() -> Self {
-        Self::from_builder(SweepBuilder::paper())
-    }
-
-    /// A reduced methodology for tests and smoke runs
-    /// (2 topologies × 3 destination sets).
-    pub fn quick() -> Self {
-        Self::from_builder(SweepBuilder::quick())
-    }
-
-    fn from_builder(b: SweepBuilder) -> Self {
-        let cfg = b.config().expect("presets are valid");
-        EvalConfig {
-            params: *cfg.params(),
-            net: cfg.net(),
-            topologies: cfg.topologies(),
-            dest_sets: cfg.dest_sets(),
-            base_seed: cfg.base_seed(),
-        }
-    }
-
-    /// The equivalent validated builder (single-threaded, like the historic
-    /// serial runner).
-    pub fn builder(&self) -> SweepBuilder {
-        SweepBuilder::paper()
-            .params(self.params)
-            .network(self.net)
-            .topologies(self.topologies)
-            .dest_sets(self.dest_sets)
-            .base_seed(self.base_seed)
-            .parallelism(1)
-    }
-
-    fn sweep(&self) -> Sweep {
-        self.builder().build().expect("legacy EvalConfig is valid")
-    }
-}
-
-#[allow(deprecated)]
-impl From<EvalConfig> for SweepBuilder {
-    fn from(cfg: EvalConfig) -> SweepBuilder {
-        cfg.builder()
-    }
-}
-
-/// Pre-redesign sampling entry point.
-#[deprecated(since = "0.2.0", note = "use Sweep::topology + sample_chain instead")]
-#[allow(deprecated)]
-pub fn sample_instance(cfg: &EvalConfig, topo_idx: u32, set_idx: u32, dests: u32) -> Instance {
-    optimcast_sweep::sample_instance(
-        &cfg.builder().config().expect("legacy EvalConfig is valid"),
-        topo_idx,
-        set_idx,
-        dests,
-    )
-}
-
-/// Pre-redesign point evaluation.
-#[deprecated(since = "0.2.0", note = "use Sweep::avg_latency instead")]
-#[allow(deprecated)]
-pub fn avg_latency(
-    cfg: &EvalConfig,
-    policy: TreePolicy,
-    dests: u32,
-    m: u32,
-    run: RunConfig,
-) -> f64 {
-    cfg.sweep()
-        .avg_latency(policy, dests, m, run)
-        .expect("legacy avg_latency callers pass valid points")
-}
-
-/// Pre-redesign per-sample statistics.
-#[deprecated(since = "0.2.0", note = "use Sweep::latency_stats instead")]
-#[allow(deprecated)]
-pub fn latency_stats(
-    cfg: &EvalConfig,
-    policy: TreePolicy,
-    dests: u32,
-    m: u32,
-    run: RunConfig,
-) -> LatencyStats {
-    cfg.sweep()
-        .latency_stats(policy, dests, m, run)
-        .expect("legacy latency_stats callers pass valid points")
-}
-
-/// Pre-redesign improvement-factor sweep.
-#[deprecated(since = "0.2.0", note = "use Sweep::improvement_factor instead")]
-#[allow(deprecated)]
-pub fn improvement_factor(cfg: &EvalConfig, dests: u32) -> f64 {
-    cfg.sweep()
-        .improvement_factor(dests)
-        .expect("legacy improvement_factor callers pass valid dests")
-}
-
-macro_rules! legacy_figure {
-    ($(#[$doc:meta])* $name:ident, $id:expr) => {
-        $(#[$doc])*
-        #[deprecated(since = "0.2.0", note = "use Sweep::figure instead")]
-        #[allow(deprecated)]
-        pub fn $name(cfg: &EvalConfig) -> Figure {
-            cfg.sweep()
-                .figure($id)
-                .expect("legacy figure configs are valid")
-        }
-    };
-}
-
-legacy_figure!(
-    /// Fig. 13(a) under the historic serial runner.
-    fig13a,
-    FigureId::Fig13a
-);
-legacy_figure!(
-    /// Fig. 13(b) under the historic serial runner.
-    fig13b,
-    FigureId::Fig13b
-);
-legacy_figure!(
-    /// Fig. 14(a) under the historic serial runner.
-    fig14a,
-    FigureId::Fig14a
-);
-legacy_figure!(
-    /// Fig. 14(b) under the historic serial runner.
-    fig14b,
-    FigureId::Fig14b
-);
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn shim_presets_match_builder_presets() {
-        let legacy = EvalConfig::paper();
-        assert_eq!(legacy.topologies, 10);
-        assert_eq!(legacy.dest_sets, 30);
-        assert_eq!(legacy.base_seed, 1997);
-        let quick = EvalConfig::quick();
-        assert_eq!((quick.topologies, quick.dest_sets), (2, 3));
-        // Struct-update call sites keep working and round-trip through the
-        // builder unchanged.
-        let tweaked = EvalConfig {
-            topologies: 3,
-            ..EvalConfig::paper()
-        };
-        let cfg = SweepBuilder::from(tweaked).config().unwrap();
-        assert_eq!(cfg.topologies(), 3);
-        assert_eq!(cfg.dest_sets(), 30);
-        assert_eq!(cfg.threads(), 1);
-    }
-
-    #[test]
-    fn shim_avg_latency_matches_engine() {
-        let legacy = avg_latency(
-            &EvalConfig::quick(),
-            TreePolicy::Binomial,
-            15,
-            2,
-            RunConfig::default(),
-        );
-        let engine = SweepBuilder::quick()
-            .build()
-            .unwrap()
-            .avg_latency(TreePolicy::Binomial, 15, 2, RunConfig::default())
-            .unwrap();
-        assert_eq!(legacy.to_bits(), engine.to_bits());
+    fn facade_reaches_the_engine() {
+        let sweep = SweepBuilder::quick().build().unwrap();
+        let fig = sweep.figure(FigureId::Fig4).unwrap();
+        assert_eq!(fig.id, "fig4");
+        assert!(!fig.series.is_empty());
     }
 }

@@ -81,13 +81,14 @@ pub mod jsonout;
 pub mod prelude {
     pub use optimcast_core::prelude::*;
     pub use optimcast_netsim::{
-        run_multicast, run_multicast_shared, run_multicast_with_faults, ContentionMode, FaultKind,
-        FaultPlan, FaultPlanSpec, HostCrash, LinkFailure, MulticastOutcome, NiTiming, NicKind,
-        RunConfig, SimError,
+        run_multicast, run_multicast_shared, run_multicast_with_faults, ContentionAware,
+        ContentionMode, FaultKind, FaultPlan, FaultPlanSpec, FifoAdmission, HostCrash,
+        JobScheduler, LinkFailure, MulticastJob, MulticastOutcome, NiTiming, NicKind, RunConfig,
+        ScheduledOutcome, ScheduledRun, SimError, SimRun, WorkloadConfig,
     };
     pub use optimcast_sweep::{
         ChaosCell, ChaosFigureId, ChaosReport, Figure, FigureId, Series, Sweep, SweepBuilder,
-        SweepError, TreePolicy,
+        SweepError, TenantCell, TenantPolicyStats, TenantReport, TreePolicy,
     };
     pub use optimcast_topology::cube::CubeNetwork;
     pub use optimcast_topology::graph::{ChannelId, HostId, LinkId, SwitchId};

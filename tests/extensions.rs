@@ -6,7 +6,7 @@
 use optimcast::collectives::{scatter_schedule, OrderPolicy};
 use optimcast::core::param_model::{optimal_k_param, param_schedule, ParamModel};
 use optimcast::core::schedule::ForwardingDiscipline;
-use optimcast::netsim::{run_workload, MulticastJob, PersonalizedOrder, WorkloadConfig};
+use optimcast::netsim::{MulticastJob, PersonalizedOrder, SimRun, WorkloadConfig};
 use optimcast::prelude::*;
 use optimcast::topology::mesh::{snake_ordering, MeshNetwork};
 use optimcast::topology::ordering::{partial_ordered_chains, poc};
@@ -206,7 +206,7 @@ fn scatter_pipeline_cross_validates() {
     let tree = kbinomial_tree(24, 3);
     let sched = scatter_schedule(&tree, 2, OrderPolicy::OwnFirst);
     let binding: Vec<HostId> = (0..24).map(HostId).collect();
-    let out = run_workload(
+    let out = SimRun::new(
         &net,
         &[MulticastJob::scatter(
             tree,
@@ -221,6 +221,7 @@ fn scatter_pipeline_cross_validates() {
             trace: false,
         },
     )
+    .run()
     .unwrap();
     let expect = p.t_s + f64::from(sched.total_steps()) * p.t_step() + p.t_r;
     assert!((out.jobs[0].latency_us - expect).abs() < 1e-6);
@@ -246,7 +247,9 @@ fn workload_interference_monotone() {
     };
     let mut prev_avg = 0.0;
     for count in [1usize, 2, 4] {
-        let wl = run_workload(&net, &mk(count), &p, WorkloadConfig::default()).unwrap();
+        let wl = SimRun::new(&net, &mk(count), &p, WorkloadConfig::default())
+            .run()
+            .unwrap();
         let avg = wl.jobs.iter().map(|o| o.latency_us).sum::<f64>() / count as f64;
         assert!(
             avg >= prev_avg - 1e-9,
@@ -311,12 +314,13 @@ fn fcfs_multi_message_counters() {
         j.nic = optimcast::netsim::NicKind::Smart(ForwardingDiscipline::Fcfs);
         j
     };
-    let wl = run_workload(
+    let wl = SimRun::new(
         &net,
         &[mk(binding_a), mk(binding_b)],
         &params(),
         WorkloadConfig::default(),
     )
+    .run()
     .unwrap();
     for (i, out) in wl.jobs.iter().enumerate() {
         for r in 1..32 {

@@ -63,6 +63,37 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The multi-tenant job grid at 1, 2, and 8 workers produces
+    /// byte-identical report JSON for random small configurations: job
+    /// sampling, staggered arrivals, admission planning, and the per-cell
+    /// percentile reductions must all stay schedule-independent.
+    #[test]
+    fn tenant_grid_workers_1_2_8_byte_identical(
+        base_seed in 0u64..1_000_000,
+        jobs_hi in 2u32..=4,
+        group in 4u32..=12,
+        ia_idx in 0usize..3,
+    ) {
+        let mean_ia = [10.0f64, 40.0, 160.0][ia_idx];
+        let json_for = |threads: usize| {
+            let sweep = SweepBuilder::quick()
+                .base_seed(base_seed)
+                .parallelism(threads)
+                .build()
+                .expect("quick config is valid");
+            sweep
+                .multi_tenant(&[1, jobs_hi], &[mean_ia], &[group], 2)
+                .expect("small tenant grids are valid")
+                .to_json()
+                .to_string_pretty()
+        };
+        let serial = json_for(1);
+        prop_assert_eq!(&serial, &json_for(2), "2 workers diverged");
+        prop_assert_eq!(&serial, &json_for(8), "8 workers diverged");
+    }
+}
+
 /// A full simulated figure is byte-identical across 1, 2, and 8 workers on
 /// the quick methodology.
 #[test]

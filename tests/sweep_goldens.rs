@@ -126,6 +126,33 @@ fn chaos_report_matches_committed_golden() {
     );
 }
 
+/// The committed multi-tenant report (`results/multi_tenant.json`)
+/// regenerates byte-identically: the grid `optimcast jobs` writes by
+/// default (3 topologies × 5 job-set samples, job counts 1..16, two
+/// inter-arrival regimes, two group sizes, both admission policies on
+/// identical job sets), run here on 4 workers against the serially
+/// generated committed file.
+#[test]
+fn multi_tenant_report_matches_committed_golden() {
+    let sweep = SweepBuilder::paper()
+        .topologies(3)
+        .dest_sets(5)
+        .base_seed(1997)
+        .parallelism(4)
+        .build()
+        .unwrap();
+    let report = sweep
+        .multi_tenant(&[1, 2, 4, 8, 16], &[25.0, 100.0], &[8, 16], 4)
+        .expect("the committed grid is valid");
+    let path = format!("{}/results/multi_tenant.json", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        report.to_json().to_string_pretty(),
+        committed,
+        "multi-tenant grid drifted from results/multi_tenant.json"
+    );
+}
+
 /// The committed live-repair chaos report (`results/chaos_repair.json`)
 /// regenerates byte-identically. This is the grid the CI `repair-smoke`
 /// job produces with `optimcast chaos --quick --live-repair`: the quick
