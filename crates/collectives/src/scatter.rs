@@ -332,7 +332,7 @@ mod tests {
 /// # Panics
 ///
 /// Panics on the same conditions as
-/// [`optimcast_netsim::run_workload`] (binding mismatches, `m == 0`).
+/// [`optimcast_netsim::SimRun`] (binding mismatches, `m == 0`).
 pub fn simulate_scatter<N: optimcast_topology::Network>(
     net: &N,
     tree: &MulticastTree,
@@ -402,6 +402,7 @@ mod sim_tests {
                         contention: ContentionMode::Ideal,
                         timing: NiTiming::Handshake,
                         trace: false,
+                        ..WorkloadConfig::default()
                     },
                 );
                 let expect =
@@ -441,6 +442,7 @@ mod sim_tests {
                 contention: ContentionMode::Ideal,
                 timing: NiTiming::Handshake,
                 trace: false,
+                ..WorkloadConfig::default()
             },
         );
         let bound = params.t_s + f64::from(2 * 15) * params.t_step() + params.t_r;

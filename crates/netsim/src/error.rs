@@ -2,7 +2,7 @@
 //!
 //! Workload validation failures — malformed bindings, impossible
 //! configurations — are reported as [`SimError`] values from
-//! [`crate::run_workload`] / [`crate::run_multicast`] instead of panics, so
+//! [`crate::workload::SimRun`] / [`crate::run_multicast`] instead of panics, so
 //! callers embedding the simulator (CLIs, services, property tests) can
 //! handle bad inputs without unwinding. Internal invariant violations
 //! (scheduling into the past, an event for a non-existent rank) still panic:
@@ -74,6 +74,14 @@ pub enum SimError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// The NI model failed validation (zero send units, zero queue bound)
+    /// or the workload cannot run on it (stop-and-wait reliability needs a
+    /// single send unit; windowed ARQ supports only replicated smart-NI
+    /// jobs).
+    InvalidNiModel {
+        /// What was wrong.
+        reason: &'static str,
+    },
     /// The fault plan's crash schedule kills a job's source host. A crashed
     /// source has nothing to send and nothing to repair around, so the plan
     /// is rejected up front instead of silently abandoning every
@@ -142,6 +150,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            SimError::InvalidNiModel { reason } => {
+                write!(f, "invalid NI model: {reason}")
             }
             SimError::SourceCrashed { job, host } => {
                 write!(
@@ -238,6 +249,11 @@ mod tests {
             reason: "drop_rate must lie in [0, 1)",
         };
         assert!(invalid.to_string().contains("drop_rate"));
+        let ni = SimError::InvalidNiModel {
+            reason: "send_units must be at least 1",
+        };
+        assert!(ni.to_string().contains("invalid NI model"), "{ni}");
+        assert!(ni.to_string().contains("send_units"), "{ni}");
         assert!(SimError::FaultsNeedHandshakeTiming
             .to_string()
             .contains("handshake"));

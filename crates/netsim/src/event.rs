@@ -39,16 +39,39 @@ pub(crate) enum Ev {
         child_idx: usize,
     },
     /// Overlapped timing: the send unit frees `t_send` after dispatch.
-    SendRelease(HostId),
+    /// `seq` names the dispatch the release belongs to, so with several
+    /// send units the release frees exactly the unit that fired it.
+    SendRelease { host: HostId, seq: u64 },
     /// Reliability layer: the acknowledgement for the host's in-flight send
     /// did not arrive in time. `seq` is the dispatch sequence number the
     /// timeout was armed for, so a stale timeout cannot release a newer
     /// transmission.
     AckTimeout { host: HostId, seq: u64 },
+    /// Windowed ARQ: a send unit frees `t_send` after dispatch (the wire is
+    /// clear) *without* retiring the packet's window slot — the slot stays
+    /// charged until the handshake or an abandonment retires it.
+    ArqRelease { host: HostId, seq: u64 },
+    /// Windowed ARQ: the retransmission timer for one window slot fired
+    /// (armed with PRF-derived jitter on a lost transmission). Stale if the
+    /// slot has since been retired or retransmitted under a newer attempt.
+    ArqTimeout {
+        job: u32,
+        child: Rank,
+        packet: u32,
+        attempt: u32,
+    },
+    /// Windowed ARQ: the receiver at `at` detected a gap and NACKs the
+    /// coalesced missing range `[first, last]` back to its parent.
+    ArqNack {
+        job: u32,
+        at: Rank,
+        first: u32,
+        last: u32,
+    },
 }
 
 /// A queued packet transmission.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct SendItem {
     pub job: u32,
     pub packet: u32,

@@ -133,6 +133,19 @@ pub struct FaultPlan {
     /// Exponent cap of the backoff: attempt `a` waits
     /// `ack_timeout_us * 2^min(a, backoff_cap)`.
     pub backoff_cap: u32,
+    /// Selective-repeat send window: unacknowledged packets allowed in
+    /// flight per tree edge. `1` (the default) is the PR 3 stop-and-wait
+    /// layer; `window > 1` switches the simulator to the windowed ARQ path
+    /// with out-of-order acceptance and coalesced NACK ranges. Because
+    /// pipelining changes timing even with every fault source disabled, a
+    /// `window > 1` plan is **not** trivial.
+    pub window: u32,
+    /// Per-message delivery deadline (µs past the job's start). When a
+    /// windowed-ARQ retry decision falls past the deadline, the stuck
+    /// child (and its undelivered subtree) is written off as a typed
+    /// `deadline_writeoffs` outcome instead of retrying until
+    /// `max_attempts`. `None` disables deadlines.
+    pub deadline_us: Option<f64>,
     /// Live mid-run repair policy. `None` (the default) keeps the PR 3
     /// behaviour: exhausted deliveries terminate the run with
     /// `SimError::DeliveryFailed`. The policy does not make a plan
@@ -155,19 +168,24 @@ impl FaultPlan {
             max_attempts: 8,
             ack_timeout_us: 60.0,
             backoff_cap: 4,
+            window: 1,
+            deadline_us: None,
             repair: None,
         }
     }
 
-    /// True when no fault source is enabled, so the plan cannot perturb a
-    /// run. The simulator short-circuits trivial plans onto the exact
-    /// fault-free code path.
+    /// True when no fault source is enabled *and* the ARQ is stop-and-wait,
+    /// so the plan cannot perturb a run. The simulator short-circuits
+    /// trivial plans onto the exact fault-free code path. A `window > 1`
+    /// plan is never trivial: pipelined dispatch reshapes timing even at
+    /// zero fault rates.
     pub fn is_trivial(&self) -> bool {
         self.drop_rate == 0.0
             && self.corrupt_rate == 0.0
             && self.link_failures.is_empty()
             && self.crashes.is_empty()
             && self.ni_buffer_capacity.is_none()
+            && self.window <= 1
     }
 
     /// Checks the plan's parameters; the simulator rejects invalid plans
@@ -185,6 +203,27 @@ impl FaultPlan {
         }
         if self.ack_timeout_us <= 0.0 || self.ack_timeout_us.is_nan() {
             return Err("ack_timeout_us must be positive");
+        }
+        if self.window == 0 {
+            return Err("window must be at least 1");
+        }
+        if let Some(d) = self.deadline_us {
+            if d.is_nan() || d <= 0.0 {
+                return Err("deadline_us must be positive");
+            }
+            if d < self.ack_timeout_us {
+                return Err("deadline_us must be at least ack_timeout_us");
+            }
+        }
+        if self.window > 1 {
+            if self.repair.is_some() {
+                return Err("windowed ARQ does not combine with live repair; use deadline_us");
+            }
+            if self.ni_buffer_capacity.is_some() {
+                return Err(
+                    "windowed ARQ bounds queues via NiModel::queue_capacity, not ni_buffer_capacity",
+                );
+            }
         }
         for w in &self.link_failures {
             if w.from_us.is_nan() || w.until_us.is_nan() || w.from_us < 0.0 {
@@ -267,6 +306,16 @@ impl FaultPlan {
         self.ack_timeout_us * f64::from(1u32 << exp.min(31))
     }
 
+    /// Deterministic jitter (µs) added to a windowed-ARQ retransmission
+    /// timer: up to a quarter of the attempt's RTO, drawn from PRF stream 3
+    /// keyed by the transmission identity — never wall time, so retry
+    /// schedules are byte-identical at any worker count. Jitter de-phases
+    /// the per-edge timers so a burst of losses does not retransmit in
+    /// lockstep.
+    pub fn retry_jitter_us(&self, job: u32, from: u32, to: u32, packet: u32, attempt: u32) -> f64 {
+        0.25 * self.rto(attempt) * self.decide(3, job, 0, from, to, packet, attempt)
+    }
+
     /// One uniform draw in `[0, 1)` keyed by the transmission identity and
     /// a stream tag (so drop and corruption use independent streams). The
     /// repair epoch is folded in only when non-zero, keeping epoch-0 draws
@@ -334,6 +383,14 @@ pub struct FaultPlanSpec {
     pub max_attempts: u32,
     /// Base acknowledgement timeout (µs).
     pub ack_timeout_us: f64,
+    /// Selective-repeat send window per tree edge (`1` = stop-and-wait).
+    pub window: u32,
+    /// Per-message delivery deadline (µs past job start; `None` = none).
+    pub deadline_us: Option<f64>,
+    /// NI send units per host, threaded into the run's
+    /// [`crate::arq::NiModel`] by the sweep and CLI layers (the plan itself
+    /// does not consume it).
+    pub send_units: u32,
 }
 
 impl Default for FaultPlanSpec {
@@ -352,20 +409,25 @@ impl Default for FaultPlanSpec {
             live_repair: false,
             max_attempts: 8,
             ack_timeout_us: 60.0,
+            window: 1,
+            deadline_us: None,
+            send_units: 1,
         }
     }
 }
 
 impl FaultPlanSpec {
-    /// True when the spec cannot produce any fault. (`live_repair` and
-    /// `crash_at_us` are modifiers, not fault sources — they leave a
-    /// trivial spec trivial.)
+    /// True when the spec cannot produce any fault. (`live_repair`,
+    /// `crash_at_us`, `deadline_us`, and `send_units` are modifiers, not
+    /// fault sources — they leave a trivial spec trivial; `window > 1` is
+    /// not, because pipelining reshapes timing on its own.)
     pub fn is_trivial(&self) -> bool {
         self.drop_rate == 0.0
             && self.corrupt_rate == 0.0
             && self.crashes == 0
             && self.link_outages == 0
             && self.ni_buffer_capacity.is_none()
+            && self.window <= 1
     }
 
     /// Expands the spec into a [`FaultPlan`] with the given crash and link
@@ -394,6 +456,8 @@ impl FaultPlanSpec {
             ni_buffer_capacity: self.ni_buffer_capacity,
             max_attempts: self.max_attempts,
             ack_timeout_us: self.ack_timeout_us,
+            window: self.window,
+            deadline_us: self.deadline_us,
             repair: self.live_repair.then(|| RepairPolicy {
                 notify_us: 2.0 * self.ack_timeout_us,
                 ..RepairPolicy::default()
@@ -541,6 +605,69 @@ mod tests {
             ..RepairPolicy::default()
         }))
         .contains("max_epochs"));
+        assert!(bad(|p| p.window = 0).contains("window"));
+        assert!(bad(|p| p.deadline_us = Some(0.0)).contains("deadline_us must be positive"));
+        assert!(bad(|p| p.deadline_us = Some(f64::NAN)).contains("deadline_us must be positive"));
+        assert!(
+            bad(|p| p.deadline_us = Some(1.0)).contains("at least ack_timeout_us"),
+            "a deadline shorter than one RTO can never be met"
+        );
+        assert!(bad(|p| {
+            p.window = 8;
+            p.repair = Some(RepairPolicy::default());
+        })
+        .contains("live repair"));
+        assert!(bad(|p| {
+            p.window = 8;
+            p.ni_buffer_capacity = Some(4);
+        })
+        .contains("queue_capacity"));
+    }
+
+    #[test]
+    fn windowed_plans_are_not_trivial() {
+        let plan = FaultPlan {
+            window: 8,
+            ..FaultPlan::new(0)
+        };
+        assert!(
+            !plan.is_trivial(),
+            "window > 1 pipelines dispatch and must not normalise onto the fault-free path"
+        );
+        plan.validate().unwrap();
+        let spec = FaultPlanSpec {
+            window: 8,
+            ..FaultPlanSpec::default()
+        };
+        assert!(!spec.is_trivial());
+        let expanded = spec.plan(0, Vec::new());
+        assert_eq!(expanded.window, 8);
+        assert_eq!(expanded.deadline_us, None);
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        let plan = FaultPlan::new(13);
+        let j = plan.retry_jitter_us(0, 0, 5, 2, 1);
+        assert_eq!(j, plan.retry_jitter_us(0, 0, 5, 2, 1), "pure function");
+        assert!(
+            (0.0..0.25 * plan.rto(1)).contains(&j),
+            "jitter {j} out of range"
+        );
+        // Distinct identities de-phase.
+        let mut varied = false;
+        for p in 0..16 {
+            if plan.retry_jitter_us(0, 0, 5, p, 1) != j {
+                varied = true;
+            }
+        }
+        assert!(varied, "jitter never varied across packets");
+        // Independent of the drop stream: enabling drops does not move it.
+        let dropping = FaultPlan {
+            drop_rate: 0.5,
+            ..FaultPlan::new(13)
+        };
+        assert_eq!(dropping.retry_jitter_us(0, 0, 5, 2, 1), j);
     }
 
     #[test]

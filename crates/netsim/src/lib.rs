@@ -28,6 +28,7 @@
 //! ([`sim::NiTiming::Overlapped`]) relaxes this for ablation.
 
 pub mod alloc;
+pub mod arq;
 pub mod bytes;
 mod channel;
 mod discipline;
@@ -47,6 +48,7 @@ pub mod transport;
 pub mod workload;
 
 pub use alloc::CountingAlloc;
+pub use arq::{coalesce_missing, NiModel};
 pub use error::SimError;
 pub use fault::{FaultKind, FaultPlan, FaultPlanSpec, HostCrash, LinkFailure, RepairPolicy};
 pub use observe::{Observer, SimCounters};
@@ -62,11 +64,6 @@ pub use sim::{
 pub use time::SimTime;
 pub use transport::{
     Delivery, LinkContext, PacketView, SimTransport, Transport, TransportError, TransportResult,
-};
-#[allow(deprecated)]
-pub use workload::{
-    run_workload, run_workload_faulted_observed, run_workload_observed, run_workload_prerouted,
-    run_workload_with_faults,
 };
 pub use workload::{
     JobPayload, MulticastJob, PersonalizedOrder, SimRun, TraceKind, TraceRecord, WorkloadConfig,

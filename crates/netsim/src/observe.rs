@@ -132,6 +132,44 @@ pub trait Observer {
     fn packet_reissued(&mut self, t_us: f64, job: u32, to: Rank, packet: u32) {
         let _ = (t_us, job, to, packet);
     }
+
+    /// A windowed-ARQ receiver asked its parent to resend packet `packet`
+    /// (one hook per packet a NACK range covers).
+    fn resend_requested(&mut self, t_us: f64, job: u32, from: Rank, to: Rank, packet: u32) {
+        let _ = (t_us, job, from, to, packet);
+    }
+
+    /// A windowed-ARQ receiver detected a delivery gap and sent the
+    /// coalesced NACK range `[first, last]` to its parent.
+    fn nack_range_sent(&mut self, t_us: f64, job: u32, at: Rank, first: u32, last: u32) {
+        let _ = (t_us, job, at, first, last);
+    }
+
+    /// An acknowledgement arrived for a window slot already retired
+    /// (acknowledged, abandoned, or written off) — the recovery machinery
+    /// raced a slow handshake.
+    fn late_ack(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
+        let _ = (t_us, job, at, packet);
+    }
+
+    /// A receiver accepted a packet it already held (a retransmission
+    /// crossed the original's handshake).
+    fn duplicate_ack(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
+        let _ = (t_us, job, at, packet);
+    }
+
+    /// A sender's window admission unblocked after `stalled_us` with the
+    /// full window charged and work pending.
+    fn window_stalled(&mut self, job: u32, stalled_us: f64) {
+        let _ = (job, stalled_us);
+    }
+
+    /// A per-message deadline expired: `rank` (with its undelivered
+    /// subtree written off separately, one hook each) will never be
+    /// delivered in this run.
+    fn deadline_writeoff(&mut self, t_us: f64, job: u32, rank: Rank) {
+        let _ = (t_us, job, rank);
+    }
 }
 
 /// Builds the `--trace` timeline.
@@ -374,6 +412,20 @@ pub struct SimCounters {
     /// Total modeled failure-notification latency spent opening repair
     /// epochs (µs).
     pub repair_wait_us: f64,
+    /// Windowed ARQ: per-packet resend requests carried by NACK ranges.
+    pub resend_requests: u64,
+    /// Windowed ARQ: coalesced NACK ranges sent by gap-detecting receivers.
+    pub nack_ranges_sent: u64,
+    /// Windowed ARQ: acknowledgements that arrived for already-retired
+    /// window slots.
+    pub late_acks: u64,
+    /// Windowed ARQ: packets accepted that the receiver already held.
+    pub duplicate_acks: u64,
+    /// Windowed ARQ: total time senders spent with a full window and work
+    /// pending (µs).
+    pub window_stalls_us: f64,
+    /// Destinations written off by an expired per-message deadline.
+    pub deadline_writeoffs: u64,
 }
 
 /// Fills a [`SimCounters`].
@@ -483,6 +535,30 @@ impl Observer for CountersCollector {
 
     fn packet_reissued(&mut self, _t_us: f64, _job: u32, _to: Rank, _packet: u32) {
         self.counters.reissued_packets += 1;
+    }
+
+    fn resend_requested(&mut self, _t_us: f64, _job: u32, _from: Rank, _to: Rank, _packet: u32) {
+        self.counters.resend_requests += 1;
+    }
+
+    fn nack_range_sent(&mut self, _t_us: f64, _job: u32, _at: Rank, _first: u32, _last: u32) {
+        self.counters.nack_ranges_sent += 1;
+    }
+
+    fn late_ack(&mut self, _t_us: f64, _job: u32, _at: Rank, _packet: u32) {
+        self.counters.late_acks += 1;
+    }
+
+    fn duplicate_ack(&mut self, _t_us: f64, _job: u32, _at: Rank, _packet: u32) {
+        self.counters.duplicate_acks += 1;
+    }
+
+    fn window_stalled(&mut self, _job: u32, stalled_us: f64) {
+        self.counters.window_stalls_us += stalled_us;
+    }
+
+    fn deadline_writeoff(&mut self, _t_us: f64, _job: u32, _rank: Rank) {
+        self.counters.deadline_writeoffs += 1;
     }
 }
 
@@ -658,6 +734,48 @@ impl<'a> ObserverHub<'a> {
             self.each_dyn(|o| o.packet_reissued(t_us, job, to, packet));
         }
     }
+
+    pub fn resend_requested(&mut self, t_us: f64, job: u32, from: Rank, to: Rank, packet: u32) {
+        self.counters.resend_requested(t_us, job, from, to, packet);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.resend_requested(t_us, job, from, to, packet));
+        }
+    }
+
+    pub fn nack_range_sent(&mut self, t_us: f64, job: u32, at: Rank, first: u32, last: u32) {
+        self.counters.nack_range_sent(t_us, job, at, first, last);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.nack_range_sent(t_us, job, at, first, last));
+        }
+    }
+
+    pub fn late_ack(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
+        self.counters.late_ack(t_us, job, at, packet);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.late_ack(t_us, job, at, packet));
+        }
+    }
+
+    pub fn duplicate_ack(&mut self, t_us: f64, job: u32, at: Rank, packet: u32) {
+        self.counters.duplicate_ack(t_us, job, at, packet);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.duplicate_ack(t_us, job, at, packet));
+        }
+    }
+
+    pub fn window_stalled(&mut self, job: u32, stalled_us: f64) {
+        self.counters.window_stalled(job, stalled_us);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.window_stalled(job, stalled_us));
+        }
+    }
+
+    pub fn deadline_writeoff(&mut self, t_us: f64, job: u32, rank: Rank) {
+        self.counters.deadline_writeoff(t_us, job, rank);
+        if self.has_dyn_sinks() {
+            self.each_dyn(|o| o.deadline_writeoff(t_us, job, rank));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -758,6 +876,27 @@ mod tests {
                 packet: 0
             }
         );
+    }
+
+    #[test]
+    fn counters_track_windowed_arq() {
+        let mut c = CountersCollector::default();
+        c.nack_range_sent(10.0, 0, Rank(2), 3, 5);
+        for p in 3..=5 {
+            c.resend_requested(10.0, 0, Rank::SOURCE, Rank(2), p);
+        }
+        c.late_ack(11.0, 0, Rank(2), 3);
+        c.duplicate_ack(12.0, 0, Rank(2), 4);
+        c.window_stalled(0, 7.5);
+        c.window_stalled(0, 2.5);
+        c.deadline_writeoff(99.0, 0, Rank(6));
+        let k = &c.counters;
+        assert_eq!(k.nack_ranges_sent, 1);
+        assert_eq!(k.resend_requests, 3);
+        assert_eq!(k.late_acks, 1);
+        assert_eq!(k.duplicate_acks, 1);
+        assert!((k.window_stalls_us - 10.0).abs() < 1e-12);
+        assert_eq!(k.deadline_writeoffs, 1);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! * Each destination's host spends `t_r` after its NI has received the last
 //!   packet; the multicast latency is the latest such completion.
 
+use crate::arq::NiModel;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::workload::{JobPayload, MulticastJob, SimRun, WorkloadConfig};
@@ -119,7 +120,7 @@ pub struct MulticastOutcome {
 ///
 /// `binding[rank]` is the physical host of tree rank `rank`; `binding[0]` is
 /// the source. This is the single-job special case of
-/// [`crate::workload::run_workload`]; all analytic-exactness tests in this
+/// [`crate::workload::SimRun`]; all analytic-exactness tests in this
 /// module therefore validate the workload engine too.
 ///
 /// # Errors
@@ -176,6 +177,7 @@ pub fn run_multicast_shared<N: Network>(
             contention: config.contention,
             timing: config.timing,
             trace: false,
+            ni: NiModel::default(),
         },
     )
     .run()?;
@@ -220,6 +222,7 @@ pub fn run_multicast_prerouted<N: Network>(
             contention: config.contention,
             timing: config.timing,
             trace: false,
+            ni: NiModel::default(),
         },
     )
     .routes(vec![routes])
@@ -267,6 +270,7 @@ pub fn run_multicast_with_faults<N: Network>(
             contention: config.contention,
             timing: config.timing,
             trace: false,
+            ni: NiModel::default(),
         },
     )
     .faults(fault)

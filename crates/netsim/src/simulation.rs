@@ -18,8 +18,9 @@
 //! time resolve by insertion order, so the golden-equivalence tests pin the
 //! exact sequence this module produces.
 
+use crate::arq::{self, ArqState, Slot};
 use crate::discipline::{conventional::Conventional, fcfs::Fcfs, fpfs::Fpfs, scatter::Scatter};
-use crate::discipline::{record_receive, ForwardingDiscipline};
+use crate::discipline::{record_receive, release_replicated_copy, ForwardingDiscipline};
 use crate::engine::EventQueue;
 use crate::error::SimError;
 use crate::event::{Ev, SendItem};
@@ -211,6 +212,10 @@ pub(crate) struct Simulation<'a, N: Network> {
     /// Per-job overlay for the current repair epoch (`None` until a job's
     /// first repair). Empty until the first repair.
     overlay: Vec<Option<EpochOverlay>>,
+    /// Selective-repeat window state, present when the fault plan sets
+    /// `window > 1`. The windowed path replays the FPFS replication pattern
+    /// with per-edge send windows and bypasses the per-job engines.
+    arq: Option<ArqState>,
 }
 
 impl<'a, N: Network> Simulation<'a, N> {
@@ -229,6 +234,10 @@ impl<'a, N: Network> Simulation<'a, N> {
         routes: Option<Vec<Arc<JobRoutes>>>,
     ) -> Result<Self, SimError> {
         validate(net, jobs)?;
+        config
+            .ni
+            .validate()
+            .map_err(|reason| SimError::InvalidNiModel { reason })?;
         // A trivial plan is indistinguishable from no plan; normalizing it to
         // `None` keeps fault-free runs on the exact golden-pinned code path.
         let fault = fault.filter(|f| !f.is_trivial());
@@ -237,6 +246,27 @@ impl<'a, N: Network> Simulation<'a, N> {
                 .map_err(|reason| SimError::InvalidFaultPlan { reason })?;
             if config.timing == NiTiming::Overlapped {
                 return Err(SimError::FaultsNeedHandshakeTiming);
+            }
+            if f.window == 1 && config.ni.send_units > 1 {
+                return Err(SimError::InvalidNiModel {
+                    reason: "stop-and-wait reliability holds the single send unit per \
+                             handshake; multiple send units require window > 1",
+                });
+            }
+            if f.window > 1 {
+                // The windowed path replays the FPFS replication pattern
+                // (like live repair does), so it supports exactly the
+                // replicated smart-NI job shape.
+                for job in jobs {
+                    if !matches!(
+                        (job.nic, job.payload),
+                        (NicKind::Smart(_), JobPayload::Replicated)
+                    ) {
+                        return Err(SimError::InvalidNiModel {
+                            reason: "windowed ARQ supports only replicated smart-NI jobs",
+                        });
+                    }
+                }
             }
             // A crashed source has nothing to repair around and nothing to
             // send: reject the plan up front instead of silently abandoning
@@ -280,13 +310,16 @@ impl<'a, N: Network> Simulation<'a, N> {
             })
             .collect();
         let engines = jobs.iter().map(engine_for).collect();
+        let arq = fault
+            .filter(|f| f.window > 1)
+            .map(|f| ArqState::new(jobs, net.num_hosts() as usize, f.window, f.deadline_us));
         Ok(Simulation {
             st: SimState {
                 jobs,
                 params,
                 config,
                 routes,
-                hosts: HostModel::new(net.num_hosts() as usize),
+                hosts: HostModel::new(net.num_hosts() as usize, config.ni),
                 parts,
                 transport: Box::new(SimTransport::new(
                     config.contention,
@@ -303,6 +336,7 @@ impl<'a, N: Network> Simulation<'a, N> {
             epoch: 0,
             excluded: Vec::new(),
             overlay: Vec::new(),
+            arq,
         })
     }
 
@@ -319,6 +353,15 @@ impl<'a, N: Network> Simulation<'a, N> {
     pub fn run(mut self) -> Result<WorkloadOutcome, SimError> {
         for j in 0..self.st.jobs.len() {
             let job = &self.st.jobs[j];
+            // Windowed ARQ bypasses the engines end-to-end. Its kickoff only
+            // activates window state and schedules the source's TrySend at
+            // the job's staging time — no packets surface in the shared
+            // queues early, so staggered starts need no JobStart
+            // indirection.
+            if self.arq.is_some() {
+                self.arq_kickoff(j as u32);
+                continue;
+            }
             // Smart-NI kickoff surfaces the job's packets in the shared
             // host send queues immediately; for a staggered job that would
             // let a host already relaying another job dispatch them before
@@ -351,8 +394,21 @@ impl<'a, N: Network> Simulation<'a, N> {
                     }
                     Ev::SendPrepared { job, at, child_idx } => self.engines[job as usize]
                         .on_send_prepared(&mut self.st, now, job, at, child_idx),
-                    Ev::SendRelease(h) => self.release_send_unit(now, h),
+                    Ev::SendRelease { host, seq } => self.handle_send_release(now, host, seq),
                     Ev::AckTimeout { host, seq } => self.handle_ack_timeout(now, host, seq),
+                    Ev::ArqRelease { host, seq } => self.handle_arq_release(now, host, seq),
+                    Ev::ArqTimeout {
+                        job,
+                        child,
+                        packet,
+                        attempt,
+                    } => self.handle_arq_timeout(now, job, child, packet, attempt),
+                    Ev::ArqNack {
+                        job,
+                        at,
+                        first,
+                        last,
+                    } => self.handle_arq_nack(now, job, at, first, last),
                 }
             }
             if !self.start_repair_epoch(last) {
@@ -511,12 +567,11 @@ impl<'a, N: Network> Simulation<'a, N> {
         reissued
     }
 
-    /// Dispatches the host's next queued transmission, if its send unit is
-    /// free: reserve the route (stalling on busy channels under wormhole
-    /// contention), notify observers, and schedule the arrival. Under an
-    /// active fault plan the transmission's fate is decided here, at
-    /// dispatch: lost packets schedule an acknowledgement timeout instead of
-    /// an arrival, and crashed senders drain their queues.
+    /// Dispatches the host's queued transmissions onto its free send units
+    /// (one per `TrySend` with the paper's single-unit NI), then — under
+    /// windowed ARQ — admits more pending packets into the freed queue
+    /// space and dispatches those too. Crashed senders drain their queues
+    /// instead.
     fn handle_try_send(&mut self, now: SimTime, h: HostId) {
         if let Some(f) = self.st.fault {
             if f.host_crashed(h, now.as_us()) {
@@ -524,10 +579,27 @@ impl<'a, N: Network> Simulation<'a, N> {
                 return;
             }
         }
+        loop {
+            while let Some(item) = self.st.hosts.try_dispatch(h) {
+                self.dispatch_one(now, h, item);
+            }
+            // Units exhausted or queue drained; window admission may
+            // surface more queued work (only the windowed path ever does).
+            if self.arq.is_none() || !self.arq_admit_host(now, h) {
+                return;
+            }
+        }
+    }
+
+    /// One claimed send unit fires: reserve the route (stalling on busy
+    /// channels under wormhole contention), notify observers, and schedule
+    /// the arrival. Under an active fault plan the transmission's fate is
+    /// decided here, at dispatch: stop-and-wait holds the unit and schedules
+    /// an acknowledgement timeout for lost packets, while windowed ARQ frees
+    /// the unit `t_send` after dispatch and arms a per-slot retransmission
+    /// timer instead.
+    fn dispatch_one(&mut self, now: SimTime, h: HostId, item: SendItem) {
         let st = &mut self.st;
-        let Some(item) = st.hosts.try_dispatch(h) else {
-            return;
-        };
         let j = item.job as usize;
         // During a repair epoch the job's forwarding structure is its
         // overlay (tree + routes over the original rank space); epoch 0
@@ -579,6 +651,67 @@ impl<'a, N: Network> Simulation<'a, N> {
             item.packet,
             start_us - now.as_us(),
         );
+        if self.arq.is_some() {
+            // Windowed ARQ: the unit frees once the wire is clear, whatever
+            // the packet's fate — the window slot (and the parent's buffer
+            // copy) stay charged until the handshake retires it.
+            let seq = st.hosts.last_dispatched_seq(h);
+            st.queue.schedule(
+                SimTime::us(start_us) + st.params.t_send,
+                Ev::ArqRelease { host: h, seq },
+            );
+            match outcome {
+                TransportResult::Delivered {
+                    arrival_us,
+                    corrupt,
+                    ..
+                } => st
+                    .queue
+                    .schedule(SimTime::us(arrival_us), Ev::Arrive { item, corrupt }),
+                TransportResult::Lost {
+                    kind, retry_at_us, ..
+                } => {
+                    st.obs.packet_dropped(
+                        start_us,
+                        item.job,
+                        item.from,
+                        item.child,
+                        item.packet,
+                        kind,
+                    );
+                    if matches!(kind, FaultKind::LinkDown | FaultKind::ReceiverDead) {
+                        let affected = if kind == FaultKind::ReceiverDead {
+                            dest_host
+                        } else {
+                            h
+                        };
+                        st.obs.fault_triggered(start_us, kind, affected);
+                    }
+                    // The slot's retransmission timer; the PRF-derived
+                    // jitter decorrelates simultaneous expirations while
+                    // keeping the schedule byte-identical at any worker
+                    // count.
+                    let f = st.fault.expect("windowed ARQ runs under a fault plan");
+                    let jitter = f.retry_jitter_us(
+                        item.job,
+                        item.from.0,
+                        item.child.0,
+                        item.packet,
+                        item.attempt,
+                    );
+                    st.queue.schedule(
+                        SimTime::us(retry_at_us + jitter),
+                        Ev::ArqTimeout {
+                            job: item.job,
+                            child: item.child,
+                            packet: item.packet,
+                            attempt: item.attempt,
+                        },
+                    );
+                }
+            }
+            return;
+        }
         match outcome {
             TransportResult::Delivered {
                 arrival_us,
@@ -607,14 +740,17 @@ impl<'a, N: Network> Simulation<'a, N> {
                     };
                     st.obs.fault_triggered(start_us, kind, affected);
                 }
-                let seq = st.hosts.in_flight_seq(h).expect("just dispatched");
+                let seq = st.hosts.last_dispatched_seq(h);
                 st.queue
                     .schedule(SimTime::us(retry_at_us), Ev::AckTimeout { host: h, seq });
             }
         }
         if st.config.timing == NiTiming::Overlapped {
-            st.queue
-                .schedule(SimTime::us(start_us) + st.params.t_send, Ev::SendRelease(h));
+            let seq = st.hosts.last_dispatched_seq(h);
+            st.queue.schedule(
+                SimTime::us(start_us) + st.params.t_send,
+                Ev::SendRelease { host: h, seq },
+            );
         }
     }
 
@@ -697,6 +833,10 @@ impl<'a, N: Network> Simulation<'a, N> {
     /// job's engine. A corrupted packet is instead NACKed: the sender's unit
     /// frees (keeping its buffer copy) and the packet is re-enqueued.
     fn handle_recv_done(&mut self, now: SimTime, item: SendItem, corrupt: bool) {
+        if self.arq.is_some() {
+            self.arq_recv_done(now, item, corrupt);
+            return;
+        }
         let j = item.job as usize;
         if corrupt {
             debug_assert_eq!(self.st.config.timing, NiTiming::Handshake);
@@ -715,8 +855,13 @@ impl<'a, N: Network> Simulation<'a, N> {
             return;
         }
         if self.st.config.timing == NiTiming::Handshake {
+            // The handshake frees exactly the unit that carried this
+            // transmission (with `s > 1` an out-of-order completion must not
+            // release a sibling's unit).
             let u_host = self.st.host_of(item.job, item.from);
-            self.release_send_unit(now, u_host);
+            self.st.hosts.release_matching(u_host, &item);
+            self.engines[item.job as usize].on_copy_released(&mut self.st, item);
+            self.st.queue.schedule(now, Ev::TrySend(u_host));
         }
         self.engines[j].sender_ack(&mut self.st, now, item.job, item.from);
         self.st
@@ -825,12 +970,466 @@ impl<'a, N: Network> Simulation<'a, N> {
         }
     }
 
-    /// Frees the host's send unit, applies the released job's buffer policy,
-    /// and lets the host dispatch its next queued packet.
-    fn release_send_unit(&mut self, now: SimTime, h: HostId) {
-        let item = self.st.hosts.release_send_unit(h);
+    /// Overlapped-timing release: the named dispatch frees its unit `t_send`
+    /// after start, independent of the receiver. Applies the released job's
+    /// buffer policy and lets the host dispatch its next queued packet.
+    fn handle_send_release(&mut self, now: SimTime, h: HostId, seq: u64) {
+        let item = self
+            .st
+            .hosts
+            .release_by_seq(h, seq)
+            .expect("overlapped release without its dispatch");
         self.engines[item.job as usize].on_copy_released(&mut self.st, item);
         self.st.queue.schedule(now, Ev::TrySend(h));
+    }
+
+    /// Windowed-ARQ unit release: the wire is clear `t_send` after dispatch,
+    /// so the unit frees — but the packet's window slot (and the parent's
+    /// buffer copy) stay charged until the handshake or an abandonment
+    /// retires it.
+    fn handle_arq_release(&mut self, now: SimTime, h: HostId, seq: u64) {
+        if self.st.hosts.release_by_seq(h, seq).is_some() {
+            self.st.queue.schedule(now, Ev::TrySend(h));
+        }
+    }
+
+    /// Whether `now` lies past the job's per-message delivery deadline.
+    fn arq_past_deadline(&self, now: SimTime, job: u32) -> bool {
+        let Some(d) = self.arq.as_ref().and_then(|a| a.deadline_us) else {
+            return false;
+        };
+        now.as_us() > self.st.job(job).start_us + d
+    }
+
+    /// Whether `(job, rank)` has been written off (deadline or repair
+    /// exclusion).
+    fn is_rank_excluded(&self, j: usize, r: Rank) -> bool {
+        self.excluded.get(j).is_some_and(|e| e[r.index()])
+    }
+
+    /// Windowed-ARQ kickoff: stage the whole message at the source, activate
+    /// the root's outgoing links with every packet pending, and schedule the
+    /// source's first dispatch at the end of `t_s` staging. Window admission
+    /// (round-robin, one packet per link per round) then meters the pending
+    /// sets out — at unlimited window that reproduces the FPFS packet-major
+    /// kickoff order.
+    fn arq_kickoff(&mut self, j: u32) {
+        let jobd = self.st.job(j);
+        let kids = jobd.tree.root_children();
+        if kids.is_empty() {
+            return; // single-rank job: nothing to transmit
+        }
+        let src_host = jobd.binding[0];
+        self.st.stage(src_host, jobd.packets);
+        for p in 0..jobd.packets as usize {
+            self.st.parts[j as usize][0].copies_left[p] = kids.len() as u32;
+        }
+        let arq = self.arq.as_mut().expect("windowed path");
+        for &c in kids {
+            let link = arq.link(j, c);
+            link.pending.extend(0..jobd.packets);
+            link.active = true;
+            arq.host_links[src_host.index()].push((j, c));
+        }
+        self.st.queue.schedule(
+            SimTime::us(jobd.start_us) + self.st.params.t_s,
+            Ev::TrySend(src_host),
+        );
+    }
+
+    /// Attempts to admit one pending packet of the edge `parent(child) →
+    /// child` into its send window and the parent host's send queue.
+    /// Returns whether a packet was admitted; a full window stamps the
+    /// stall start for the `window_stalls_us` counter.
+    fn arq_admit_one(&mut self, now: SimTime, job: u32, child: Rank) -> bool {
+        let jobd = self.st.job(job);
+        let parent = jobd.tree.parent(child).expect("non-root rank");
+        let parent_host = jobd.binding[parent.index()];
+        let cap = self.st.config.ni.queue_capacity;
+        let arq = self.arq.as_mut().expect("windowed path");
+        let window = arq.window;
+        let link = arq.link(job, child);
+        if link.pending.is_empty() {
+            return false;
+        }
+        if link.in_flight >= window {
+            if link.blocked_since_us.is_none() {
+                link.blocked_since_us = Some(now.as_us());
+            }
+            return false;
+        }
+        if let Some(cap) = cap {
+            if self.st.hosts.queue_len(parent_host) >= cap as usize {
+                return false; // bounded port queue: defer, don't drop
+            }
+        }
+        let p = link.pending.pop_front().expect("checked non-empty");
+        debug_assert_eq!(link.slots[p as usize], Slot::NotSent);
+        link.slots[p as usize] = Slot::InFlight { attempt: 0 };
+        link.in_flight += 1;
+        self.st.enqueue_send(
+            parent_host,
+            SendItem {
+                job,
+                packet: p,
+                from: parent,
+                child,
+                dest: child,
+                attempt: 0,
+            },
+        );
+        true
+    }
+
+    /// Round-robin admission across the host's active outgoing edges: one
+    /// packet per link per round until a full round admits nothing.
+    /// Returns whether anything was admitted.
+    fn arq_admit_host(&mut self, now: SimTime, h: HostId) -> bool {
+        let arq = self.arq.as_ref().expect("windowed path");
+        let n = arq.host_links[h.index()].len();
+        let mut any = false;
+        loop {
+            let mut progressed = false;
+            for i in 0..n {
+                let (job, child) =
+                    self.arq.as_ref().expect("windowed path").host_links[h.index()][i];
+                if self.arq_admit_one(now, job, child) {
+                    progressed = true;
+                    any = true;
+                }
+            }
+            if !progressed {
+                return any;
+            }
+        }
+    }
+
+    /// Retires the window slot of edge `parent(child) → child` for `packet`:
+    /// marks it done, frees the window credit (finalizing any stall), and
+    /// releases the parent's buffer copy.
+    fn arq_retire_slot(&mut self, now: SimTime, job: u32, child: Rank, packet: u32) {
+        let arq = self.arq.as_mut().expect("windowed path");
+        let link = arq.link(job, child);
+        debug_assert!(matches!(link.slots[packet as usize], Slot::InFlight { .. }));
+        link.slots[packet as usize] = Slot::Done;
+        link.in_flight -= 1;
+        let stalled = link.blocked_since_us.take();
+        if let Some(t0) = stalled {
+            self.st.obs.window_stalled(job, now.as_us() - t0);
+        }
+        let parent = self.st.job(job).tree.parent(child).expect("non-root rank");
+        release_replicated_copy(
+            &mut self.st,
+            SendItem {
+                job,
+                packet,
+                from: parent,
+                child,
+                dest: child,
+                attempt: 0,
+            },
+        );
+    }
+
+    /// Windowed retransmit-or-abandon for one in-flight slot: bumps the
+    /// slot's attempt and re-enqueues the packet, or — once the attempt
+    /// budget is spent — retires the slot as abandoned (the destination then
+    /// surfaces as unreached unless a deadline writes it off first).
+    #[allow(clippy::too_many_arguments)]
+    fn arq_resend_or_abandon(
+        &mut self,
+        now: SimTime,
+        job: u32,
+        parent: Rank,
+        child: Rank,
+        packet: u32,
+        attempt: u32,
+        waited_us: f64,
+    ) {
+        let f = self.st.fault.expect("windowed ARQ runs under a fault plan");
+        if attempt + 1 >= f.max_attempts {
+            self.st
+                .obs
+                .delivery_abandoned(now.as_us(), job, parent, child, packet, attempt + 1);
+            self.arq_retire_slot(now, job, child, packet);
+        } else {
+            self.st.obs.retransmit_scheduled(
+                now.as_us(),
+                job,
+                parent,
+                child,
+                packet,
+                attempt + 1,
+                waited_us,
+            );
+            let arq = self.arq.as_mut().expect("windowed path");
+            arq.link(job, child).slots[packet as usize] = Slot::InFlight {
+                attempt: attempt + 1,
+            };
+            let h = self.st.host_of(job, parent);
+            self.st.enqueue_send(
+                h,
+                SendItem {
+                    job,
+                    packet,
+                    from: parent,
+                    child,
+                    dest: child,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    /// A window slot's retransmission timer fired: resend (with the timer's
+    /// rto + jitter as the reported wait) or abandon — unless the timeout is
+    /// stale (the slot was acknowledged, resent under a newer attempt, or
+    /// written off meanwhile).
+    fn handle_arq_timeout(
+        &mut self,
+        now: SimTime,
+        job: u32,
+        child: Rank,
+        packet: u32,
+        attempt: u32,
+    ) {
+        let parent = self.st.job(job).tree.parent(child).expect("non-root rank");
+        {
+            let arq = self.arq.as_mut().expect("windowed path");
+            if arq.link(job, child).slots[packet as usize] != (Slot::InFlight { attempt }) {
+                return;
+            }
+        }
+        if self.arq_past_deadline(now, job) {
+            self.write_off_deadline(now, job, child);
+            return;
+        }
+        let f = self.st.fault.expect("windowed ARQ runs under a fault plan");
+        let waited = f.rto(attempt) + f.retry_jitter_us(job, parent.0, child.0, packet, attempt);
+        self.arq_resend_or_abandon(now, job, parent, child, packet, attempt, waited);
+        let h = self.st.host_of(job, parent);
+        self.st.queue.schedule(now, Ev::TrySend(h));
+    }
+
+    /// The receiver at `at` NACKed the inclusive packet range `[first,
+    /// last]`: resend every packet of the range that is still
+    /// unacknowledged. NACKs ride the modelled control channel —
+    /// instantaneous and reliable, like the acknowledgements.
+    fn handle_arq_nack(&mut self, now: SimTime, job: u32, at: Rank, first: u32, last: u32) {
+        let parent = self.st.job(job).tree.parent(at).expect("non-root rank");
+        for p in first..=last {
+            let slot = self.arq.as_ref().expect("windowed path").links[job as usize][at.index()]
+                .slots[p as usize];
+            let Slot::InFlight { attempt } = slot else {
+                continue; // retired (acknowledged or abandoned) meanwhile
+            };
+            self.st
+                .obs
+                .resend_requested(now.as_us(), job, parent, at, p);
+            if self.arq_past_deadline(now, job) {
+                self.write_off_deadline(now, job, at);
+                return;
+            }
+            self.arq_resend_or_abandon(now, job, parent, at, p, attempt, 0.0);
+        }
+        let h = self.st.host_of(job, parent);
+        self.st.queue.schedule(now, Ev::TrySend(h));
+    }
+
+    /// Windowed-ARQ receive completion: retire the sender-side window slot
+    /// (the modelled acknowledgement), accept the packet out of order, NACK
+    /// any new gap as a coalesced range, replicate to the subtree, and
+    /// complete the host once the message is whole. Corrupt arrivals are
+    /// per-packet NACKs: an immediate resend of exactly that slot.
+    fn arq_recv_done(&mut self, now: SimTime, item: SendItem, corrupt: bool) {
+        let j = item.job as usize;
+        let job = item.job;
+        let at = item.child;
+        let p = item.packet;
+        if corrupt {
+            self.st
+                .obs
+                .packet_dropped(now.as_us(), job, item.from, at, p, FaultKind::Corrupt);
+            let slot =
+                self.arq.as_ref().expect("windowed path").links[j][at.index()].slots[p as usize];
+            // Only the newest attempt resends — a stale corrupt arrival
+            // means a fresher transmission (with its own timer) is already
+            // out.
+            if slot
+                == (Slot::InFlight {
+                    attempt: item.attempt,
+                })
+            {
+                self.st
+                    .obs
+                    .resend_requested(now.as_us(), job, item.from, at, p);
+                if self.arq_past_deadline(now, job) {
+                    self.write_off_deadline(now, job, at);
+                    return;
+                }
+                self.arq_resend_or_abandon(now, job, item.from, at, p, item.attempt, 0.0);
+                let h = self.st.host_of(job, item.from);
+                self.st.queue.schedule(now, Ev::TrySend(h));
+            }
+            return;
+        }
+        // Sender side — the handshake acknowledges the slot.
+        let u_host = self.st.host_of(job, item.from);
+        let slot = self.arq.as_ref().expect("windowed path").links[j][at.index()].slots[p as usize];
+        match slot {
+            Slot::InFlight { .. } => {
+                self.arq_retire_slot(now, job, at, p);
+                // Freed window credit: let the parent admit and dispatch.
+                self.st.queue.schedule(now, Ev::TrySend(u_host));
+            }
+            Slot::Done => {
+                // A resend raced its original past the handshake; the
+                // acknowledgement arrives late and retires nothing.
+                self.st.obs.late_ack(now.as_us(), job, at, p);
+            }
+            Slot::NotSent => unreachable!("an arrival implies a transmission"),
+        }
+        // Receiver side — out-of-order acceptance.
+        if self.is_rank_excluded(j, at) {
+            return; // written off by a deadline: the subtree is retired
+        }
+        {
+            let arq = self.arq.as_mut().expect("windowed path");
+            let rs = &mut arq.recv[j][at.index()];
+            if arq::mask_test(&rs.mask, p) {
+                self.st.obs.duplicate_ack(now.as_us(), job, at, p);
+                return;
+            }
+            arq::mask_set(&mut rs.mask, p);
+            rs.last_seen = Some(rs.last_seen.map_or(p, |l| l.max(p)));
+        }
+        self.st.obs.recv_done(now.as_us(), job, at, p);
+        let received = record_receive(&mut self.st, now, job, at);
+        // Gap detection: per-edge delivery is FIFO, so anything missing
+        // below the packet just received was lost. NACK each missing run
+        // once (the sender's timer covers a lost recovery).
+        let ranges = {
+            let arq = self.arq.as_mut().expect("windowed path");
+            let rs = &mut arq.recv[j][at.index()];
+            let combined: Vec<u64> = rs.mask.iter().zip(&rs.nacked).map(|(a, b)| a | b).collect();
+            let ranges = arq::coalesce_missing(&combined, p);
+            for &(first, last) in &ranges {
+                for q in first..=last {
+                    arq::mask_set(&mut rs.nacked, q);
+                }
+            }
+            ranges
+        };
+        for (first, last) in ranges {
+            self.st
+                .obs
+                .nack_range_sent(now.as_us(), job, at, first, last);
+            self.st.queue.schedule(
+                now,
+                Ev::ArqNack {
+                    job,
+                    at,
+                    first,
+                    last,
+                },
+            );
+        }
+        // Forwarding: replicate to every live child as soon as the packet
+        // lands (the FPFS pattern), windowed per edge.
+        let jobd = self.st.job(job);
+        let packets = jobd.packets;
+        let v_host = jobd.binding[at.index()];
+        let kids = jobd.tree.children(at);
+        if !kids.is_empty() {
+            let live = kids
+                .iter()
+                .filter(|&&c| !self.is_rank_excluded(j, c))
+                .count() as u32;
+            if live > 0 {
+                self.st.parts[j][at.index()].copies_left[p as usize] = live;
+                self.st.stage(v_host, 1);
+                let excluded = &self.excluded;
+                let arq = self.arq.as_mut().expect("windowed path");
+                for &c in kids {
+                    if excluded.get(j).is_some_and(|e| e[c.index()]) {
+                        continue;
+                    }
+                    let link = arq.link(job, c);
+                    link.pending.push_back(p);
+                    if !link.active {
+                        link.active = true;
+                        arq.host_links[v_host.index()].push((job, c));
+                    }
+                }
+                self.st.queue.schedule(now, Ev::TrySend(v_host));
+            }
+        }
+        if received == packets {
+            self.st.finish_host(now, job, at);
+        }
+    }
+
+    /// The job's delivery deadline passed with `child`'s delivery still
+    /// incomplete: write off the whole undelivered subtree under (and
+    /// including) `child` as typed `unreached` entries instead of letting
+    /// retries run the attempt budget down. Reuses the repair-epoch
+    /// exclusion mechanism, so `collect` reports the run as a success for
+    /// the surviving membership.
+    fn write_off_deadline(&mut self, now: SimTime, job: u32, child: Rank) {
+        let j = job as usize;
+        if self.excluded.is_empty() {
+            self.excluded = self
+                .st
+                .jobs
+                .iter()
+                .map(|jb| vec![false; jb.tree.len()])
+                .collect();
+        }
+        let jobd = self.st.job(job);
+        let mut stack = vec![child];
+        while let Some(v) = stack.pop() {
+            if self.st.parts[j][v.index()].host_done.is_some() || self.excluded[j][v.index()] {
+                continue;
+            }
+            self.excluded[j][v.index()] = true;
+            self.st.obs.deadline_writeoff(now.as_us(), job, v);
+            // Retire the incoming edge wholesale: pending (undispatched)
+            // packets and in-flight slots each still hold a parent buffer
+            // copy.
+            let parent = jobd.tree.parent(v).expect("non-root rank");
+            let (to_release, stalled) = {
+                let arq = self.arq.as_mut().expect("windowed path");
+                let link = arq.link(job, v);
+                let mut to_release: Vec<u32> = link.pending.drain(..).collect();
+                for (pi, s) in link.slots.iter_mut().enumerate() {
+                    if matches!(*s, Slot::InFlight { .. }) {
+                        to_release.push(pi as u32);
+                    }
+                    *s = Slot::Done;
+                }
+                link.in_flight = 0;
+                (to_release, link.blocked_since_us.take())
+            };
+            if let Some(t0) = stalled {
+                self.st.obs.window_stalled(job, now.as_us() - t0);
+            }
+            for p in to_release {
+                release_replicated_copy(
+                    &mut self.st,
+                    SendItem {
+                        job,
+                        packet: p,
+                        from: parent,
+                        child: v,
+                        dest: v,
+                        attempt: 0,
+                    },
+                );
+            }
+            for &c in jobd.tree.children(v) {
+                stack.push(c);
+            }
+        }
     }
 
     /// Collects per-job outcomes and workload aggregates.

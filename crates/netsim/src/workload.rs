@@ -19,6 +19,7 @@
 //! executor, so every exactness test of the analytic models also validates
 //! this engine.
 
+use crate::arq::NiModel;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::observe::{Observer, SimCounters};
@@ -117,6 +118,10 @@ pub struct WorkloadConfig {
     pub contention: ContentionMode,
     /// NI send-unit release policy.
     pub timing: NiTiming,
+    /// Per-host NI resources (send units, send-queue bound). The default
+    /// single-unit model is the paper's NI and what every committed golden
+    /// was pinned under.
+    pub ni: NiModel,
     /// Record a [`TraceRecord`] timeline in the outcome (off by default —
     /// traces grow with `jobs × packets × depth`).
     pub trace: bool,
@@ -127,6 +132,7 @@ impl Default for WorkloadConfig {
         WorkloadConfig {
             contention: ContentionMode::Wormhole,
             timing: NiTiming::Handshake,
+            ni: NiModel::default(),
             trace: false,
         }
     }
@@ -241,10 +247,12 @@ pub struct WorkloadOutcome {
     /// Structured aggregate counters (always collected; never affects
     /// simulated timing).
     pub counters: SimCounters,
-    /// Destinations written off as crashed by live repair epochs, as
-    /// `(job, rank)` in job-then-rank order. Always empty without a
-    /// [`crate::fault::RepairPolicy`]: without repair an undelivered
-    /// destination is a [`SimError::DeliveryFailed`], not an outcome.
+    /// Destinations written off as lost causes, as `(job, rank)` in
+    /// job-then-rank order: crashed ranks written off by live repair
+    /// epochs, plus ranks a windowed-ARQ per-message deadline expired on.
+    /// Always empty without a [`crate::fault::RepairPolicy`] or
+    /// `deadline_us`: otherwise an undelivered destination is a
+    /// [`SimError::DeliveryFailed`], not an outcome.
     pub unreached: Vec<(u32, Rank)>,
     /// Timeline (empty unless [`WorkloadConfig::trace`] is set).
     pub trace: Vec<TraceRecord>,
@@ -362,117 +370,6 @@ impl<'a, N: Network> SimRun<'a, N> {
         )?
         .run()
     }
-}
-
-/// Executes a workload of multicast jobs on a shared network.
-///
-/// # Errors
-///
-/// Returns a [`SimError`] for an empty workload, a job with zero packets, a
-/// binding that does not cover its tree, repeats a host within one job,
-/// names a host outside the network, starts at a negative time, or pairs a
-/// personalized payload with a conventional NI.
-#[deprecated(note = "use `SimRun::new(net, jobs, params, config).run()`")]
-pub fn run_workload<N: Network>(
-    net: &N,
-    jobs: &[MulticastJob],
-    params: &SystemParams,
-    config: WorkloadConfig,
-) -> Result<WorkloadOutcome, SimError> {
-    SimRun::new(net, jobs, params, config).run()
-}
-
-/// [`run_workload`] with caller-supplied interned route tables, one per job,
-/// each built by [`crate::routes::JobRoutes::build`] from the job's
-/// `(tree, binding)` on `net`. Sweep engines memoize the tables across cells
-/// (the same `(topology, chain, tree)` triple recurs for every packet-count
-/// point of a series) and skip the per-run route computation; the outcome is
-/// identical to [`run_workload`].
-///
-/// # Errors
-///
-/// Same contract as [`run_workload`].
-#[deprecated(note = "use `SimRun::new(net, jobs, params, config).routes(routes).run()`")]
-pub fn run_workload_prerouted<N: Network>(
-    net: &N,
-    jobs: &[MulticastJob],
-    routes: Vec<Arc<crate::routes::JobRoutes>>,
-    params: &SystemParams,
-    config: WorkloadConfig,
-) -> Result<WorkloadOutcome, SimError> {
-    SimRun::new(net, jobs, params, config).routes(routes).run()
-}
-
-/// [`run_workload`] under a [`FaultPlan`]: packets may be dropped,
-/// corrupted, or refused per the plan, the stop-and-wait reliability layer
-/// retransmits with capped exponential backoff, and crashed hosts stay
-/// silent. A trivial (fault-free) plan follows the exact fault-free code
-/// path, so outcomes are byte-identical to [`run_workload`].
-///
-/// # Errors
-///
-/// Same validation contract as [`run_workload`], plus
-/// [`SimError::InvalidFaultPlan`] for a malformed plan,
-/// [`SimError::FaultsNeedHandshakeTiming`] when a non-trivial plan is paired
-/// with overlapped NI timing, and [`SimError::DeliveryFailed`] when the
-/// plan's losses exceed the retransmission budget.
-#[deprecated(note = "use `SimRun::new(net, jobs, params, config).faults(fault).run()`")]
-pub fn run_workload_with_faults<N: Network>(
-    net: &N,
-    jobs: &[MulticastJob],
-    params: &SystemParams,
-    config: WorkloadConfig,
-    fault: &FaultPlan,
-) -> Result<WorkloadOutcome, SimError> {
-    SimRun::new(net, jobs, params, config).faults(fault).run()
-}
-
-/// [`run_workload`] with a caller-supplied [`Observer`] receiving every
-/// simulation hook alongside the built-in metric/counter/trace sinks.
-///
-/// Observers see plain values and cannot perturb the simulation, so the
-/// outcome is identical to an unobserved run.
-///
-/// # Errors
-///
-/// Same contract as [`run_workload`].
-#[deprecated(note = "use `SimRun::new(net, jobs, params, config).observer(observer).run()`")]
-pub fn run_workload_observed<N: Network>(
-    net: &N,
-    jobs: &[MulticastJob],
-    params: &SystemParams,
-    config: WorkloadConfig,
-    observer: &mut dyn Observer,
-) -> Result<WorkloadOutcome, SimError> {
-    SimRun::new(net, jobs, params, config)
-        .observer(observer)
-        .run()
-}
-
-/// [`run_workload_with_faults`] with a caller-supplied [`Observer`]. Unlike
-/// the trace in [`WorkloadOutcome`], the observer also witnesses *failing*
-/// runs — the hooks fire before [`SimError::DeliveryFailed`] is raised, so
-/// drop/retransmit/abandonment records of a run that exhausts its budget
-/// are still captured.
-///
-/// # Errors
-///
-/// Same contract as [`run_workload_with_faults`].
-#[deprecated(
-    note = "use `SimRun::new(net, jobs, params, config).faults(fault).observer(observer).run()`"
-)]
-pub fn run_workload_faulted_observed<N: Network>(
-    net: &N,
-    jobs: &[MulticastJob],
-    params: &SystemParams,
-    config: WorkloadConfig,
-    fault: &FaultPlan,
-    observer: &mut dyn Observer,
-) -> Result<WorkloadOutcome, SimError> {
-    SimRun::new(net, jobs, params, config)
-        .faults(fault)
-        .observer(observer)
-        .run()
 }
 
 #[cfg(test)]
@@ -776,7 +673,7 @@ mod scatter_tests {
         WorkloadConfig {
             contention: ContentionMode::Ideal,
             timing: NiTiming::Handshake,
-            trace: false,
+            ..WorkloadConfig::default()
         }
     }
 

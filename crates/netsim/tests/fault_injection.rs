@@ -344,6 +344,7 @@ fn traced_faulted_run_records_drop_retransmit_abandon() {
         contention: ContentionMode::Wormhole,
         timing: NiTiming::Handshake,
         trace: true,
+        ..WorkloadConfig::default()
     };
     let wl = match SimRun::new(&n, std::slice::from_ref(&job), &params(), config)
         .faults(&plan)
@@ -455,6 +456,7 @@ fn abandonments_are_observed_before_failure() {
         contention: ContentionMode::Wormhole,
         timing: NiTiming::Handshake,
         trace: false,
+        ..WorkloadConfig::default()
     };
     let mut log = AbandonLog::default();
     let err = SimRun::new(&n, std::slice::from_ref(&job), &params(), config)

@@ -265,7 +265,8 @@ proptest! {
 
     /// A plan with no fault source is trivial even with repair enabled, so
     /// it must normalise onto the exact fault-free golden path: outcome,
-    /// counters, event count, and trace all bit-equal to `run_workload`.
+    /// counters, event count, and trace all bit-equal to the fault-free
+    /// `SimRun` path.
     #[test]
     fn fault_free_plan_with_repair_is_bit_equal_to_the_golden_path(
         n in 4u32..48,

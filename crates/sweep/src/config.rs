@@ -276,6 +276,26 @@ pub(crate) fn validate_fault_spec(spec: &FaultPlanSpec) -> Result<(), SweepError
             "ni_buffer_capacity must be at least 1 packet",
         ));
     }
+    if spec.window == 0 {
+        return Err(SweepError::InvalidFaultSpec("window must be at least 1"));
+    }
+    if let Some(d) = spec.deadline_us {
+        if !(d > 0.0 && d.is_finite()) {
+            return Err(SweepError::InvalidFaultSpec(
+                "deadline_us must be positive and finite",
+            ));
+        }
+        if d < spec.ack_timeout_us {
+            return Err(SweepError::InvalidFaultSpec(
+                "deadline_us must be at least ack_timeout_us",
+            ));
+        }
+    }
+    if spec.send_units == 0 {
+        return Err(SweepError::InvalidFaultSpec(
+            "send_units must be at least 1",
+        ));
+    }
     Ok(())
 }
 
@@ -366,6 +386,23 @@ mod tests {
             },
             FaultPlanSpec {
                 ni_buffer_capacity: Some(0),
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                window: 0,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                deadline_us: Some(0.0),
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                deadline_us: Some(10.0),
+                ack_timeout_us: 60.0,
+                ..FaultPlanSpec::default()
+            },
+            FaultPlanSpec {
+                send_units: 0,
                 ..FaultPlanSpec::default()
             },
         ] {

@@ -32,6 +32,7 @@
 mod bench;
 mod bench_sim;
 mod chaos;
+mod chaos_arq;
 mod chaos_figures;
 mod config;
 mod engine;
@@ -46,6 +47,7 @@ mod tenants;
 pub use bench::{bench_sweep, BenchReport};
 pub use bench_sim::{bench_sim, SimBenchReport};
 pub use chaos::{ChaosCell, ChaosReport};
+pub use chaos_arq::{ArqCell, ArqReport};
 pub use chaos_figures::ChaosFigureId;
 pub use config::{SweepBuilder, SweepConfig};
 pub use engine::{LatencyStats, PointSpec, SimEffort, Sweep};

@@ -1,0 +1,10 @@
+set title "Loss recovery latency: stop-and-wait vs. windowed ARQ"
+set xlabel "drop rate"
+set ylabel "recovery latency (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "chaos_arq.png"
+set datafile missing "?"
+plot "chaos_arq.dat" using 1:2 with linespoints title "stop-and-wait", \
+     "chaos_arq.dat" using 1:3 with linespoints title "windowed"

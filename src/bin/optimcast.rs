@@ -10,10 +10,12 @@
 //!                    [--ordering cco|poc|random] [--ideal] [--trace] [--json]
 //!                    [--drop-rate R] [--corrupt-rate R] [--crashes C]
 //!                    [--crash-at US] [--live-repair] [--fault-seed N]
+//!                    [--window W] [--send-units S] [--deadline US]
 //! optimcast bench-sweep [--threads N] [--smoke] [--out PATH]
 //! optimcast bench-sim [--quick] [--out PATH]
 //! optimcast chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]
 //!                    [--live-repair] [--crash-at US] [--out PATH]
+//!                    [--arq] [--window W] [--send-units S] [--plots DIR]
 //! optimcast jobs     [--quick] [--seed N] [--threads N] [--m M] [--json]
 //!                    [--out PATH] [--plots DIR]
 //! optimcast wire     [--role demo|source|sink] --n N [--k K] [--m M]
@@ -24,7 +26,8 @@
 use optimcast::core::schedule::ForwardingDiscipline;
 use optimcast::jsonout::Json;
 use optimcast::netsim::{
-    JobPayload, MulticastJob, SimRun, TraceKind, Transport, WorkloadConfig, WorkloadOutcome,
+    JobPayload, MulticastJob, NiModel, SimRun, TraceKind, Transport, WorkloadConfig,
+    WorkloadOutcome,
 };
 use optimcast::prelude::*;
 use optimcast::sweep::{bench_sim, bench_sweep};
@@ -82,10 +85,12 @@ fn usage() {
          \u{20}           [--ordering cco|poc|random] [--ideal] [--trace] [--json]\n\
          \u{20}           [--drop-rate R] [--corrupt-rate R] [--crashes C]\n\
          \u{20}           [--crash-at US] [--live-repair] [--fault-seed N]\n\
+         \u{20}           [--window W] [--send-units S] [--deadline US]\n\
          \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]\n\
          \u{20}  bench-sim [--quick] [--out PATH]\n\
          \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]\n\
          \u{20}           [--live-repair] [--crash-at US] [--out PATH]\n\
+         \u{20}           [--arq] [--window W] [--send-units S] [--plots DIR]\n\
          \u{20}  jobs     [--quick] [--seed N] [--threads N] [--m M] [--json] [--out PATH]\n\
          \u{20}           [--plots DIR]\n\
          \u{20}  wire     [--role demo|source|sink] --n N [--k K] [--m M] [--rank R]\n\
@@ -296,6 +301,11 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
     let tree = kbinomial_tree(n, opt.k);
     let live_repair = flags.contains_key("live-repair");
     let crash_count: u32 = get(flags, "crashes", 0);
+    let window: u32 = get(flags, "window", 1);
+    let send_units: u32 = get(flags, "send-units", 1);
+    let deadline_us: Option<f64> = flags
+        .contains_key("deadline")
+        .then(|| get(flags, "deadline", 0.0));
     let spec = FaultPlanSpec {
         seed: get(flags, "fault-seed", 1997u64),
         drop_rate: get(flags, "drop-rate", 0.0),
@@ -303,6 +313,9 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
         crashes: crash_count,
         crash_at_us: get(flags, "crash-at", if live_repair { 5.0 } else { 0.0 }),
         live_repair,
+        window,
+        deadline_us,
+        send_units,
         ..FaultPlanSpec::default()
     };
     if crash_count as usize >= chain.len() {
@@ -325,6 +338,10 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
         contention,
         timing: NiTiming::Handshake,
         trace: flags.contains_key("trace"),
+        ni: NiModel {
+            send_units,
+            queue_capacity: None,
+        },
     };
     let wl = if !spec.is_trivial() {
         // The crashed hosts are the deepest in the ordering: the last
@@ -392,16 +409,28 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
             c.repair_wait_us
         );
     }
+    if c.resend_requests + c.nack_ranges_sent + c.late_acks + c.duplicate_acks > 0
+        || c.window_stalls_us > 0.0
+        || c.deadline_writeoffs > 0
+    {
+        println!(
+            "arq: {} resend requests, {} nack ranges, {} late acks, {} duplicate acks, \
+             {:.1} us window-stalled, {} deadline write-off(s)",
+            c.resend_requests,
+            c.nack_ranges_sent,
+            c.late_acks,
+            c.duplicate_acks,
+            c.window_stalls_us,
+            c.deadline_writeoffs
+        );
+    }
     if !wl.unreached.is_empty() {
         let ranks: Vec<String> = wl
             .unreached
             .iter()
             .map(|(job, rank)| format!("job {job} rank {}", rank.0))
             .collect();
-        println!(
-            "unreached (written off by live repair): {}",
-            ranks.join(", ")
-        );
+        println!("unreached (written off): {}", ranks.join(", "));
     }
     let histo: Vec<String> = c
         .buffer_occupancy
@@ -598,6 +627,10 @@ fn cmd_bench_sim(flags: &HashMap<String, String>) {
 /// unified figure JSON. The JSON records no thread count and is
 /// byte-identical for every `--threads` value — CI runs it twice and diffs.
 fn cmd_chaos(flags: &HashMap<String, String>) {
+    if flags.contains_key("arq") {
+        cmd_chaos_arq(flags);
+        return;
+    }
     let default_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -729,6 +762,121 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
     println!("report written to {out_path}");
 }
 
+/// The `chaos --arq` variant: the recovery-latency grid — stop-and-wait
+/// against windowed selective-repeat at every swept drop rate, charting
+/// each mode's added latency over its own lossless baseline. The JSON
+/// records no thread count and is byte-identical for every `--threads`
+/// value — CI runs it twice and diffs.
+fn cmd_chaos_arq(flags: &HashMap<String, String>) {
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = get(flags, "threads", default_threads);
+    let quick = flags.contains_key("quick");
+    let seed: u64 = get(flags, "seed", 1997);
+    let dests: u32 = get(flags, "dests", 31);
+    let m: u32 = get(flags, "m", 4);
+    let window: u32 = get(flags, "window", 8);
+    let send_units: u32 = get(flags, "send-units", 2);
+    let (base, drops, label) = if quick {
+        (
+            SweepBuilder::quick(),
+            vec![0.0, 0.02, 0.05, 0.1],
+            "quick (2x3)",
+        )
+    } else {
+        (
+            SweepBuilder::paper(),
+            vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2],
+            "paper (10x30)",
+        )
+    };
+    eprintln!(
+        "chaos --arq: {label} methodology, {} drop rate(s) x 2 modes, {threads} worker(s)...",
+        drops.len()
+    );
+    let sweep = base
+        .parallelism(threads)
+        .fault(FaultPlanSpec {
+            seed,
+            ..FaultPlanSpec::default()
+        })
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        });
+    let report = sweep
+        .chaos_arq(&drops, dests, m, window, send_units)
+        .unwrap_or_else(|e| {
+            eprintln!("chaos: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "arq grid: {dests} dests, {m} packets, fault seed {seed}, window {window}, \
+         {send_units} send unit(s), {} samples/cell",
+        sweep.config().samples()
+    );
+    println!(
+        "{:>13} {:>6} {:>9} {:>6} {:>12} {:>13} {:>11} {:>6} {:>10}",
+        "mode",
+        "drop",
+        "delivered",
+        "failed",
+        "latency(us)",
+        "recovery(us)",
+        "retransmits",
+        "nacks",
+        "stall(us)"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:>13} {:>6.2} {:>9} {:>6} {:>12.2} {:>13.2} {:>11} {:>6} {:>10.1}",
+            if cell.windowed {
+                "windowed"
+            } else {
+                "stop-and-wait"
+            },
+            cell.drop_rate,
+            cell.delivered,
+            cell.failed,
+            cell.mean_latency_us,
+            cell.recovery_latency_us,
+            cell.retransmits,
+            cell.nack_ranges_sent,
+            cell.window_stalls_us
+        );
+    }
+    if report.all_reached() {
+        println!("all-reached invariant holds: every run recovered every destination");
+    } else {
+        let failed: u32 = report.cells.iter().map(|c| c.failed).sum();
+        let unreached: u64 = report.cells.iter().map(|c| c.unreached).sum();
+        println!(
+            "WARNING: {failed} run(s) exhausted the retransmission budget; \
+             {unreached} destination(s) unreached"
+        );
+    }
+    let effort = sweep.sim_effort();
+    println!(
+        "engine: {} events processed, peak queue {}",
+        effort.events_processed, effort.peak_queue_len
+    );
+    let default_out = "results/chaos_arq.json".to_string();
+    let out_path = flags.get("out").unwrap_or(&default_out);
+    if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
+        eprintln!("chaos: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
+    // The committed plots chart the full paper grid; quick smoke runs
+    // (CI's determinism check) must not overwrite them.
+    if !quick {
+        let plot_dir = flags.get("plots").map(String::as_str).unwrap_or("plots");
+        write_figure_plots("chaos", plot_dir, &report.figure());
+    }
+}
+
 /// The `jobs` subcommand: the multi-tenant admission grid (concurrent job
 /// count × mean inter-arrival × group size), every cell scheduled under
 /// both FIFO and contention-aware admission on identical sampled job sets.
@@ -842,17 +990,18 @@ fn cmd_jobs(flags: &HashMap<String, String>) {
     // quick figure.
     if !quick {
         let plot_dir = flags.get("plots").map(String::as_str).unwrap_or("plots");
-        write_tenant_plots(plot_dir, &report.figure());
+        write_figure_plots("jobs", plot_dir, &report.figure());
     }
 }
 
-/// Writes `<dir>/multi_tenant.dat` + `.gp` in the same gnuplot format the
+/// Writes `<dir>/<figure id>.dat` + `.gp` in the same gnuplot format the
 /// `figures` binary uses for every other committed plot: a `# x "label"…`
 /// header, one column per series with `?` for missing points, and a
-/// pngcairo script.
-fn write_tenant_plots(dir: &str, fig: &optimcast::sweep::Figure) {
+/// pngcairo script. `cmd` labels error messages with the calling
+/// subcommand.
+fn write_figure_plots(cmd: &str, dir: &str, fig: &optimcast::sweep::Figure) {
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("jobs: cannot create {dir}: {e}");
+        eprintln!("{cmd}: cannot create {dir}: {e}");
         return;
     }
     let mut xs: Vec<f64> = Vec::new();
@@ -882,7 +1031,7 @@ fn write_tenant_plots(dir: &str, fig: &optimcast::sweep::Figure) {
         dat.push('\n');
     }
     if let Err(e) = std::fs::write(&dat_path, dat) {
-        eprintln!("jobs: cannot write {dat_path}: {e}");
+        eprintln!("{cmd}: cannot write {dat_path}: {e}");
         return;
     }
     let gp_path = format!("{dir}/{}.gp", fig.id);
@@ -911,7 +1060,7 @@ fn write_tenant_plots(dir: &str, fig: &optimcast::sweep::Figure) {
     gp.push_str(&plots.join(", \\\n     "));
     gp.push('\n');
     if let Err(e) = std::fs::write(&gp_path, gp) {
-        eprintln!("jobs: cannot write {gp_path}: {e}");
+        eprintln!("{cmd}: cannot write {gp_path}: {e}");
         return;
     }
     println!("plots written to {dat_path} and {gp_path}");
@@ -1061,6 +1210,12 @@ fn simulate_json(wl: &WorkloadOutcome, k: u32, steps: u64) -> Json {
                 ("repairs", Json::from(c.repairs)),
                 ("reissued_packets", Json::from(c.reissued_packets)),
                 ("repair_wait_us", Json::from(c.repair_wait_us)),
+                ("resend_requests", Json::from(c.resend_requests)),
+                ("nack_ranges_sent", Json::from(c.nack_ranges_sent)),
+                ("late_acks", Json::from(c.late_acks)),
+                ("duplicate_acks", Json::from(c.duplicate_acks)),
+                ("window_stalls_us", Json::from(c.window_stalls_us)),
+                ("deadline_writeoffs", Json::from(c.deadline_writeoffs)),
             ]),
         ),
         (

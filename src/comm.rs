@@ -150,6 +150,7 @@ impl<N: Network> Communicator<N> {
                 contention: self.config.contention,
                 timing: self.config.timing,
                 trace: false,
+                ..WorkloadConfig::default()
             },
         )
     }

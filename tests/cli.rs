@@ -89,6 +89,12 @@ fn simulate_json_output() {
         "\"repairs\"",
         "\"reissued_packets\"",
         "\"repair_wait_us\"",
+        "\"resend_requests\"",
+        "\"nack_ranges_sent\"",
+        "\"late_acks\"",
+        "\"duplicate_acks\"",
+        "\"window_stalls_us\"",
+        "\"deadline_writeoffs\"",
         "\"unreached\"",
     ] {
         assert!(out.contains(key), "missing {key} in {out}");
@@ -125,6 +131,55 @@ fn simulate_json_surfaces_faults_and_unreached() {
     assert!(!out.contains("\"retransmits\": 0"), "{out}");
     assert!(out.contains("\"unreached\": ["), "{out}");
     assert!(out.contains("\"rank\""), "{out}");
+}
+
+#[test]
+fn simulate_windowed_arq_surfaces_recovery_counters() {
+    // A window > 1 switches the run onto the selective-repeat path over
+    // the multi-send-unit NI; the loss must be recovered (empty write-off
+    // list) and the recovery must surface in the ARQ counters.
+    let (out, ok) = optimcast(&[
+        "simulate",
+        "--dests",
+        "15",
+        "--m",
+        "4",
+        "--seed",
+        "2",
+        "--drop-rate",
+        "0.08",
+        "--window",
+        "8",
+        "--send-units",
+        "2",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    assert!(!out.contains("\"packets_dropped\": 0"), "{out}");
+    assert!(!out.contains("\"retransmits\": 0"), "{out}");
+    assert!(out.contains("\"resend_requests\""), "{out}");
+    assert!(out.contains("\"unreached\": []"), "{out}");
+}
+
+#[test]
+fn simulate_rejects_windowed_stop_and_wait_mismatch() {
+    // Multiple send units under stop-and-wait (window 1) are rejected with
+    // a typed NI-model error, not a panic.
+    let out = Command::new(env!("CARGO_BIN_EXE_optimcast"))
+        .args([
+            "simulate",
+            "--dests",
+            "7",
+            "--drop-rate",
+            "0.05",
+            "--send-units",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid NI model"), "{err}");
 }
 
 #[test]
@@ -250,6 +305,45 @@ fn figures_threads_flag_is_output_invariant() {
         std::fs::read_to_string(dir.join("fig13a.json")).expect("sidecar written")
     };
     assert_eq!(run("1"), run("3"), "thread count changed figure bytes");
+}
+
+#[test]
+fn chaos_arq_threads_flag_is_output_invariant() {
+    let run = |threads: &str| {
+        let out_path = std::env::temp_dir().join(format!("optimcast-chaos-arq-{threads}.json"));
+        let _ = std::fs::remove_file(&out_path);
+        let out = Command::new(env!("CARGO_BIN_EXE_optimcast"))
+            .args([
+                "chaos",
+                "--arq",
+                "--quick",
+                "--seed",
+                "7",
+                "--dests",
+                "15",
+                "--m",
+                "2",
+                "--threads",
+                threads,
+                "--out",
+                out_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("stop-and-wait"), "{stdout}");
+        assert!(stdout.contains("windowed"), "{stdout}");
+        std::fs::read_to_string(&out_path).expect("report written")
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "thread count changed ARQ report bytes");
+    assert!(serial.contains("\"id\": \"chaos_arq\""), "{serial}");
+    assert!(serial.contains("\"recovery_latency_us\""), "{serial}");
 }
 
 #[test]

@@ -219,6 +219,7 @@ fn scatter_pipeline_cross_validates() {
             contention: ContentionMode::Ideal,
             timing: NiTiming::Handshake,
             trace: false,
+            ..WorkloadConfig::default()
         },
     )
     .run()
