@@ -105,36 +105,46 @@ pub fn kbinomial_tree(n: u32, k: u32) -> MulticastTree {
     tree
 }
 
-/// Recursively covers chain segment `[root_idx, hi]` (inclusive), rooted at
-/// `root_idx`, within `s` steps, fan-out capped at `k`.
+/// Covers chain segment `[root_idx, hi]` (inclusive), rooted at `root_idx`,
+/// within `s` steps, fan-out capped at `k`.
 ///
 /// Children are carved off the *right* end of the segment with capacities
 /// `N(s-1, k), N(s-2, k), …` as in Fig. 11, capped by the nodes remaining.
+///
+/// Iterative with an explicit segment stack: the recursive formulation
+/// nests O(n) deep at `k = 1` (one frame per chain vertex), which overflows
+/// the stack long before mega scale. Processing order differs from the
+/// recursion only across *different* parents; each parent still attaches
+/// its children in the same left-to-right order, so the resulting tree is
+/// identical.
 fn build_segment(tree: &mut MulticastTree, root_idx: u32, hi: u32, s: u32, k: u32) {
     debug_assert!(hi >= root_idx);
-    let mut right_end = hi;
-    let mut step = 1u32;
-    while right_end > root_idx {
-        debug_assert!(
-            step <= s,
-            "budget exhausted: segment [{root_idx}, {hi}] s={s} k={k}"
-        );
-        let remaining = u128::from(right_end - root_idx);
-        let cap = if step <= k {
-            coverage(s - step, k)
-        } else {
-            // More than k children would violate Definition 1; the step
-            // budget guarantees this branch is never taken (see tests).
-            unreachable!("k-binomial construction exceeded {k} children")
-        };
-        let take = cap.min(remaining) as u32;
-        let child = right_end - take + 1;
-        tree.attach(Rank(root_idx), Rank(child));
-        if take > 1 {
-            build_segment(tree, child, right_end, s - step, k);
+    let mut stack = vec![(root_idx, hi, s)];
+    while let Some((root_idx, hi, s)) = stack.pop() {
+        let mut right_end = hi;
+        let mut step = 1u32;
+        while right_end > root_idx {
+            debug_assert!(
+                step <= s,
+                "budget exhausted: segment [{root_idx}, {hi}] s={s} k={k}"
+            );
+            let remaining = u128::from(right_end - root_idx);
+            let cap = if step <= k {
+                coverage(s - step, k)
+            } else {
+                // More than k children would violate Definition 1; the step
+                // budget guarantees this branch is never taken (see tests).
+                unreachable!("k-binomial construction exceeded {k} children")
+            };
+            let take = cap.min(remaining) as u32;
+            let child = right_end - take + 1;
+            tree.attach(Rank(root_idx), Rank(child));
+            if take > 1 {
+                stack.push((child, right_end, s - step));
+            }
+            right_end = child - 1;
+            step += 1;
         }
-        right_end = child - 1;
-        step += 1;
     }
 }
 

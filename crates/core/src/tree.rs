@@ -41,23 +41,84 @@ impl From<u32> for Rank {
     }
 }
 
+/// Sentinel for "no rank" in the intrusive child chains.
+const NONE: u32 = u32::MAX;
+
+/// Child lists packed into compressed-sparse-row arrays: children of `r`
+/// are `dat[off[r]..off[r + 1]]`, in send order. Derived lazily from the
+/// chain links so tree *construction* stays O(1) per attach and O(n) total
+/// — the former `Vec<Vec<Rank>>` layout cost one allocation per rank, which
+/// dominated setup at n = 65,536.
+#[derive(Debug)]
+struct PackedChildren {
+    off: Vec<u32>,
+    dat: Vec<Rank>,
+}
+
 /// A rooted multicast tree over ranks `0..n`, rank 0 at the root.
 ///
-/// Stored as parent pointers plus ordered child lists, indexed directly by
-/// rank (the arena has exactly one slot per participant).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Stored as parent pointers plus intrusive first-child/next-sibling
+/// chains, indexed directly by rank (the arena has exactly one slot per
+/// participant). [`Self::children`] serves contiguous slices from a CSR
+/// index packed on first use and invalidated by [`Self::attach`]; steady
+/// state callers should [`Self::pack`] once after construction so later
+/// queries are allocation-free.
 pub struct MulticastTree {
     parent: Vec<Option<Rank>>,
-    children: Vec<Vec<Rank>>,
+    /// First child of each rank (send order head), `NONE` if childless.
+    first_child: Vec<u32>,
+    /// Last child of each rank (send order tail), for O(1) append.
+    last_child: Vec<u32>,
+    /// Next sibling in the parent's send order, `NONE` at the tail.
+    next_sibling: Vec<u32>,
+    /// Number of children per rank.
+    child_count: Vec<u32>,
+    /// Lazy CSR view of the chains.
+    packed: std::sync::OnceLock<PackedChildren>,
 }
+
+impl fmt::Debug for MulticastTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let children: Vec<Vec<Rank>> = (0..self.len())
+            .map(|r| self.children_iter(Rank(r as u32)).collect())
+            .collect();
+        f.debug_struct("MulticastTree")
+            .field("parent", &self.parent)
+            .field("children", &children)
+            .finish()
+    }
+}
+
+impl Clone for MulticastTree {
+    fn clone(&self) -> Self {
+        // The packed CSR is derived state; the clone rebuilds it on demand.
+        MulticastTree {
+            parent: self.parent.clone(),
+            first_child: self.first_child.clone(),
+            last_child: self.last_child.clone(),
+            next_sibling: self.next_sibling.clone(),
+            child_count: self.child_count.clone(),
+            packed: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for MulticastTree {
+    fn eq(&self, other: &Self) -> bool {
+        // parent + chain links fully determine the per-parent send orders;
+        // everything else is derived.
+        self.parent == other.parent
+            && self.first_child == other.first_child
+            && self.next_sibling == other.next_sibling
+    }
+}
+
+impl Eq for MulticastTree {}
 
 impl MulticastTree {
     /// A tree containing only the source.
     pub fn singleton() -> Self {
-        MulticastTree {
-            parent: vec![None],
-            children: vec![Vec::new()],
-        }
+        Self::with_capacity(1)
     }
 
     /// Creates an edgeless forest over `n` participants; callers then attach
@@ -70,11 +131,15 @@ impl MulticastTree {
         assert!(n >= 1, "a multicast tree spans at least the source");
         MulticastTree {
             parent: vec![None; n as usize],
-            children: vec![Vec::new(); n as usize],
+            first_child: vec![NONE; n as usize],
+            last_child: vec![NONE; n as usize],
+            next_sibling: vec![NONE; n as usize],
+            child_count: vec![0; n as usize],
+            packed: std::sync::OnceLock::new(),
         }
     }
 
-    /// Attaches `child` as the next (last-so-far) child of `parent`.
+    /// Attaches `child` as the next (last-so-far) child of `parent`. O(1).
     ///
     /// # Panics
     ///
@@ -90,7 +155,42 @@ impl MulticastTree {
             "{child} already has a parent"
         );
         self.parent[child.index()] = Some(parent);
-        self.children[parent.index()].push(child);
+        let p = parent.index();
+        let tail = self.last_child[p];
+        if tail == NONE {
+            self.first_child[p] = child.0;
+        } else {
+            self.next_sibling[tail as usize] = child.0;
+        }
+        self.last_child[p] = child.0;
+        self.child_count[p] += 1;
+        self.packed.take();
+    }
+
+    /// The packed CSR child lists, built on first use in one O(n) pass.
+    fn packed(&self) -> &PackedChildren {
+        self.packed.get_or_init(|| {
+            let n = self.len();
+            let mut off = Vec::with_capacity(n + 1);
+            let mut dat = Vec::with_capacity(n.saturating_sub(1));
+            off.push(0u32);
+            for r in 0..n {
+                let mut c = self.first_child[r];
+                while c != NONE {
+                    dat.push(Rank(c));
+                    c = self.next_sibling[c as usize];
+                }
+                off.push(dat.len() as u32);
+            }
+            PackedChildren { off, dat }
+        })
+    }
+
+    /// Forces the packed CSR child index now. The simulator calls this
+    /// during setup so that [`Self::children`] stays allocation-free in the
+    /// zero-alloc steady state.
+    pub fn pack(&self) {
+        let _ = self.packed();
     }
 
     /// Number of participants (source included).
@@ -105,18 +205,41 @@ impl MulticastTree {
 
     /// The root's children, in send order.
     pub fn root_children(&self) -> &[Rank] {
-        &self.children[0]
+        self.children(Rank::SOURCE)
     }
 
     /// `k_T`: the number of children of the root — the pipelining interval of
     /// the FPFS model (Theorem 1).
     pub fn root_degree(&self) -> u32 {
-        self.children[0].len() as u32
+        self.child_count[0]
     }
 
     /// Children of `r`, in send order.
     pub fn children(&self, r: Rank) -> &[Rank] {
-        &self.children[r.index()]
+        let packed = self.packed();
+        &packed.dat[packed.off[r.index()] as usize..packed.off[r.index() + 1] as usize]
+    }
+
+    /// Children of `r` in send order, walked over the intrusive chain
+    /// without touching the packed index — use while the tree is still
+    /// being mutated (each [`Self::attach`] invalidates the pack, so mixing
+    /// mutation with [`Self::children`] would repack per query).
+    pub fn children_iter(&self, r: Rank) -> impl Iterator<Item = Rank> + '_ {
+        let mut cur = self.first_child[r.index()];
+        std::iter::from_fn(move || {
+            if cur == NONE {
+                None
+            } else {
+                let out = Rank(cur);
+                cur = self.next_sibling[cur as usize];
+                Some(out)
+            }
+        })
+    }
+
+    /// Number of children of `r`. O(1).
+    pub fn child_count(&self, r: Rank) -> u32 {
+        self.child_count[r.index()]
     }
 
     /// Parent of `r` (`None` for the source).
@@ -127,11 +250,7 @@ impl MulticastTree {
     /// Maximum number of children over all vertices — the `k` for which this
     /// is (at most) a k-binomial tree.
     pub fn max_degree(&self) -> u32 {
-        self.children
-            .iter()
-            .map(|c| c.len() as u32)
-            .max()
-            .unwrap_or(0)
+        self.child_count.iter().copied().max().unwrap_or(0)
     }
 
     /// Tree depth in edges (0 for a singleton).
@@ -189,7 +308,7 @@ impl MulticastTree {
     ///
     /// Builders call this in debug builds; tests call it unconditionally.
     pub fn validate(&self) -> Result<(), TreeError> {
-        if self.parent.len() != self.children.len() {
+        if self.parent.len() != self.first_child.len() {
             return Err(TreeError::Inconsistent("table length mismatch".into()));
         }
         if self.parent[0].is_some() {
@@ -199,14 +318,14 @@ impl MulticastTree {
             let Some(p) = p else {
                 return Err(TreeError::Unattached(Rank(i as u32)));
             };
-            if !self.children[p.index()].contains(&Rank(i as u32)) {
+            if !self.children_iter(*p).any(|c| c == Rank(i as u32)) {
                 return Err(TreeError::Inconsistent(format!(
                     "r{i} has parent {p} but is not among its children"
                 )));
             }
         }
-        for (i, kids) in self.children.iter().enumerate() {
-            for &c in kids {
+        for i in 0..self.len() {
+            for c in self.children_iter(Rank(i as u32)) {
                 if self.parent[c.index()] != Some(Rank(i as u32)) {
                     return Err(TreeError::Inconsistent(format!(
                         "{c} listed as child of r{i} but has a different parent"
@@ -523,13 +642,17 @@ impl MulticastTree {
 
         // Which new ranks are currently reachable from the source.
         let mut connected = vec![false; survivors];
+        // The repaired tree is still being attached to, so walk the chain
+        // links (children_iter / child_count) rather than children(): every
+        // attach invalidates the packed index, and repacking per query
+        // would make this pass quadratic.
         let mark_component = |tree: &MulticastTree, connected: &mut Vec<bool>, start: Rank| {
             let mut stack = vec![start];
             while let Some(u) = stack.pop() {
                 if std::mem::replace(&mut connected[u.index()], true) {
                     continue;
                 }
-                stack.extend(tree.children(u).iter().copied());
+                stack.extend(tree.children_iter(u));
             }
         };
         mark_component(&tree, &mut connected, Rank::SOURCE);
@@ -557,7 +680,7 @@ impl MulticastTree {
             while let Some(a) = anc {
                 if !dead[a.index()] {
                     let na = old_to_new[a.index()].unwrap();
-                    if connected[na.index()] && tree.children(na).len() < k {
+                    if connected[na.index()] && (tree.child_count(na) as usize) < k {
                         target = Some(na);
                         break;
                     }
@@ -570,15 +693,10 @@ impl MulticastTree {
                 // degree 0 < k).
                 let mut queue = std::collections::VecDeque::from([Rank::SOURCE]);
                 while let Some(u) = queue.pop_front() {
-                    if tree.children(u).len() < k {
+                    if (tree.child_count(u) as usize) < k {
                         return u;
                     }
-                    queue.extend(
-                        tree.children(u)
-                            .iter()
-                            .copied()
-                            .filter(|c| connected[c.index()]),
-                    );
+                    queue.extend(tree.children_iter(u).filter(|c| connected[c.index()]));
                 }
                 unreachable!("a connected component always has a node with spare fan-out")
             });

@@ -28,7 +28,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+/// Bytes currently live (allocated minus deallocated).
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of `CURRENT_BYTES` since process start (or the last
+/// [`CountingAlloc::reset_peak`]).
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 static REGISTERED: AtomicBool = AtomicBool::new(false);
+
+/// Bumps `CURRENT_BYTES` by `delta` and folds the new value into the peak.
+#[inline]
+fn grow_current(delta: u64) {
+    let now = CURRENT_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+}
 
 /// The counting allocator; see the module docs for registration.
 pub struct CountingAlloc;
@@ -56,6 +68,28 @@ impl CountingAlloc {
         BYTES_ALLOCATED.load(Ordering::Relaxed)
     }
 
+    /// Bytes currently live (allocated and not yet freed). A peak-RSS
+    /// *estimate*: heap payload only, no allocator metadata or stacks.
+    pub fn current_bytes() -> u64 {
+        CURRENT_BYTES.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Self::current_bytes`] since process start or
+    /// the last [`Self::reset_peak`]. This is the setup-memory budget gauge
+    /// for mega-scale runs: an accidental all-pairs table shows up here
+    /// long before the process OOMs.
+    pub fn peak_bytes() -> u64 {
+        PEAK_BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Restarts the high-water tracking from the current live-byte level
+    /// and returns that level. Call at the start of a measurement phase.
+    pub fn reset_peak() -> u64 {
+        let now = CURRENT_BYTES.load(Ordering::Relaxed);
+        PEAK_BYTES.store(now, Ordering::Relaxed);
+        now
+    }
+
     /// Whether a `CountingAlloc` is actually serving allocations in this
     /// process — `false` means the counters are vacuously zero.
     pub fn enabled() -> bool {
@@ -76,6 +110,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         REGISTERED.store(true, Ordering::Relaxed);
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        grow_current(layout.size() as u64);
         System.alloc(layout)
     }
 
@@ -83,11 +118,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
         REGISTERED.store(true, Ordering::Relaxed);
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        grow_current(layout.size() as u64);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
@@ -97,6 +134,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
         // alloc/free pairing underneath.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        if new_size as u64 >= layout.size() as u64 {
+            grow_current(new_size as u64 - layout.size() as u64);
+        } else {
+            CURRENT_BYTES.fetch_sub(layout.size() as u64 - new_size as u64, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }

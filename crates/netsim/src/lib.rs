@@ -41,6 +41,7 @@ pub mod observe;
 pub mod packet;
 pub mod routes;
 pub mod scheduler;
+mod shard;
 pub mod sim;
 mod simulation;
 pub mod time;

@@ -42,12 +42,27 @@ impl JobRoutes {
             "binding covers every tree rank"
         );
         let n = tree.len();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut channels = Vec::new();
-        offsets.push(0);
+        // One bulk query for all tree edges: substrates that route via
+        // single-source passes (up*/down*) group the pairs by source switch
+        // and run each pass once, so a whole job's table costs O(n) route
+        // extractions instead of n independent path searches.
+        let mut pairs = Vec::with_capacity(n.saturating_sub(1));
+        let mut pair_of: Vec<u32> = vec![u32::MAX; n];
         for r in 0..n {
             if let Some(p) = tree.parent(Rank(r as u32)) {
-                channels.extend(net.route(binding[p.index()], binding[r]));
+                pair_of[r] = pairs.len() as u32;
+                pairs.push((binding[p.index()], binding[r]));
+            }
+        }
+        let (bulk_off, bulk_dat) = net.bulk_routes(&pairs);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut channels = Vec::with_capacity(bulk_dat.len());
+        offsets.push(0);
+        for &i in pair_of.iter().take(n) {
+            if i != u32::MAX {
+                let i = i as usize;
+                channels
+                    .extend_from_slice(&bulk_dat[bulk_off[i] as usize..bulk_off[i + 1] as usize]);
             }
             offsets.push(channels.len() as u32);
         }

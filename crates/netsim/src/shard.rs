@@ -1,0 +1,446 @@
+//! Sharded event execution: S per-shard queues with time windows and
+//! boundary-event exchange, byte-identical to the serial engine.
+//!
+//! At mega scale (§ "Mega-scale fabrics" of DESIGN.md) the single binary
+//! heap of [`crate::engine::EventQueue`] becomes the setup *and* steady-state
+//! bottleneck: every schedule and pop is an O(log n) sift through one array
+//! that no longer fits in cache. [`ShardedQueue`] splits the future-event
+//! list into `S` shards keyed by the event's *home host* (contiguous host
+//! blocks), and processes time in fixed windows of `window_us`:
+//!
+//! * every event carries a **global** insertion sequence number, so the
+//!   total `(time, seq)` order is the serial engine's order, exactly;
+//! * at a window edge each shard *pre-drains* its due events into a sorted
+//!   batch — an embarrassingly parallel step (`shard_threads > 1` runs it
+//!   under [`std::thread::scope`]), after which in-window pops are cursor
+//!   bumps plus an S-way minimum instead of full-heap sifts;
+//! * events scheduled mid-window for **another** shard at or beyond the
+//!   window edge are buffered in the target's *outbox* and exchanged at the
+//!   edge, in fixed shard order — the boundary-event exchange that keeps
+//!   every shard's view identical regardless of thread count.
+//!
+//! Because the reduction always pops the globally minimal `(time, seq)` key
+//! and sequence numbers are assigned by one global counter at schedule time,
+//! the pop sequence — and therefore every simulation outcome, trace, and
+//! counter — is **byte-identical to the serial engine** at any shard or
+//! thread count. The property tests pin this for S ∈ {1, 2, 8} and thread
+//! counts {1, 4}.
+
+use crate::engine::{Entry, EventQueue};
+use crate::event::Ev;
+use crate::time::SimTime;
+use crate::workload::{MulticastJob, WorkloadConfig};
+use optimcast_topology::graph::HostId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Window width (µs) used when the config leaves `shard_window_us` at 0.
+/// A few NI handshakes wide: big enough to amortize the edge exchange,
+/// small enough that batches stay cache-resident.
+pub(crate) const DEFAULT_WINDOW_US: u32 = 64;
+
+/// One shard's future-event state.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Events not yet pre-drained (includes everything beyond the current
+    /// window, plus same-shard events scheduled mid-window).
+    heap: BinaryHeap<Reverse<Entry<Ev>>>,
+    /// Due events of the current window, ascending by key; consumed via
+    /// `cursor`.
+    batch: Vec<Entry<Ev>>,
+    cursor: usize,
+}
+
+impl Shard {
+    /// The shard's minimal pending key, considering both the batch cursor
+    /// and the heap top.
+    #[inline]
+    fn min_key(&self) -> Option<u128> {
+        let b = self.batch.get(self.cursor).map(Entry::key);
+        let h = self.heap.peek().map(|Reverse(e)| e.key());
+        match (b, h) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+}
+
+/// The sharded future-event list. Same observable contract as
+/// [`EventQueue`]: `schedule` asserts causality, `pop` yields the global
+/// `(time, seq)` minimum, `processed`/`peak_len` count identically.
+#[derive(Debug)]
+pub(crate) struct ShardedQueue {
+    shards: Vec<Shard>,
+    /// Per-target-shard deferred cross-shard events, exchanged at window
+    /// edges in shard order.
+    outboxes: Vec<Vec<Entry<Ev>>>,
+    outbox_total: usize,
+    /// `bindings[job][rank]` — the physical host of each tree rank, used to
+    /// map an event to its home host.
+    bindings: Vec<Vec<HostId>>,
+    num_hosts: u32,
+    window_us: f64,
+    window_end: SimTime,
+    /// Shard of the last popped event; schedules from its handler targeting
+    /// another shard at or beyond the window edge are deferred.
+    current_shard: usize,
+    threads: usize,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    pending: usize,
+    peak_len: usize,
+}
+
+impl ShardedQueue {
+    pub(crate) fn new(
+        shards: usize,
+        window_us: f64,
+        threads: usize,
+        jobs: &[MulticastJob],
+        num_hosts: u32,
+    ) -> Self {
+        assert!(shards >= 1, "sharded execution requires at least one shard");
+        assert!(
+            window_us > 0.0 && window_us.is_finite(),
+            "shard window must be positive and finite"
+        );
+        ShardedQueue {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            outboxes: vec![Vec::new(); shards],
+            outbox_total: 0,
+            bindings: jobs.iter().map(|j| j.binding.clone()).collect(),
+            num_hosts: num_hosts.max(1),
+            window_us,
+            window_end: SimTime::us(window_us),
+            current_shard: usize::MAX,
+            threads: threads.max(1),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            pending: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// The event's home host — the host whose state its handler touches
+    /// first. Any deterministic map works for correctness (ordering is
+    /// global); homing by the mutated host is what gives shards locality.
+    fn home_host(&self, ev: &Ev) -> HostId {
+        match *ev {
+            Ev::JobStart(j) => self.bindings[j as usize][0],
+            Ev::TrySend(h) => h,
+            Ev::Arrive { item, .. } | Ev::RecvDone { item, .. } => {
+                self.bindings[item.job as usize][item.child.index()]
+            }
+            Ev::HostReady { job, at } | Ev::SendPrepared { job, at, .. } => {
+                self.bindings[job as usize][at.index()]
+            }
+            Ev::SendRelease { host, .. }
+            | Ev::AckTimeout { host, .. }
+            | Ev::ArqRelease { host, .. } => host,
+            Ev::ArqTimeout { job, child, .. } => self.bindings[job as usize][child.index()],
+            Ev::ArqNack { job, at, .. } => self.bindings[job as usize][at.index()],
+        }
+    }
+
+    /// Contiguous host blocks: hosts `[s·H/S, (s+1)·H/S)` map to shard `s`.
+    #[inline]
+    fn shard_of_host(&self, h: HostId) -> usize {
+        let s = self.shards.len() as u64;
+        ((u64::from(h.index() as u32) * s) / u64::from(self.num_hosts)) as usize
+    }
+
+    pub(crate) fn schedule(&mut self, at: SimTime, event: Ev) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let target = self.shard_of_host(self.home_host(&event));
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Entry::new(at, seq, event);
+        if target != self.current_shard && at >= self.window_end {
+            // Cross-shard, beyond the edge: buffered for the exchange.
+            self.outboxes[target].push(entry);
+            self.outbox_total += 1;
+        } else {
+            self.shards[target].heap.push(Reverse(entry));
+        }
+        self.pending += 1;
+        self.peak_len = self.peak_len.max(self.pending);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        loop {
+            // S-way reduction: the globally minimal (time, seq) key. Keys
+            // are unique (one global seq), so the minimum is unambiguous
+            // and the reduction order cannot matter.
+            let best = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(s, sh)| sh.min_key().map(|k| (k, s)))
+                .min();
+            match best {
+                Some((key, s)) if SimTime::from_key_bits((key >> 64) as u64) < self.window_end => {
+                    let sh = &mut self.shards[s];
+                    let from_batch = sh.batch.get(sh.cursor).map(Entry::key) == Some(key);
+                    let entry = if from_batch {
+                        let e = sh.batch[sh.cursor];
+                        sh.cursor += 1;
+                        e
+                    } else {
+                        sh.heap.pop().expect("min came from heap").0
+                    };
+                    self.now = entry.at();
+                    self.current_shard = s;
+                    self.processed += 1;
+                    self.pending -= 1;
+                    return Some((self.now, entry.event));
+                }
+                None if self.outbox_total == 0 => return None,
+                // Window exhausted (or only deferred events remain):
+                // exchange boundary events and open the next window.
+                _ => self.advance_window(),
+            }
+        }
+    }
+
+    /// Window-edge exchange: flush every outbox into its target shard (fixed
+    /// shard order — though entries carry their global keys, so any order
+    /// reheapifies to the same canonical state), advance `window_end` past
+    /// the next due event, then pre-drain each shard's due events into its
+    /// sorted batch. Both per-shard passes parallelize over `threads`.
+    fn advance_window(&mut self) {
+        debug_assert!(
+            self.shards.iter().all(|sh| sh.cursor == sh.batch.len()),
+            "window advanced with due events still batched"
+        );
+        for (s, outbox) in self.outboxes.iter_mut().enumerate() {
+            for e in outbox.drain(..) {
+                self.shards[s].heap.push(Reverse(e));
+            }
+        }
+        self.outbox_total = 0;
+        let Some((key, _)) = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, sh)| sh.min_key().map(|k| (k, s)))
+            .min()
+        else {
+            return; // nothing pending anywhere; next pop returns None
+        };
+        let min_at = SimTime::from_key_bits((key >> 64) as u64);
+        let w = self.window_us;
+        let mut end = ((min_at.as_us() / w).floor() + 1.0) * w;
+        if end <= min_at.as_us() {
+            // Float guard: at extreme times the aligned boundary can round
+            // down onto the event; an unaligned window still makes progress.
+            end = min_at.as_us() + w;
+        }
+        self.window_end = SimTime::us(end);
+        let window_end = self.window_end;
+        let drain = |sh: &mut Shard| {
+            sh.batch.clear();
+            sh.cursor = 0;
+            while let Some(Reverse(e)) = sh.heap.peek() {
+                if e.at() >= window_end {
+                    break;
+                }
+                let Reverse(e) = sh.heap.pop().expect("peeked");
+                sh.batch.push(e);
+            }
+        };
+        if self.threads > 1 && self.shards.len() > 1 {
+            let chunk = self.shards.len().div_ceil(self.threads);
+            std::thread::scope(|scope| {
+                for shards in self.shards.chunks_mut(chunk) {
+                    scope.spawn(move || shards.iter_mut().for_each(drain));
+                }
+            });
+        } else {
+            self.shards.iter_mut().for_each(drain);
+        }
+    }
+
+    pub(crate) fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    pub(crate) fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+}
+
+/// The execution backend behind [`crate::simulation::SimState`]: the serial
+/// engine (the default, and the only path the committed goldens exercise) or
+/// the sharded engine. One method surface, so the event loop is agnostic.
+#[derive(Debug)]
+pub(crate) enum ExecQueue {
+    Serial(EventQueue<Ev>),
+    Sharded(Box<ShardedQueue>),
+}
+
+impl ExecQueue {
+    /// Selects the backend from the workload config: `shards <= 1` is the
+    /// serial engine, anything larger shards hosts into contiguous blocks.
+    pub(crate) fn new(config: &WorkloadConfig, jobs: &[MulticastJob], num_hosts: u32) -> Self {
+        if config.shards <= 1 {
+            ExecQueue::Serial(EventQueue::new())
+        } else {
+            let window = if config.shard_window_us == 0 {
+                DEFAULT_WINDOW_US
+            } else {
+                config.shard_window_us
+            };
+            ExecQueue::Sharded(Box::new(ShardedQueue::new(
+                config.shards as usize,
+                f64::from(window),
+                config.shard_threads.max(1) as usize,
+                jobs,
+                num_hosts,
+            )))
+        }
+    }
+
+    #[inline]
+    pub(crate) fn schedule(&mut self, at: SimTime, event: Ev) {
+        match self {
+            ExecQueue::Serial(q) => q.schedule(at, event),
+            ExecQueue::Sharded(q) => q.schedule(at, event),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        match self {
+            ExecQueue::Serial(q) => q.pop(),
+            ExecQueue::Sharded(q) => q.pop(),
+        }
+    }
+
+    pub(crate) fn processed(&self) -> u64 {
+        match self {
+            ExecQueue::Serial(q) => q.processed(),
+            ExecQueue::Sharded(q) => q.processed(),
+        }
+    }
+
+    pub(crate) fn peak_len(&self) -> usize {
+        match self {
+            ExecQueue::Serial(q) => q.peak_len(),
+            ExecQueue::Sharded(q) => q.peak_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A queue homing every event on a tiny fake workload: two jobs over 8
+    /// hosts, identity-ish bindings.
+    fn q(shards: usize, window: f64, threads: usize) -> ShardedQueue {
+        let jobs: Vec<MulticastJob> = (0..2)
+            .map(|j| {
+                crate::workload::MulticastJob::fpfs(
+                    optimcast_core::builders::linear_tree(4),
+                    (0..4).map(|r| HostId(j * 4 + r)).collect(),
+                    1,
+                )
+            })
+            .collect();
+        ShardedQueue::new(shards, window, threads, &jobs, 8)
+    }
+
+    fn drain_order(q: &mut ShardedQueue) -> Vec<(SimTime, u32)> {
+        std::iter::from_fn(|| {
+            q.pop().map(|(t, e)| match e {
+                Ev::TrySend(h) => (t, h.index() as u32),
+                _ => unreachable!("tests schedule TrySend only"),
+            })
+        })
+        .collect()
+    }
+
+    /// The sharded pop order equals the serial (time, insertion-seq) order
+    /// across shard counts, windows, and thread counts.
+    #[test]
+    fn matches_serial_order() {
+        let times = [
+            3.0, 1.0, 700.0, 1.0, 64.0, 63.999, 2.5, 500.0, 0.0, 64.0, 128.0, 65.0,
+        ];
+        let mut reference = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            reference.schedule(SimTime::us(t), Ev::TrySend(HostId((i % 8) as u32)));
+        }
+        let want: Vec<(SimTime, u32)> = std::iter::from_fn(|| {
+            reference.pop().map(|(t, e)| match e {
+                Ev::TrySend(h) => (t, h.index() as u32),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        for shards in [1, 2, 3, 8] {
+            for window in [1.0, 64.0, 10_000.0] {
+                for threads in [1, 4] {
+                    let mut sq = q(shards, window, threads);
+                    for (i, &t) in times.iter().enumerate() {
+                        sq.schedule(SimTime::us(t), Ev::TrySend(HostId((i % 8) as u32)));
+                    }
+                    assert_eq!(
+                        drain_order(&mut sq),
+                        want,
+                        "shards={shards} window={window} threads={threads}"
+                    );
+                    assert_eq!(sq.processed(), times.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Mid-window schedules (including cross-shard, beyond-edge ones routed
+    /// through outboxes) still pop in global order.
+    #[test]
+    fn cross_shard_deferral_preserves_order() {
+        let mut sq = q(4, 10.0, 1);
+        sq.schedule(SimTime::us(1.0), Ev::TrySend(HostId(0)));
+        let (t, _) = sq.pop().unwrap();
+        assert_eq!(t, SimTime::us(1.0));
+        // From shard 0's handler: far-future events for other shards (these
+        // defer to outboxes) interleaved with near ones.
+        sq.schedule(SimTime::us(25.0), Ev::TrySend(HostId(7)));
+        sq.schedule(SimTime::us(5.0), Ev::TrySend(HostId(6)));
+        sq.schedule(SimTime::us(25.0), Ev::TrySend(HostId(1)));
+        sq.schedule(SimTime::us(15.0), Ev::TrySend(HostId(3)));
+        let got = drain_order(&mut sq);
+        let hosts: Vec<u32> = got.iter().map(|&(_, h)| h).collect();
+        assert_eq!(hosts, vec![6, 3, 7, 1], "times then insertion order");
+        assert_eq!(sq.peak_len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn past_scheduling_panics() {
+        let mut sq = q(2, 64.0, 1);
+        sq.schedule(SimTime::us(5.0), Ev::TrySend(HostId(0)));
+        sq.pop();
+        sq.schedule(SimTime::us(4.0), Ev::TrySend(HostId(1)));
+    }
+
+    /// `peak_len` counts total pending events — the same trajectory the
+    /// serial queue's heap length follows, so outcome counters match.
+    #[test]
+    fn peak_len_matches_serial_semantics() {
+        let mut sq = q(8, 64.0, 1);
+        for i in 0..6 {
+            sq.schedule(SimTime::us(f64::from(i)), Ev::TrySend(HostId(i as u32)));
+        }
+        assert_eq!(sq.peak_len(), 6);
+        while sq.pop().is_some() {}
+        assert_eq!(sq.peak_len(), 6);
+    }
+}

@@ -178,6 +178,7 @@ pub fn run_multicast_shared<N: Network>(
             timing: config.timing,
             trace: false,
             ni: NiModel::default(),
+            ..WorkloadConfig::default()
         },
     )
     .run()?;
@@ -223,6 +224,7 @@ pub fn run_multicast_prerouted<N: Network>(
             timing: config.timing,
             trace: false,
             ni: NiModel::default(),
+            ..WorkloadConfig::default()
         },
     )
     .routes(vec![routes])
@@ -271,6 +273,7 @@ pub fn run_multicast_with_faults<N: Network>(
             timing: config.timing,
             trace: false,
             ni: NiModel::default(),
+            ..WorkloadConfig::default()
         },
     )
     .faults(fault)

@@ -21,13 +21,13 @@
 use crate::arq::{self, ArqState, Slot};
 use crate::discipline::{conventional::Conventional, fcfs::Fcfs, fpfs::Fpfs, scatter::Scatter};
 use crate::discipline::{record_receive, release_replicated_copy, ForwardingDiscipline};
-use crate::engine::EventQueue;
 use crate::error::SimError;
 use crate::event::{Ev, SendItem};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::host::HostModel;
 use crate::observe::{Observer, ObserverHub};
 use crate::routes::JobRoutes;
+use crate::shard::ExecQueue;
 use crate::sim::{MulticastOutcome, NiTiming, NicKind};
 use crate::time::SimTime;
 use crate::transport::{LinkContext, PacketView, SimTransport, Transport, TransportResult};
@@ -75,7 +75,7 @@ pub(crate) struct SimState<'a> {
     /// arrival instant, loss verdict — flows through this trait object; the
     /// default is [`SimTransport`] over the wormhole channel manager.
     pub transport: Box<dyn Transport + 'a>,
-    pub queue: EventQueue<Ev>,
+    pub queue: ExecQueue,
     pub obs: ObserverHub<'a>,
     /// Active fault plan, if any. `None` (including trivial plans, filtered
     /// at construction) follows the exact fault-free code path, so fault-free
@@ -294,6 +294,12 @@ impl<'a, N: Network> Simulation<'a, N> {
                 .map(|job| Arc::new(JobRoutes::build(net, &job.tree, &job.binding)))
                 .collect(),
         };
+        // Prewarm the trees' packed-children tables: `children()` is on the
+        // event loop's hot path, and the lazy pack would otherwise charge
+        // its one-time allocation to the zero-alloc steady-state budget.
+        for job in jobs {
+            job.tree.pack();
+        }
         let parts = jobs
             .iter()
             .map(|job| {
@@ -327,7 +333,7 @@ impl<'a, N: Network> Simulation<'a, N> {
                     params,
                     fault,
                 )),
-                queue: EventQueue::new(),
+                queue: ExecQueue::new(&config, jobs, net.num_hosts()),
                 obs: ObserverHub::new(jobs.len(), config.trace, user_observer),
                 fault,
             },
@@ -507,6 +513,7 @@ impl<'a, N: Network> Simulation<'a, N> {
                     ov_tree.attach(rep.new_to_old[u.index()], rep.new_to_old[c.index()]);
                 }
             }
+            ov_tree.pack();
             let routes = Arc::new(JobRoutes::build(self.net, &ov_tree, &job.binding));
             if self.overlay.is_empty() {
                 self.overlay = (0..self.st.jobs.len()).map(|_| None).collect();

@@ -1,0 +1,100 @@
+//! Sharded execution is byte-identical to serial execution.
+//!
+//! The sharded engine (`WorkloadConfig::shards > 1`) splits the future-event
+//! list into per-host-block shards with windowed boundary exchange; its
+//! contract is that the pop sequence — and therefore every outcome field,
+//! counter, and trace record — equals the serial engine's exactly, at any
+//! shard count, window width, or pre-drain thread count. This battery pins
+//! that contract over random workloads on irregular networks: S ∈ {1, 2, 8},
+//! plus a fixed-shard thread sweep {1, 4}.
+
+use optimcast_core::builders::kbinomial_tree;
+use optimcast_core::params::SystemParams;
+use optimcast_netsim::workload::{MulticastJob, SimRun, WorkloadConfig, WorkloadOutcome};
+use optimcast_topology::graph::HostId;
+use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
+use proptest::prelude::*;
+
+fn run(
+    net: &IrregularNetwork,
+    jobs: &[MulticastJob],
+    shards: u16,
+    window_us: u32,
+    threads: u16,
+    trace: bool,
+) -> WorkloadOutcome {
+    SimRun::new(
+        net,
+        jobs,
+        &SystemParams::paper_1997(),
+        WorkloadConfig {
+            trace,
+            shards,
+            shard_window_us: window_us,
+            shard_threads: threads,
+            ..WorkloadConfig::default()
+        },
+    )
+    .run()
+    .expect("fault-free workload completes")
+}
+
+proptest! {
+    /// One or two overlapping jobs, random tree shapes and sizes: the
+    /// outcome (including the full trace timeline) is identical for the
+    /// serial engine and every sharded configuration.
+    #[test]
+    fn sharded_outcome_equals_serial(
+        seed in 0u64..40,
+        n in 2u32..48,
+        k in 1u32..5,
+        m in 1u32..6,
+        second_job in proptest::bool::ANY,
+        wsel in 0usize..4,
+    ) {
+        let window_us = [0u32, 1, 17, 1000][wsel];
+        let net = IrregularNetwork::generate(IrregularConfig::default(), seed);
+        let tree = kbinomial_tree(n, k);
+        let mut jobs = vec![MulticastJob::fpfs(
+            tree.clone(),
+            (0..n).map(HostId).collect(),
+            m,
+        )];
+        if second_job {
+            // Reversed binding over the same hosts: guaranteed channel and
+            // node contention with job 0.
+            let mut j2 = MulticastJob::fpfs(tree, (0..n).rev().map(HostId).collect(), m);
+            j2.start_us = 40.0;
+            jobs.push(j2);
+        }
+        let serial = run(&net, &jobs, 0, 0, 0, true);
+        for shards in [1u16, 2, 8] {
+            let sharded = run(&net, &jobs, shards, window_us, 1, true);
+            prop_assert_eq!(
+                &serial, &sharded,
+                "shards={} window={}us diverged from serial", shards, window_us
+            );
+        }
+    }
+
+    /// The pre-drain thread count never affects results: shards = 4 with 1
+    /// thread and with 4 threads produce the same outcome as serial.
+    #[test]
+    fn thread_count_never_affects_outcome(
+        seed in 0u64..20,
+        n in 8u32..64,
+        m in 1u32..8,
+    ) {
+        let net = IrregularNetwork::generate(IrregularConfig::default(), seed);
+        let jobs = [MulticastJob::fpfs(
+            kbinomial_tree(n, 3),
+            (0..n).map(HostId).collect(),
+            m,
+        )];
+        let serial = run(&net, &jobs, 0, 0, 0, false);
+        let one = run(&net, &jobs, 4, 0, 1, false);
+        let four = run(&net, &jobs, 4, 0, 4, false);
+        prop_assert_eq!(&serial, &one, "shards=4 threads=1 diverged");
+        prop_assert_eq!(&one, &four, "threads=4 diverged from threads=1");
+    }
+}

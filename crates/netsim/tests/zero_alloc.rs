@@ -80,4 +80,30 @@ fn steady_state_event_loop_is_allocation_free() {
         small_allocs < 1_000,
         "per-run setup allocations blew up: {small_allocs}"
     );
+
+    // Peak-bytes high-water tracking — what the mega-scale setup budget
+    // (`bench-sim --mega`) is measured with: a large allocation raises the
+    // peak, freeing it does not lower the peak, and `reset_peak` rebases
+    // the mark to the currently live bytes.
+    let base = CountingAlloc::reset_peak();
+    let spike = vec![1u8; 8 << 20];
+    let peak = CountingAlloc::peak_bytes();
+    assert!(
+        peak >= base + (8 << 20),
+        "an 8 MiB spike must raise the high-water mark: base {base}, peak {peak}"
+    );
+    drop(spike);
+    assert!(
+        CountingAlloc::peak_bytes() >= peak,
+        "frees never lower the high-water mark"
+    );
+    assert!(
+        CountingAlloc::current_bytes() < peak,
+        "live bytes drop once the spike is freed"
+    );
+    let rebased = CountingAlloc::reset_peak();
+    assert!(
+        rebased < peak && CountingAlloc::peak_bytes() < peak,
+        "reset_peak rebases the mark to live bytes ({rebased} vs old peak {peak})"
+    );
 }

@@ -34,12 +34,14 @@ mod bench_sim;
 mod chaos;
 mod chaos_arq;
 mod chaos_figures;
+mod compare;
 mod config;
 mod engine;
 mod error;
 mod figure;
 mod figures;
 mod json;
+mod mega;
 mod memo;
 mod sampling;
 mod tenants;
@@ -49,6 +51,7 @@ pub use bench_sim::{bench_sim, SimBenchReport};
 pub use chaos::{ChaosCell, ChaosReport};
 pub use chaos_arq::{ArqCell, ArqReport};
 pub use chaos_figures::ChaosFigureId;
+pub use compare::{bench_regressions, RateCheck};
 pub use config::{SweepBuilder, SweepConfig};
 pub use engine::{LatencyStats, PointSpec, SimEffort, Sweep};
 pub use error::SweepError;
@@ -57,6 +60,10 @@ pub use figures::{
     buffer_figure, fig12a, fig12b, fig4, fig5, fig8, fig_disciplines, k_search_interval,
 };
 pub use json::{Json, JsonError, ToJson};
+pub use mega::{
+    bench_mega, MegaBenchReport, MegaPoint, MEGA_M, MEGA_QUICK_SIZES, MEGA_SETUP_BUDGET_BYTES,
+    MEGA_SIZES,
+};
 pub use memo::{CacheStats, TopologyEntry};
 pub use optimcast_netsim::FaultPlanSpec;
 pub use sampling::{

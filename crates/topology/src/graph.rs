@@ -8,6 +8,7 @@
 //! contend.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A processor (host) identifier, dense `0..num_hosts`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -126,13 +127,36 @@ pub struct Link {
     pub b: Endpoint,
 }
 
+/// Per-switch adjacency in compressed-sparse-row form, derived lazily from
+/// the flat link/host tables. At mega scale (thousands of switches, tens of
+/// thousands of hosts) the former nested `Vec<Vec<_>>` layout cost one heap
+/// allocation per switch twice over; the CSR arrays are four allocations
+/// total and iterate cache-linearly.
+#[derive(Debug)]
+struct CsrAdj {
+    /// `link_off[s]..link_off[s + 1]` indexes `link_dat`/`link_peer`.
+    link_off: Vec<u32>,
+    /// Incident switch–switch links, per switch in insertion order.
+    link_dat: Vec<LinkId>,
+    /// Parallel to `link_dat`: the neighbouring switch across that link.
+    link_peer: Vec<SwitchId>,
+    /// `host_off[s]..host_off[s + 1]` indexes `host_dat`.
+    host_off: Vec<u32>,
+    /// Attached hosts, per switch in attachment order.
+    host_dat: Vec<HostId>,
+}
+
 /// A switch-based network topology under construction or in use.
 ///
 /// Invariants maintained by the builder methods:
 /// * every host is attached to exactly one switch via its own access link;
 /// * switch–switch links connect distinct switches;
 /// * port counts are tracked per switch (hosts + switch links).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Adjacency queries ([`Self::switch_links`], [`Self::switch_hosts`],
+/// [`Self::switch_peers`]) are served from a CSR index built on first use
+/// and invalidated by the mutating builder methods; identity (equality,
+/// hashing of the link tables) depends only on the flat link/host tables.
 pub struct Topology {
     num_switches: u32,
     links: Vec<Link>,
@@ -140,11 +164,44 @@ pub struct Topology {
     host_switch: Vec<SwitchId>,
     /// Per host: its access link (host is endpoint `a`).
     host_link: Vec<LinkId>,
-    /// Per switch: incident switch–switch links.
-    switch_links: Vec<Vec<LinkId>>,
-    /// Per switch: attached hosts, in attachment order.
-    switch_hosts: Vec<Vec<HostId>>,
+    /// Lazy CSR adjacency over `links`/`host_switch`.
+    adj: OnceLock<CsrAdj>,
 }
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Topology")
+            .field("num_switches", &self.num_switches)
+            .field("links", &self.links)
+            .field("host_switch", &self.host_switch)
+            .field("host_link", &self.host_link)
+            .finish()
+    }
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        // The CSR cache is derived state; the clone rebuilds it on demand.
+        Topology {
+            num_switches: self.num_switches,
+            links: self.links.clone(),
+            host_switch: self.host_switch.clone(),
+            host_link: self.host_link.clone(),
+            adj: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_switches == other.num_switches
+            && self.links == other.links
+            && self.host_switch == other.host_switch
+            && self.host_link == other.host_link
+    }
+}
+
+impl Eq for Topology {}
 
 impl Topology {
     /// An empty topology with `num_switches` switches and no hosts or links.
@@ -154,9 +211,65 @@ impl Topology {
             links: Vec::new(),
             host_switch: Vec::new(),
             host_link: Vec::new(),
-            switch_links: vec![Vec::new(); num_switches as usize],
-            switch_hosts: vec![Vec::new(); num_switches as usize],
+            adj: OnceLock::new(),
         }
+    }
+
+    /// The CSR adjacency, built on first use. Construction is a counting
+    /// sort over the link table, so per-switch entries come out in link
+    /// insertion order — exactly the order the former nested-Vec layout
+    /// maintained incrementally.
+    fn adj(&self) -> &CsrAdj {
+        self.adj.get_or_init(|| {
+            let s = self.num_switches as usize;
+            let mut link_off = vec![0u32; s + 1];
+            for link in &self.links {
+                if let (Endpoint::Switch(a), Endpoint::Switch(b)) = (link.a, link.b) {
+                    link_off[a.index() + 1] += 1;
+                    link_off[b.index() + 1] += 1;
+                }
+            }
+            for i in 0..s {
+                link_off[i + 1] += link_off[i];
+            }
+            let total = link_off[s] as usize;
+            let mut cursor: Vec<u32> = link_off[..s].to_vec();
+            let mut link_dat = vec![LinkId(0); total];
+            let mut link_peer = vec![SwitchId(0); total];
+            for (l, link) in self.links.iter().enumerate() {
+                if let (Endpoint::Switch(a), Endpoint::Switch(b)) = (link.a, link.b) {
+                    let i = cursor[a.index()] as usize;
+                    cursor[a.index()] += 1;
+                    link_dat[i] = LinkId(l as u32);
+                    link_peer[i] = b;
+                    let j = cursor[b.index()] as usize;
+                    cursor[b.index()] += 1;
+                    link_dat[j] = LinkId(l as u32);
+                    link_peer[j] = a;
+                }
+            }
+            let mut host_off = vec![0u32; s + 1];
+            for sw in &self.host_switch {
+                host_off[sw.index() + 1] += 1;
+            }
+            for i in 0..s {
+                host_off[i + 1] += host_off[i];
+            }
+            let mut cursor: Vec<u32> = host_off[..s].to_vec();
+            let mut host_dat = vec![HostId(0); self.host_switch.len()];
+            for (h, sw) in self.host_switch.iter().enumerate() {
+                let i = cursor[sw.index()] as usize;
+                cursor[sw.index()] += 1;
+                host_dat[i] = HostId(h as u32);
+            }
+            CsrAdj {
+                link_off,
+                link_dat,
+                link_peer,
+                host_off,
+                host_dat,
+            }
+        })
     }
 
     /// Attaches a new host to `switch`, returning its id. The access link's
@@ -178,7 +291,7 @@ impl Topology {
         });
         self.host_switch.push(switch);
         self.host_link.push(link);
-        self.switch_hosts[switch.index()].push(host);
+        self.adj.take();
         host
     }
 
@@ -203,8 +316,7 @@ impl Topology {
             a: Endpoint::Switch(s1),
             b: Endpoint::Switch(s2),
         });
-        self.switch_links[s1.index()].push(link);
-        self.switch_links[s2.index()].push(link);
+        self.adj.take();
         link
     }
 
@@ -265,39 +377,40 @@ impl Topology {
 
     /// Hosts attached to a switch, in attachment order.
     pub fn switch_hosts(&self, s: SwitchId) -> &[HostId] {
-        &self.switch_hosts[s.index()]
+        let adj = self.adj();
+        &adj.host_dat[adj.host_off[s.index()] as usize..adj.host_off[s.index() + 1] as usize]
     }
 
     /// Switch–switch links incident to `s`, in insertion order.
     pub fn switch_links(&self, s: SwitchId) -> &[LinkId] {
-        &self.switch_links[s.index()]
+        let adj = self.adj();
+        &adj.link_dat[adj.link_off[s.index()] as usize..adj.link_off[s.index() + 1] as usize]
+    }
+
+    /// Incident links and neighbouring switches of `s` as two parallel
+    /// slices, insertion order. Allocation-free — this is the form routing
+    /// passes should iterate.
+    pub fn switch_peers(&self, s: SwitchId) -> (&[LinkId], &[SwitchId]) {
+        let adj = self.adj();
+        let range = adj.link_off[s.index()] as usize..adj.link_off[s.index() + 1] as usize;
+        (&adj.link_dat[range.clone()], &adj.link_peer[range])
     }
 
     /// Neighbouring switches of `s` as `(link, neighbour)`, insertion order.
     pub fn switch_neighbors(&self, s: SwitchId) -> Vec<(LinkId, SwitchId)> {
-        self.switch_links[s.index()]
-            .iter()
-            .map(|&l| {
-                let link = self.link(l);
-                let other = match (link.a, link.b) {
-                    (Endpoint::Switch(x), Endpoint::Switch(y)) if x == s => y,
-                    (Endpoint::Switch(x), Endpoint::Switch(_)) if x != s => x,
-                    _ => unreachable!("switch link with host endpoint"),
-                };
-                (l, other)
-            })
-            .collect()
+        let (links, peers) = self.switch_peers(s);
+        links.iter().copied().zip(peers.iter().copied()).collect()
     }
 
     /// Ports in use at `s`: attached hosts plus incident switch links.
     pub fn ports_used(&self, s: SwitchId) -> u32 {
-        (self.switch_hosts[s.index()].len() + self.switch_links[s.index()].len()) as u32
+        (self.switch_hosts(s).len() + self.switch_links(s).len()) as u32
     }
 
     /// The directed channel from switch `from` to switch `to`, if any link
     /// connects them (first matching link in insertion order).
     pub fn switch_channel(&self, from: SwitchId, to: SwitchId) -> Option<ChannelId> {
-        self.switch_links[from.index()].iter().find_map(|&l| {
+        self.switch_links(from).iter().find_map(|&l| {
             let link = self.link(l);
             match (link.a, link.b) {
                 (Endpoint::Switch(x), Endpoint::Switch(y)) if x == from && y == to => {
@@ -322,7 +435,8 @@ impl Topology {
         seen[0] = true;
         let mut count = 1;
         while let Some(s) = stack.pop() {
-            for (_, nb) in self.switch_neighbors(s) {
+            let (_, peers) = self.switch_peers(s);
+            for &nb in peers {
                 if !seen[nb.index()] {
                     seen[nb.index()] = true;
                     count += 1;

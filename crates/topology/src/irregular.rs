@@ -223,6 +223,10 @@ impl Network for IrregularNetwork {
             self.config.hosts, self.config.switches, self.config.ports, self.seed
         )
     }
+
+    fn bulk_routes(&self, pairs: &[(HostId, HostId)]) -> (Vec<u32>, Vec<crate::graph::ChannelId>) {
+        self.routing.bulk_host_routes(&self.topo, pairs)
+    }
 }
 
 impl Topology {
@@ -354,6 +358,70 @@ mod tests {
             hosts: 8, // 4 hosts per switch leaves no tree port
         };
         assert!(cfg.validate().is_err());
+    }
+
+    /// The CSR adjacency must agree with nested adjacency lists rebuilt
+    /// naively from the flat link/host tables (the layout `Topology` used
+    /// before the CSR conversion).
+    #[test]
+    fn csr_adjacency_matches_nested_vec_reference() {
+        use crate::graph::{Endpoint, LinkId};
+        for seed in 0..5u64 {
+            let net = IrregularNetwork::generate(IrregularConfig::default(), seed);
+            let t = net.topology();
+            let s = t.num_switches() as usize;
+            let mut switch_links: Vec<Vec<LinkId>> = vec![Vec::new(); s];
+            let mut switch_hosts: Vec<Vec<HostId>> = vec![Vec::new(); s];
+            for l in 0..t.num_links() {
+                let link = t.link(LinkId(l));
+                match (link.a, link.b) {
+                    (Endpoint::Switch(x), Endpoint::Switch(y)) => {
+                        switch_links[x.index()].push(LinkId(l));
+                        switch_links[y.index()].push(LinkId(l));
+                    }
+                    (Endpoint::Host(h), Endpoint::Switch(y)) => {
+                        switch_hosts[y.index()].push(h);
+                    }
+                    _ => unreachable!("host links are host → switch"),
+                }
+            }
+            for sw in 0..s {
+                let id = SwitchId(sw as u32);
+                assert_eq!(t.switch_links(id), switch_links[sw].as_slice());
+                assert_eq!(t.switch_hosts(id), switch_hosts[sw].as_slice());
+                let (links, peers) = t.switch_peers(id);
+                assert_eq!(links, switch_links[sw].as_slice());
+                for (&l, &p) in links.iter().zip(peers) {
+                    let link = t.link(l);
+                    match (link.a, link.b) {
+                        (Endpoint::Switch(x), Endpoint::Switch(y)) => {
+                            assert!(x == id && y == p || y == id && x == p);
+                        }
+                        _ => panic!("switch link with host endpoint"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_routes_match_per_pair_on_irregular() {
+        let net = IrregularNetwork::generate(IrregularConfig::default(), 9);
+        let mut pairs = Vec::new();
+        for b in 0..net.num_hosts() {
+            pairs.push((HostId(0), HostId(b)));
+            pairs.push((HostId(b), HostId(0)));
+            pairs.push((HostId(b), HostId((b + 17) % net.num_hosts())));
+        }
+        let (off, dat) = net.bulk_routes(&pairs);
+        assert_eq!(off.len(), pairs.len() + 1);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(
+                &dat[off[i] as usize..off[i + 1] as usize],
+                net.route(a, b).as_slice(),
+                "pair {a}->{b}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod contention;
 pub mod cube;
+pub mod fabric;
 pub mod graph;
 pub mod irregular;
 pub mod mesh;
@@ -49,6 +50,25 @@ pub trait Network {
 
     /// Short human-readable description.
     fn describe(&self) -> String;
+
+    /// Routes for a batch of host pairs, CSR-packed in pair order: the
+    /// route of `pairs[i]` is `channels[offsets[i]..offsets[i + 1]]`.
+    ///
+    /// The default delegates to [`Self::route`] per pair; substrates whose
+    /// routing amortizes over a shared source (up\*/down\* single-source
+    /// passes) override this so one multicast job's route build is O(n)
+    /// passes instead of O(n) independent searches. Overrides must produce
+    /// byte-identical channels to the per-pair default.
+    fn bulk_routes(&self, pairs: &[(HostId, HostId)]) -> (Vec<u32>, Vec<ChannelId>) {
+        let mut offsets = Vec::with_capacity(pairs.len() + 1);
+        offsets.push(0u32);
+        let mut channels = Vec::new();
+        for &(from, to) in pairs {
+            channels.extend(self.route(from, to));
+            offsets.push(channels.len() as u32);
+        }
+        (offsets, channels)
+    }
 }
 
 impl<N: Network + ?Sized> Network for &N {
@@ -67,9 +87,13 @@ impl<N: Network + ?Sized> Network for &N {
     fn describe(&self) -> String {
         (**self).describe()
     }
+    fn bulk_routes(&self, pairs: &[(HostId, HostId)]) -> (Vec<u32>, Vec<ChannelId>) {
+        (**self).bulk_routes(pairs)
+    }
 }
 
 pub use cube::CubeNetwork;
+pub use fabric::{FabricConfig, FabricNetwork};
 pub use graph::{Endpoint, LinkId, SwitchId};
 pub use irregular::{IrregularConfig, IrregularNetwork};
 pub use mesh::MeshNetwork;

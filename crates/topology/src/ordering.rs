@@ -111,8 +111,13 @@ impl Ordering {
 /// traversal of the up\*/down\* BFS switch tree (children in discovery
 /// order), concatenating each switch's hosts at first visit.
 pub fn cco(net: &IrregularNetwork) -> Ordering {
-    let topo = net.topology();
-    let routing = net.routing();
+    cco_of(net.topology(), net.routing())
+}
+
+/// CCO over any up\*/down\*-routed topology (irregular networks, fat-trees,
+/// dragonflies): one O(hosts + switches) pass over the routing's BFS switch
+/// tree.
+pub fn cco_of(topo: &crate::graph::Topology, routing: &crate::updown::UpDownRouting) -> Ordering {
     let mut order = Vec::with_capacity(topo.num_hosts() as usize);
     let mut stack = vec![routing.root()];
     while let Some(s) = stack.pop() {

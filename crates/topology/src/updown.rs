@@ -9,24 +9,44 @@
 //! is zero or more up channels followed by zero or more down channels —
 //! acyclic by construction, hence deadlock-free.
 //!
-//! [`UpDownRouting`] precomputes shortest *legal* paths between all switch
-//! pairs with a deterministic tie-break (BFS with neighbours visited in link
-//! insertion order), so every query returns the same path.
+//! Routes are computed *on demand*: a [`SingleSourcePaths`] pass runs one
+//! deterministic BFS over `(switch, phase)` states from a source switch and
+//! can then extract the shortest legal path to any destination. The former
+//! eager all-pairs table was O(S²·path-len) memory — hopeless at mega scale
+//! (a 65,536-host fat-tree has 5,120 switches) — while a multicast job only
+//! ever needs the O(n) routes of its tree edges. [`bulk_host_routes`] groups
+//! those edges by source switch so each distinct source pays for exactly one
+//! BFS pass. Determinism is unchanged: the per-source pass expands
+//! neighbours in link insertion order and breaks phase ties exactly as the
+//! old table builder did, so extracted paths are byte-identical.
+//!
+//! [`bulk_host_routes`]: UpDownRouting::bulk_host_routes
 
 use crate::graph::{ChannelId, Endpoint, HostId, LinkId, SwitchId, Topology};
 use std::collections::VecDeque;
 
-/// Precomputed up\*/down\* routing state for one topology.
+/// Precomputed up\*/down\* orientation state for one topology (root, BFS
+/// levels, spanning tree in CSR form). Paths are derived lazily.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpDownRouting {
     root: SwitchId,
     level: Vec<u32>,
     /// BFS spanning-tree parent per switch (`None` for the root).
     parent: Vec<Option<(LinkId, SwitchId)>>,
-    /// BFS spanning-tree children per switch, in discovery order.
-    children: Vec<Vec<SwitchId>>,
-    /// Shortest legal switch→switch path, `paths[from * S + to]`.
-    paths: Vec<Vec<ChannelId>>,
+    /// CSR offsets into `child_dat`: children of `s` are
+    /// `child_dat[child_off[s]..child_off[s + 1]]`, in discovery order.
+    child_off: Vec<u32>,
+    child_dat: Vec<SwitchId>,
+}
+
+/// One single-source shortest-legal-path pass: the predecessor forest of a
+/// BFS over `(switch, phase)` states, phase 0 = may still ascend, phase 1 =
+/// descend only. Extract paths with [`Self::path_to`] / [`Self::extend_path_to`].
+pub struct SingleSourcePaths {
+    from: SwitchId,
+    /// `pred[state] = (prev_state, channel)`; `state = switch * 2 + phase`.
+    pred: Vec<Option<(u32, ChannelId)>>,
+    seen: Vec<bool>,
 }
 
 impl UpDownRouting {
@@ -59,33 +79,51 @@ impl UpDownRouting {
             "up*/down* routing requires a connected switch graph"
         );
 
-        // BFS spanning tree and levels.
+        // BFS spanning tree and levels. Children of each parent are
+        // discovered consecutively when the parent is popped, so `pairs`
+        // comes out grouped by parent in BFS order; the stable counting
+        // sort below re-keys the groups by switch id without disturbing
+        // each parent's discovery order.
         let mut level = vec![u32::MAX; s];
         let mut parent = vec![None; s];
-        let mut children = vec![Vec::new(); s];
+        let mut pairs: Vec<(SwitchId, SwitchId)> = Vec::new();
         let mut queue = VecDeque::new();
         level[root.index()] = 0;
         queue.push_back(root);
         while let Some(u) = queue.pop_front() {
-            for (l, nb) in topo.switch_neighbors(u) {
+            let (links, peers) = topo.switch_peers(u);
+            for (&l, &nb) in links.iter().zip(peers) {
                 if level[nb.index()] == u32::MAX {
                     level[nb.index()] = level[u.index()] + 1;
                     parent[nb.index()] = Some((l, u));
-                    children[u.index()].push(nb);
+                    pairs.push((u, nb));
                     queue.push_back(nb);
                 }
             }
         }
 
-        let mut routing = UpDownRouting {
+        let mut child_off = vec![0u32; s + 1];
+        for &(p, _) in &pairs {
+            child_off[p.index() + 1] += 1;
+        }
+        for i in 0..s {
+            child_off[i + 1] += child_off[i];
+        }
+        let mut cursor: Vec<u32> = child_off[..s].to_vec();
+        let mut child_dat = vec![SwitchId(0); pairs.len()];
+        for &(p, c) in &pairs {
+            let i = cursor[p.index()] as usize;
+            cursor[p.index()] += 1;
+            child_dat[i] = c;
+        }
+
+        UpDownRouting {
             root,
             level,
             parent,
-            children,
-            paths: Vec::new(),
-        };
-        routing.paths = routing.compute_all_paths(topo);
-        routing
+            child_off,
+            child_dat,
+        }
     }
 
     /// The root switch of the up\*/down\* orientation.
@@ -105,7 +143,7 @@ impl UpDownRouting {
 
     /// BFS spanning-tree children of a switch, in discovery order.
     pub fn tree_children(&self, s: SwitchId) -> &[SwitchId] {
-        &self.children[s.index()]
+        &self.child_dat[self.child_off[s.index()] as usize..self.child_off[s.index() + 1] as usize]
     }
 
     /// Whether a switch–switch channel points *up* (towards the root).
@@ -124,11 +162,51 @@ impl UpDownRouting {
         }
     }
 
-    /// The precomputed shortest legal path between two switches (empty iff
-    /// `from == to`).
-    pub fn switch_path(&self, from: SwitchId, to: SwitchId) -> &[ChannelId] {
-        let s = self.level.len();
-        &self.paths[from.index() * s + to.index()]
+    /// Runs one shortest-legal-path BFS from `from` over `(switch, phase)`
+    /// states: phase 0 may still ascend, phase 1 may only descend.
+    /// Deterministic: neighbours expanded in link insertion order.
+    pub fn single_source(&self, topo: &Topology, from: SwitchId) -> SingleSourcePaths {
+        let s = topo.num_switches() as usize;
+        let mut pred: Vec<Option<(u32, ChannelId)>> = vec![None; s * 2];
+        let mut seen = vec![false; s * 2];
+        let start = from.index() * 2;
+        seen[start] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(start as u32);
+        while let Some(state) = queue.pop_front() {
+            let sw = SwitchId(state / 2);
+            let phase = state % 2;
+            let (links, peers) = topo.switch_peers(sw);
+            for (&l, &nb) in links.iter().zip(peers) {
+                let c = self.directed_channel(topo, l, sw);
+                let up = self.is_up(topo, c);
+                let next_phase = if up {
+                    if phase == 1 {
+                        continue; // up after down is illegal
+                    }
+                    0
+                } else {
+                    1
+                };
+                let next = nb.index() * 2 + next_phase as usize;
+                if !seen[next] {
+                    seen[next] = true;
+                    pred[next] = Some((state, c));
+                    queue.push_back(next as u32);
+                }
+            }
+        }
+        SingleSourcePaths { from, pred, seen }
+    }
+
+    /// Shortest legal path between two switches, computed on demand (empty
+    /// iff `from == to`). One BFS pass per call — batch queries that share a
+    /// source through [`Self::single_source`] or [`Self::bulk_host_routes`].
+    pub fn switch_path(&self, topo: &Topology, from: SwitchId, to: SwitchId) -> Vec<ChannelId> {
+        if from == to {
+            return Vec::new();
+        }
+        self.single_source(topo, from).path_to(to)
     }
 
     /// Full host-to-host route: injection channel, switch path, ejection
@@ -139,84 +217,70 @@ impl UpDownRouting {
         }
         let sf = topo.host_switch(from);
         let st = topo.host_switch(to);
-        let mid = self.switch_path(sf, st);
-        let mut route = Vec::with_capacity(mid.len() + 2);
+        let mut route = Vec::new();
         route.push(topo.injection_channel(from));
-        route.extend_from_slice(mid);
+        if sf != st {
+            self.single_source(topo, sf).extend_path_to(st, &mut route);
+        }
         route.push(topo.ejection_channel(to));
         route
     }
 
-    /// Shortest legal paths from every switch to every switch, by BFS over
-    /// `(switch, phase)` states: phase 0 may still ascend, phase 1 may only
-    /// descend. Deterministic: neighbours expanded in link insertion order.
-    fn compute_all_paths(&self, topo: &Topology) -> Vec<Vec<ChannelId>> {
+    /// Routes for a batch of host pairs, CSR-packed in pair order: the
+    /// route of `pairs[i]` is `channels[offsets[i]..offsets[i + 1]]`.
+    ///
+    /// Pairs are grouped by source switch so each distinct source switch
+    /// runs exactly one [`Self::single_source`] pass — for a multicast tree
+    /// bound to n hosts on S switches this is O(min(n, S)) passes instead
+    /// of the former all-pairs O(S²) table. Each extracted route is
+    /// byte-identical to the corresponding [`Self::host_route`] call.
+    pub fn bulk_host_routes(
+        &self,
+        topo: &Topology,
+        pairs: &[(HostId, HostId)],
+    ) -> (Vec<u32>, Vec<ChannelId>) {
         let s = topo.num_switches() as usize;
-        let mut all = vec![Vec::new(); s * s];
-        for from in 0..s {
-            let from = SwitchId(from as u32);
-            // pred[state] = (prev_state, channel); state = switch * 2 + phase.
-            let mut pred: Vec<Option<(usize, ChannelId)>> = vec![None; s * 2];
-            let mut seen = vec![false; s * 2];
-            let start = from.index() * 2;
-            seen[start] = true;
-            let mut queue = VecDeque::new();
-            queue.push_back(start);
-            while let Some(state) = queue.pop_front() {
-                let sw = SwitchId((state / 2) as u32);
-                let phase = state % 2;
-                for (l, nb) in topo.switch_neighbors(sw) {
-                    let c = self.directed_channel(topo, l, sw);
-                    let up = self.is_up(topo, c);
-                    let next_phase = if up {
-                        if phase == 1 {
-                            continue; // up after down is illegal
-                        }
-                        0
-                    } else {
-                        1
-                    };
-                    let next = nb.index() * 2 + next_phase;
-                    if !seen[next] {
-                        seen[next] = true;
-                        pred[next] = Some((state, c));
-                        queue.push_back(next);
-                    }
-                }
+        // Group pair indices by source switch, first-appearance order.
+        let mut group_of: Vec<u32> = vec![u32::MAX; s];
+        let mut groups: Vec<(SwitchId, Vec<u32>)> = Vec::new();
+        for (i, &(from, to)) in pairs.iter().enumerate() {
+            if from == to {
+                continue; // empty route, nothing to compute
             }
-            for to in 0..s {
-                if to == from.index() {
-                    continue;
-                }
-                // Prefer the earliest-found terminal state (BFS order makes
-                // either phase shortest; tie-break to phase 0).
-                let cand = [to * 2, to * 2 + 1];
-                let goal = cand
-                    .iter()
-                    .copied()
-                    .filter(|&st| seen[st])
-                    .min_by_key(|&st| self.path_len(&pred, st))
-                    .unwrap_or_else(|| panic!("no legal up*/down* path from s{from} to s{to}"));
-                let mut path = Vec::new();
-                let mut cur = goal;
-                while let Some((prev, c)) = pred[cur] {
-                    path.push(c);
-                    cur = prev;
-                }
-                path.reverse();
-                all[from.index() * s + to] = path;
+            let sf = topo.host_switch(from);
+            let g = group_of[sf.index()];
+            if g == u32::MAX {
+                group_of[sf.index()] = groups.len() as u32;
+                groups.push((sf, vec![i as u32]));
+            } else {
+                groups[g as usize].1.push(i as u32);
             }
         }
-        all
-    }
 
-    fn path_len(&self, pred: &[Option<(usize, ChannelId)>], mut state: usize) -> usize {
-        let mut n = 0;
-        while let Some((prev, _)) = pred[state] {
-            n += 1;
-            state = prev;
+        let mut routes: Vec<Vec<ChannelId>> = vec![Vec::new(); pairs.len()];
+        for (sf, members) in &groups {
+            let sssp = self.single_source(topo, *sf);
+            for &i in members {
+                let (from, to) = pairs[i as usize];
+                let st = topo.host_switch(to);
+                let route = &mut routes[i as usize];
+                route.push(topo.injection_channel(from));
+                if *sf != st {
+                    sssp.extend_path_to(st, route);
+                }
+                route.push(topo.ejection_channel(to));
+            }
         }
-        n
+
+        let mut offsets = Vec::with_capacity(pairs.len() + 1);
+        offsets.push(0u32);
+        let total: usize = routes.iter().map(Vec::len).sum();
+        let mut channels = Vec::with_capacity(total);
+        for route in &routes {
+            channels.extend_from_slice(route);
+            offsets.push(channels.len() as u32);
+        }
+        (offsets, channels)
     }
 
     /// The channel of link `l` leaving switch `from`.
@@ -243,6 +307,59 @@ impl UpDownRouting {
             }
         }
         true
+    }
+}
+
+impl SingleSourcePaths {
+    /// The source switch of this pass.
+    pub fn from(&self) -> SwitchId {
+        self.from
+    }
+
+    /// The shortest legal path from the source to `to` (empty iff
+    /// `to == from`).
+    pub fn path_to(&self, to: SwitchId) -> Vec<ChannelId> {
+        let mut path = Vec::new();
+        if to != self.from {
+            self.extend_path_to(to, &mut path);
+        }
+        path
+    }
+
+    /// Appends the shortest legal path from the source to `to` onto `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no legal path exists (disconnected switch graph) or
+    /// `to == from` (there is no zero-length terminal state to select).
+    pub fn extend_path_to(&self, to: SwitchId, out: &mut Vec<ChannelId>) {
+        let from = self.from;
+        let to_idx = to.index();
+        // Prefer the earliest-found terminal state (BFS order makes either
+        // phase shortest; tie-break to phase 0).
+        let cand = [to_idx * 2, to_idx * 2 + 1];
+        let goal = cand
+            .iter()
+            .copied()
+            .filter(|&st| self.seen[st] && self.pred[st].is_some())
+            .min_by_key(|&st| self.path_len(st))
+            .unwrap_or_else(|| panic!("no legal up*/down* path from s{from} to s{to}"));
+        let start = out.len();
+        let mut cur = goal;
+        while let Some((prev, c)) = self.pred[cur] {
+            out.push(c);
+            cur = prev as usize;
+        }
+        out[start..].reverse();
+    }
+
+    fn path_len(&self, mut state: usize) -> usize {
+        let mut n = 0;
+        while let Some((prev, _)) = self.pred[state] {
+            n += 1;
+            state = prev as usize;
+        }
+        n
     }
 }
 
@@ -303,12 +420,12 @@ mod tests {
         for a in 0..4u32 {
             for b in 0..4u32 {
                 if a == b {
-                    assert!(r.switch_path(SwitchId(a), SwitchId(b)).is_empty());
+                    assert!(r.switch_path(&t, SwitchId(a), SwitchId(b)).is_empty());
                     continue;
                 }
-                let p = r.switch_path(SwitchId(a), SwitchId(b));
+                let p = r.switch_path(&t, SwitchId(a), SwitchId(b));
                 assert!(!p.is_empty());
-                assert!(r.is_legal_path(&t, p), "{a}->{b} illegal");
+                assert!(r.is_legal_path(&t, &p), "{a}->{b} illegal");
                 // Path endpoints line up.
                 let (first_src, _) = t.channel_endpoints(p[0]);
                 assert_eq!(first_src, Endpoint::Switch(SwitchId(a)));
@@ -324,8 +441,45 @@ mod tests {
         }
         // On a 4-ring rooted at 0 (levels 0,1,1,2) the shortest legal
         // s1 -> s3 path is at most 2 hops (e.g. up to s0, down to s3).
-        let p13 = r.switch_path(SwitchId(1), SwitchId(3));
+        let p13 = r.switch_path(&t, SwitchId(1), SwitchId(3));
         assert!(p13.len() <= 2);
+    }
+
+    #[test]
+    fn single_source_matches_per_pair_queries() {
+        let t = ring4();
+        let r = UpDownRouting::with_root(&t, SwitchId(0));
+        for a in 0..4u32 {
+            let sssp = r.single_source(&t, SwitchId(a));
+            for b in 0..4u32 {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    sssp.path_to(SwitchId(b)),
+                    r.switch_path(&t, SwitchId(a), SwitchId(b)),
+                    "{a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_routes_match_per_pair_host_routes() {
+        let t = ring4();
+        let r = UpDownRouting::with_root(&t, SwitchId(0));
+        let mut pairs = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                pairs.push((HostId(a), HostId(b)));
+            }
+        }
+        let (off, dat) = r.bulk_host_routes(&t, &pairs);
+        assert_eq!(off.len(), pairs.len() + 1);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let got = &dat[off[i] as usize..off[i + 1] as usize];
+            assert_eq!(got, r.host_route(&t, a, b).as_slice(), "{a}->{b}");
+        }
     }
 
     #[test]
@@ -378,6 +532,14 @@ mod tests {
         let r1 = UpDownRouting::with_root(&t, SwitchId(0));
         let r2 = UpDownRouting::with_root(&t, SwitchId(0));
         assert_eq!(r1, r2);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(
+                    r1.switch_path(&t, SwitchId(a), SwitchId(b)),
+                    r2.switch_path(&t, SwitchId(a), SwitchId(b)),
+                );
+            }
+        }
     }
 }
 
@@ -421,11 +583,12 @@ mod distance_tests {
                 .max()
                 .unwrap();
             for a in 0..topo.num_switches() {
+                let sssp = routing.single_source(topo, SwitchId(a));
                 for b in 0..topo.num_switches() {
                     if a == b {
                         continue;
                     }
-                    let legal = routing.switch_path(SwitchId(a), SwitchId(b)).len() as u32;
+                    let legal = sssp.path_to(SwitchId(b)).len() as u32;
                     let free = bfs_dist(topo, SwitchId(a), SwitchId(b));
                     assert!(
                         legal >= free,
@@ -455,7 +618,7 @@ mod distance_tests {
                 if a == b {
                     continue;
                 }
-                let legal = routing.switch_path(SwitchId(a), SwitchId(b)).len() as u32;
+                let legal = routing.switch_path(&topo, SwitchId(a), SwitchId(b)).len() as u32;
                 let free = bfs_dist(&topo, SwitchId(a), SwitchId(b));
                 assert_eq!(legal, free, "{a}->{b}");
             }

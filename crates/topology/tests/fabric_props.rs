@@ -1,0 +1,126 @@
+//! Property battery for the mega-scale fabric generators: for random
+//! fat-tree radices and dragonfly shapes —
+//!
+//! * host counts and switch counts match the closed forms;
+//! * every switch stays within its port budget (radix for fat-trees,
+//!   `a - 1 + g - 1 + h` for dragonflies);
+//! * the switch graph is connected (checked by BFS);
+//! * the up\*/down\* orientation is deadlock-free: levels strictly decrease
+//!   along every up channel, so no cycle of legal paths exists;
+//! * sampled host routes are legal up\*/down\* paths and agree with the
+//!   bulk (grouped single-source) route builder byte-for-byte.
+
+use optimcast_topology::fabric::{FabricConfig, FabricNetwork};
+use optimcast_topology::graph::{ChannelId, Endpoint, HostId, SwitchId};
+use optimcast_topology::Network;
+use proptest::prelude::*;
+
+/// The `(switch, phase)` legality invariant, checked structurally: an up
+/// channel strictly decreases `(level, id)`, so any sequence of ups is
+/// acyclic, any sequence of downs is acyclic, and a legal path (ups then
+/// downs) can never revisit a configuration — the classic up*/down*
+/// deadlock-freedom argument.
+fn assert_updown_orientation(net: &FabricNetwork) {
+    let topo = net.topology();
+    let routing = net.routing();
+    for l in 0..topo.num_links() {
+        let link = topo.link(optimcast_topology::LinkId(l));
+        if let (Endpoint::Switch(x), Endpoint::Switch(y)) = (link.a, link.b) {
+            let fwd = optimcast_topology::LinkId(l).forward();
+            let up = routing.is_up(topo, fwd);
+            let down = routing.is_up(topo, fwd.reverse());
+            assert_ne!(up, down, "link {l} must be up in exactly one direction");
+            let (hi, lo) = if up { (x, y) } else { (y, x) };
+            assert!(
+                (routing.level(lo), lo.0) < (routing.level(hi), hi.0),
+                "up channel must strictly decrease (level, id)"
+            );
+        }
+    }
+}
+
+fn assert_routes_legal_and_bulk_identical(net: &FabricNetwork, samples: &[(u32, u32)]) {
+    let topo = net.topology();
+    let routing = net.routing();
+    let pairs: Vec<(HostId, HostId)> = samples
+        .iter()
+        .map(|&(a, b)| (HostId(a % net.num_hosts()), HostId(b % net.num_hosts())))
+        .collect();
+    let (off, dat) = net.bulk_routes(&pairs);
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let bulk: &[ChannelId] = &dat[off[i] as usize..off[i + 1] as usize];
+        let single = net.route(a, b);
+        assert_eq!(bulk, single.as_slice(), "bulk vs per-pair route {a}->{b}");
+        if a == b {
+            assert!(single.is_empty());
+            continue;
+        }
+        assert_eq!(single[0], topo.injection_channel(a));
+        assert_eq!(*single.last().unwrap(), topo.ejection_channel(b));
+        assert!(
+            routing.is_legal_path(topo, &single[1..single.len() - 1]),
+            "route {a}->{b} violates up*/down*"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn fat_tree_invariants(
+        half in 1u32..7,
+        hosts_frac in 1u32..=4,
+        s1 in 0u32..1000,
+        s2 in 0u32..1000,
+    ) {
+        let k = half * 2;
+        let cap = k * k * k / 4;
+        let hosts = (cap * hosts_frac / 4).max(1);
+        let net = FabricNetwork::generate_with_hosts(
+            FabricConfig::FatTree { k_ary: k }, hosts);
+        prop_assert_eq!(net.num_hosts(), hosts);
+        let topo = net.topology();
+        prop_assert_eq!(topo.num_switches(), k * k + half * half);
+        prop_assert!(topo.switches_connected());
+        for s in 0..topo.num_switches() {
+            prop_assert!(
+                topo.ports_used(SwitchId(s)) <= k,
+                "switch {} exceeds radix {}", s, k
+            );
+        }
+        assert_updown_orientation(&net);
+        assert_routes_legal_and_bulk_identical(
+            &net, &[(s1, s2), (s2, s1), (0, s1), (s2, s2)]);
+    }
+
+    #[test]
+    fn dragonfly_invariants(
+        g in 1u32..6,
+        a in 1u32..5,
+        h in 1u32..4,
+        s1 in 0u32..1000,
+        s2 in 0u32..1000,
+    ) {
+        let cfg = FabricConfig::Dragonfly {
+            groups: g,
+            routers_per_group: a,
+            hosts_per_router: h,
+        };
+        let net = FabricNetwork::generate(cfg);
+        prop_assert_eq!(net.num_hosts(), g * a * h);
+        let topo = net.topology();
+        prop_assert_eq!(topo.num_switches(), g * a);
+        prop_assert!(topo.switches_connected());
+        // Port bound: a-1 intra links + at most ceil((g-1)/a) global links
+        // + attached hosts (h plus round-robin remainder is exactly h here).
+        for s in 0..topo.num_switches() {
+            let globals = (g - 1).div_ceil(a.max(1));
+            prop_assert!(
+                topo.ports_used(SwitchId(s)) <= (a - 1) + globals + h,
+                "router {} exceeds port budget", s
+            );
+        }
+        assert_updown_orientation(&net);
+        assert_routes_legal_and_bulk_identical(
+            &net, &[(s1, s2), (s2, s1), (0, s1), (s2, s2)]);
+    }
+}

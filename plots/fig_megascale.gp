@@ -1,0 +1,11 @@
+set title "Mega-scale fat-tree optimal-k multicast (m = 16)"
+set xlabel "hosts"
+set ylabel "Mevents/s | setup s | setup MiB"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "fig_megascale.png"
+set datafile missing "?"
+plot "fig_megascale.dat" using 1:2 with linespoints title "sim Mevents/s", \
+     "fig_megascale.dat" using 1:3 with linespoints title "setup seconds", \
+     "fig_megascale.dat" using 1:4 with linespoints title "setup peak MiB"

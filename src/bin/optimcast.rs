@@ -13,6 +13,10 @@
 //!                    [--window W] [--send-units S] [--deadline US]
 //! optimcast bench-sweep [--threads N] [--smoke] [--out PATH]
 //! optimcast bench-sim [--quick] [--out PATH]
+//!                     [--mega [--hosts N] [--shards S] [--shard-threads T]
+//!                      [--digest PATH] [--plots DIR]]
+//! optimcast bench-compare [--sim PATH] [--sweep PATH] [--mega PATH]
+//!                     [--threshold F] [--threads N]
 //! optimcast chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]
 //!                    [--live-repair] [--crash-at US] [--out PATH]
 //!                    [--arq] [--window W] [--send-units S] [--plots DIR]
@@ -24,13 +28,13 @@
 //! ```
 
 use optimcast::core::schedule::ForwardingDiscipline;
-use optimcast::jsonout::Json;
+use optimcast::jsonout::{Json, ToJson};
 use optimcast::netsim::{
     JobPayload, MulticastJob, NiModel, SimRun, TraceKind, Transport, WorkloadConfig,
     WorkloadOutcome,
 };
 use optimcast::prelude::*;
-use optimcast::sweep::{bench_sim, bench_sweep};
+use optimcast::sweep::{bench_mega, bench_regressions, bench_sim, bench_sweep};
 use optimcast::topology::ordering::{cco, poc};
 use optimcast::transport_udp::{
     loopback_demo, run_sink, run_source, UdpTransport, WirePlan, DEFAULT_MTU, HEADER_LEN,
@@ -60,6 +64,7 @@ fn main() {
         "simulate" => cmd_simulate(&flags),
         "bench-sweep" => cmd_bench_sweep(&flags),
         "bench-sim" => cmd_bench_sim(&flags),
+        "bench-compare" => cmd_bench_compare(&flags),
         "chaos" => cmd_chaos(&flags),
         "jobs" => cmd_jobs(&flags),
         "wire" => cmd_wire(&flags),
@@ -87,7 +92,10 @@ fn usage() {
          \u{20}           [--crash-at US] [--live-repair] [--fault-seed N]\n\
          \u{20}           [--window W] [--send-units S] [--deadline US]\n\
          \u{20}  bench-sweep [--threads N] [--smoke] [--out PATH]\n\
-         \u{20}  bench-sim [--quick] [--out PATH]\n\
+         \u{20}  bench-sim [--quick] [--out PATH] [--mega [--hosts N] [--shards S]\n\
+         \u{20}           [--shard-threads T] [--digest PATH] [--plots DIR]]\n\
+         \u{20}  bench-compare [--sim PATH] [--sweep PATH] [--mega PATH]\n\
+         \u{20}           [--threshold F] [--threads N]\n\
          \u{20}  chaos    [--quick] [--seed N] [--threads N] [--dests D] [--m M]\n\
          \u{20}           [--live-repair] [--crash-at US] [--out PATH]\n\
          \u{20}           [--arq] [--window W] [--send-units S] [--plots DIR]\n\
@@ -342,6 +350,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
             send_units,
             queue_capacity: None,
         },
+        ..WorkloadConfig::default()
     };
     let wl = if !spec.is_trivial() {
         // The crashed hosts are the deepest in the ordering: the last
@@ -583,6 +592,10 @@ fn cmd_bench_sweep(flags: &HashMap<String, String>) {
 /// counting global allocator registered above), written as
 /// `BENCH_sim.json`.
 fn cmd_bench_sim(flags: &HashMap<String, String>) {
+    if flags.contains_key("mega") {
+        cmd_bench_mega(flags);
+        return;
+    }
     let quick = flags.contains_key("quick");
     let label = if quick { "quick" } else { "full" };
     eprintln!("bench-sim: {label} sizing...");
@@ -620,6 +633,213 @@ fn cmd_bench_sim(flags: &HashMap<String, String>) {
         std::process::exit(1);
     }
     println!("report written to {out_path}");
+}
+
+/// The `bench-sim --mega` variant: one end-to-end optimal-k multicast
+/// (m = 16) per fat-tree size, with setup time, setup peak-allocation
+/// bytes, events/s, and a shard-identity cross-check per point. Writes
+/// `BENCH_mega.json` plus, on the full sizing, the committed
+/// `results/fig_megascale.json` figure and its plot files; `--digest PATH`
+/// additionally writes a timing-free outcome digest CI can `cmp` across
+/// shard counts.
+fn cmd_bench_mega(flags: &HashMap<String, String>) {
+    let quick = flags.contains_key("quick");
+    let hosts: Option<u32> = flags
+        .contains_key("hosts")
+        .then(|| get(flags, "hosts", 0u32));
+    let shards: u16 = get(flags, "shards", 0);
+    let threads: u16 = get(flags, "shard-threads", 0);
+    let label = if quick { "quick" } else { "full" };
+    eprintln!("bench-sim --mega: {label} sizing...");
+    let report = bench_mega(quick, hosts, shards, threads).unwrap_or_else(|e| {
+        eprintln!("bench-sim: {e}");
+        std::process::exit(1);
+    });
+    for p in &report.points {
+        println!(
+            "n={:>6} (k={} fat-tree, {} switches, tree k={}): setup {:.3} s{} | \
+             {:.2} M events/s ({} events, makespan {:.1} us, {:.3} s) | shards 1/4 identical: {}",
+            p.hosts,
+            p.fat_tree_k,
+            p.switches,
+            p.tree_k,
+            p.setup_seconds,
+            if report.alloc_counting {
+                format!(
+                    ", peak {:.1} MiB{}",
+                    p.setup_peak_bytes as f64 / (1024.0 * 1024.0),
+                    if p.within_budget { "" } else { " OVER BUDGET" }
+                )
+            } else {
+                String::new()
+            },
+            p.events_per_sec / 1e6,
+            p.events,
+            p.makespan_us,
+            p.sim_seconds,
+            p.sharded_identical
+        );
+    }
+    let default_out = "BENCH_mega.json".to_string();
+    let out_path = flags.get("out").unwrap_or(&default_out);
+    if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
+        eprintln!("bench-sim: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
+    if let Some(digest_path) = flags.get("digest") {
+        if let Err(e) = std::fs::write(digest_path, report.digest_json().to_string_pretty()) {
+            eprintln!("bench-sim: cannot write {digest_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("digest written to {digest_path}");
+    }
+    // The committed figure charts the full size axis; quick smoke runs and
+    // single-size overrides must not overwrite it.
+    if !quick && hosts.is_none() {
+        let fig = report.figure();
+        let fig_path = "results/fig_megascale.json";
+        if let Err(e) = std::fs::write(fig_path, fig.to_json().to_string_pretty()) {
+            eprintln!("bench-sim: cannot write {fig_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("figure written to {fig_path}");
+        let plot_dir = flags.get("plots").map(String::as_str).unwrap_or("plots");
+        write_figure_plots("bench-sim", plot_dir, &fig);
+    }
+    if !report.all_ok() {
+        eprintln!(
+            "bench-sim --mega: FAILED — shard-identity violation or setup memory over \
+             the {} MiB budget",
+            report.budget_bytes / (1024 * 1024)
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The `bench-compare` subcommand: replays a fresh `--quick` measurement
+/// of each committed bench artifact and fails on a rate regression beyond
+/// `--threshold` (default 0.30). Only sizing-insensitive rates are
+/// compared, so the quick fresh run is a fair check against committed
+/// full-sizing artifacts.
+fn cmd_bench_compare(flags: &HashMap<String, String>) {
+    let threshold: f64 = get(flags, "threshold", 0.30);
+    if !(0.0..1.0).contains(&threshold) {
+        eprintln!("bench-compare: --threshold must be in [0, 1)");
+        std::process::exit(2);
+    }
+    let threads: usize = get(flags, "threads", 1);
+    let load = |path: &str| -> Json {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-compare: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench-compare: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        })
+    };
+    let mut checks = Vec::new();
+    let mut compare = |label: &str, path: &str, committed: &Json, fresh: Json| {
+        let found = bench_regressions(committed, &fresh);
+        if found.is_empty() {
+            eprintln!("bench-compare: no comparable rates in {path}");
+            std::process::exit(1);
+        }
+        eprintln!("bench-compare: {label} ({path}): {} rate(s)", found.len());
+        checks.extend(found);
+    };
+
+    let sim_path = flags
+        .get("sim")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let committed_sim = load(&sim_path);
+    eprintln!("bench-compare: fresh quick bench-sim...");
+    let fresh_sim = bench_sim(true).unwrap_or_else(|e| {
+        eprintln!("bench-compare: {e}");
+        std::process::exit(1);
+    });
+    compare("bench-sim", &sim_path, &committed_sim, fresh_sim.to_json());
+
+    let sweep_path = flags
+        .get("sweep")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let committed_sweep = load(&sweep_path);
+    // The sweep's events/s amortizes per-cell setup over the sample count,
+    // so it is only comparable at the committed artifact's own
+    // (topologies × dest_sets) methodology — reconstruct it from the meta.
+    let meta_u32 = |doc: &Json, key: &str, default: u32| -> u32 {
+        doc.get("meta")
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_f64)
+            .map(|v| v as u32)
+            .unwrap_or(default)
+    };
+    let base = SweepBuilder::quick()
+        .topologies(meta_u32(&committed_sweep, "topologies", 2))
+        .dest_sets(meta_u32(&committed_sweep, "dest_sets", 3));
+    eprintln!(
+        "bench-compare: fresh bench-sweep at the committed {}x{} methodology \
+         ({threads} worker(s))...",
+        meta_u32(&committed_sweep, "topologies", 2),
+        meta_u32(&committed_sweep, "dest_sets", 3)
+    );
+    let fresh_sweep = bench_sweep(&base, threads).unwrap_or_else(|e| {
+        eprintln!("bench-compare: {e}");
+        std::process::exit(1);
+    });
+    compare(
+        "bench-sweep",
+        &sweep_path,
+        &committed_sweep,
+        fresh_sweep.to_json(),
+    );
+
+    if let Some(mega_path) = flags.get("mega") {
+        let committed_mega = load(mega_path);
+        eprintln!("bench-compare: fresh quick bench-sim --mega...");
+        let fresh_mega = bench_mega(true, None, 0, 0).unwrap_or_else(|e| {
+            eprintln!("bench-compare: {e}");
+            std::process::exit(1);
+        });
+        compare(
+            "bench-mega",
+            mega_path,
+            &committed_mega,
+            fresh_mega.to_json(),
+        );
+    }
+
+    let mut regressed = false;
+    for c in &checks {
+        let bad = c.regressed(threshold);
+        regressed |= bad;
+        println!(
+            "{:>22}: committed {:>14.1} | fresh {:>14.1} | ratio {:.2}{}",
+            c.metric,
+            c.committed,
+            c.fresh,
+            c.ratio(),
+            if bad { "  REGRESSION" } else { "" }
+        );
+    }
+    if regressed {
+        eprintln!(
+            "bench-compare: FAILED — at least one rate regressed more than {:.0}%",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench-compare: all {} rate(s) within {:.0}% of committed",
+        checks.len(),
+        threshold * 100.0
+    );
 }
 
 /// The `chaos` subcommand: the robustness grid (drop rate × crash count)
