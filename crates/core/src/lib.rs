@@ -54,6 +54,7 @@ pub mod buffer;
 pub mod builders;
 pub mod coverage;
 pub mod latency;
+pub mod membership;
 pub mod optimal;
 pub mod param_model;
 pub mod params;
@@ -68,6 +69,7 @@ pub mod prelude {
     pub use crate::latency::{
         conventional_latency_us, degraded_smart_latency_us, smart_latency_us, LatencyModel,
     };
+    pub use crate::membership::{Membership, MembershipError};
     pub use crate::optimal::{optimal_k, total_steps, OptimalK, OptimalKTable};
     pub use crate::param_model::{optimal_k_param, param_schedule, ParamModel, ParamOptimal};
     pub use crate::params::SystemParams;

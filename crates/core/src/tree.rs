@@ -715,6 +715,164 @@ impl MulticastTree {
     }
 }
 
+/// Incremental membership operations — the single-rank generalisation of
+/// [`MulticastTree::repair_partial`]. Where repair rebuilds after a batch of
+/// failures, [`MulticastTree::add_rank`] / [`MulticastTree::remove_rank`]
+/// splice one participant in or out while preserving the ≤ `k` fan-out
+/// bound and every surviving parent's send order, and return the same
+/// rank-map/reattachment bookkeeping as [`TreeRepair`] so callers (live
+/// streams with membership churn) can track identities across splices
+/// without a from-scratch rebuild.
+impl MulticastTree {
+    /// Splices a new participant into the tree as rank `n` (one past the
+    /// current highest), attached to the shallowest node with fewer than
+    /// `k` children — breadth-first from the source, children visited in
+    /// send order, so repeated joins fill the tree level by level exactly
+    /// like the repair fallback of [`Self::repair`].
+    ///
+    /// Every existing edge (and send order) is preserved; the returned
+    /// maps are identities over the old ranks and `reattached` records the
+    /// single new attachment `(new rank, chosen parent)`.
+    pub fn add_rank(&self, k: u32) -> TreeRepair {
+        let n = self.len();
+        let k = (k.max(1)) as usize;
+        let mut tree = MulticastTree::with_capacity(n as u32 + 1);
+        for r in self.dfs_preorder() {
+            if let Some(p) = self.parent(r) {
+                tree.attach(p, r);
+            }
+        }
+        // Shallowest spare slot, BFS in send order. The new rank is not yet
+        // attached, so every queued node is part of the original tree and
+        // the walk terminates (leaves always have 0 < k children).
+        let mut target = Rank::SOURCE;
+        let mut queue = std::collections::VecDeque::from([Rank::SOURCE]);
+        while let Some(u) = queue.pop_front() {
+            if (tree.child_count(u) as usize) < k {
+                target = u;
+                break;
+            }
+            queue.extend(tree.children_iter(u));
+        }
+        let joined = Rank(n as u32);
+        tree.attach(target, joined);
+        debug_assert!(tree.validate().is_ok());
+        TreeRepair {
+            tree,
+            new_to_old: (0..=n as u32).map(Rank).collect(),
+            old_to_new: (0..n as u32).map(|r| Some(Rank(r))).collect(),
+            reattached: vec![(joined, target)],
+        }
+    }
+
+    /// Splices one participant out of the tree: the single-rank
+    /// specialisation of [`Self::repair`], implemented as an incremental
+    /// O(n) pass rather than the general dead-set machinery, but with the
+    /// identical reattachment policy — each of `r`'s children (in original
+    /// rank order) re-attaches to the nearest surviving connected ancestor
+    /// with spare fan-out, falling back to the shallowest connected node
+    /// with spare fan-out. `remove_rank(r)` therefore equals
+    /// `repair(&[r])` exactly (a property the test battery pins).
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::SourceFailed`] if `r` is the source;
+    /// [`RepairError::UnknownRank`] if `r` is out of range.
+    pub fn remove_rank(&self, r: Rank) -> Result<TreeRepair, RepairError> {
+        let n = self.len();
+        if r.index() >= n {
+            return Err(RepairError::UnknownRank(r));
+        }
+        if r == Rank::SOURCE {
+            return Err(RepairError::SourceFailed);
+        }
+        // Dense renumbering: ranks below `r` keep their index, ranks above
+        // shift down by one.
+        let shift = |old: Rank| {
+            if old.index() > r.index() {
+                Rank(old.0 - 1)
+            } else {
+                old
+            }
+        };
+        let old_to_new: Vec<Option<Rank>> = (0..n as u32)
+            .map(|old| (old != r.0).then(|| shift(Rank(old))))
+            .collect();
+        let new_to_old: Vec<Rank> = (0..n as u32).filter(|&old| old != r.0).map(Rank).collect();
+        let k = self.max_degree().max(1) as usize;
+
+        // Pass 1 — every edge not incident to `r`, in preorder.
+        let mut tree = MulticastTree::with_capacity(n as u32 - 1);
+        for v in self.dfs_preorder() {
+            if v == r {
+                continue;
+            }
+            if let Some(p) = self.parent(v) {
+                if p != r {
+                    tree.attach(shift(p), shift(v));
+                }
+            }
+        }
+
+        // Only the subtrees hanging off `r`'s children are disconnected.
+        let mut connected = vec![false; n - 1];
+        let mark_component = |tree: &MulticastTree, connected: &mut Vec<bool>, start: Rank| {
+            let mut stack = vec![start];
+            while let Some(u) = stack.pop() {
+                if std::mem::replace(&mut connected[u.index()], true) {
+                    continue;
+                }
+                stack.extend(tree.children_iter(u));
+            }
+        };
+        mark_component(&tree, &mut connected, Rank::SOURCE);
+
+        // Pass 2 — re-attach `r`'s children in original-rank order (the
+        // order repair's pass 2 visits orphan roots in).
+        let parent_of_r = self.parent(r).expect("non-source rank");
+        let mut orphans: Vec<Rank> = self.children_iter(r).collect();
+        orphans.sort_unstable();
+        let mut reattached = Vec::with_capacity(orphans.len());
+        for c in orphans {
+            // Nearest surviving ancestor with spare fan-out: the walk
+            // starts at `r`'s parent (every ancestor survives and is
+            // connected — the root path above `r` is intact).
+            let mut target = None;
+            let mut anc = Some(parent_of_r);
+            while let Some(a) = anc {
+                let na = shift(a);
+                if (tree.child_count(na) as usize) < k {
+                    target = Some(na);
+                    break;
+                }
+                anc = self.parent(a);
+            }
+            let target = target.unwrap_or_else(|| {
+                // Shallowest connected node with spare fan-out.
+                let mut queue = std::collections::VecDeque::from([Rank::SOURCE]);
+                while let Some(u) = queue.pop_front() {
+                    if (tree.child_count(u) as usize) < k {
+                        return u;
+                    }
+                    queue.extend(tree.children_iter(u).filter(|c| connected[c.index()]));
+                }
+                unreachable!("a connected component always has a node with spare fan-out")
+            });
+            tree.attach(target, shift(c));
+            mark_component(&tree, &mut connected, shift(c));
+            reattached.push((c, new_to_old[target.index()]));
+        }
+
+        debug_assert!(tree.validate().is_ok());
+        Ok(TreeRepair {
+            tree,
+            new_to_old,
+            old_to_new,
+            reattached,
+        })
+    }
+}
+
 #[cfg(test)]
 mod repair_tests {
     use super::*;
@@ -809,6 +967,99 @@ mod repair_tests {
         );
         // An empty delivered set reduces to plain repair.
         assert_eq!(t.repair_partial(&failed, &[]), t.repair(&failed));
+    }
+
+    /// Regression (static-rank-universe seam audit): a rank listed in both
+    /// `failed` and `delivered` is excluded exactly once — the dead-set
+    /// flagging is idempotent, so the overlap behaves like plain failure
+    /// and never double-counts, shifts the dense renumbering, or panics.
+    #[test]
+    fn overlapping_failed_and_delivered_sets_are_idempotent() {
+        let t = kbinomial_tree(16, 2);
+        let overlap = [Rank(3), Rank(7)];
+        let rep = t.repair_partial(&overlap, &overlap).unwrap();
+        assert_eq!(rep, t.repair(&overlap).unwrap());
+        assert_eq!(rep.tree.len(), 14);
+        // Disjoint-plus-overlap mixes reduce to the union of the sets.
+        let rep2 = t
+            .repair_partial(&[Rank(3), Rank(7)], &[Rank(7), Rank(9)])
+            .unwrap();
+        assert_eq!(
+            rep2,
+            t.repair_partial(&[Rank(3), Rank(7)], &[Rank(9)]).unwrap()
+        );
+        // The source in `failed` stays an error even when also delivered
+        // (failure is checked first; delivery never legitimises a dead
+        // source).
+        assert_eq!(
+            t.repair_partial(&[Rank::SOURCE], &[Rank::SOURCE]),
+            Err(RepairError::SourceFailed)
+        );
+        // Duplicates within one set are equally idempotent.
+        assert_eq!(
+            t.repair_partial(&[Rank(5), Rank(5)], &[]),
+            t.repair(&[Rank(5)])
+        );
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::builders::{kbinomial_tree, linear_tree};
+
+    #[test]
+    fn add_rank_attaches_at_the_shallowest_spare_slot() {
+        // Full 2-binomial levels: the next join lands under the shallowest
+        // node with spare fan-out, breadth-first in send order.
+        let t = kbinomial_tree(4, 2); // root -> {2, 1}, 2 -> {3}
+        let rep = t.add_rank(2);
+        rep.tree.validate().unwrap();
+        assert_eq!(rep.tree.len(), 5);
+        // Root is full (2 children); rank 2, first in send order, has one
+        // child -> the spare slot.
+        assert_eq!(rep.reattached, vec![(Rank(4), Rank(2))]);
+        assert_eq!(rep.tree.parent(Rank(4)), Some(Rank(2)));
+        assert!(rep.tree.max_degree() <= 2);
+        // Identity maps over the old ranks.
+        assert_eq!(
+            rep.old_to_new,
+            (0..4).map(|r| Some(Rank(r))).collect::<Vec<_>>()
+        );
+        assert_eq!(rep.new_to_old, (0..5).map(Rank).collect::<Vec<_>>());
+        // Existing edges and send orders are untouched.
+        assert_eq!(rep.tree.root_children(), t.root_children());
+    }
+
+    #[test]
+    fn add_rank_on_a_chain_extends_the_chain() {
+        let t = linear_tree(3);
+        let rep = t.add_rank(1);
+        rep.tree.validate().unwrap();
+        assert_eq!(rep.tree.parent(Rank(3)), Some(Rank(2)));
+        assert_eq!(rep.tree.max_degree(), 1);
+    }
+
+    #[test]
+    fn remove_rank_equals_single_failure_repair() {
+        for k in 1..=4u32 {
+            let t = kbinomial_tree(24, k);
+            for r in 1..24u32 {
+                let inc = t.remove_rank(Rank(r)).unwrap();
+                let rep = t.repair(&[Rank(r)]).unwrap();
+                assert_eq!(inc, rep, "k={k} r={r} diverged from repair");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_rank_rejects_bad_ranks() {
+        let t = kbinomial_tree(8, 2);
+        assert_eq!(t.remove_rank(Rank::SOURCE), Err(RepairError::SourceFailed));
+        assert_eq!(
+            t.remove_rank(Rank(8)),
+            Err(RepairError::UnknownRank(Rank(8)))
+        );
     }
 }
 

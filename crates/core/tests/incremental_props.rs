@@ -1,0 +1,236 @@
+//! Property battery for the incremental membership operations
+//! ([`MulticastTree::add_rank`] / [`MulticastTree::remove_rank`] and the
+//! [`Membership`] layer composing them). For random k-binomial trees and
+//! random join/leave sequences —
+//!
+//! * every splice keeps the fan-out within the bound `k` and keeps the
+//!   tree a valid spanning tree of exactly the current membership;
+//! * `remove_rank(r)` equals the batch `repair(&[r])` exactly (tree, maps,
+//!   and reattachment log);
+//! * `add_rank` preserves every existing edge and send order, with
+//!   identity rank maps;
+//! * after any operation sequence the group is *equivalent to a
+//!   from-scratch rebuild*: the member set matches an independently
+//!   maintained model set, and the spliced tree admits a complete FPFS
+//!   schedule (every member reached, `m·(len−1)` sends) just like a fresh
+//!   k-binomial tree over the same membership;
+//! * `leave ∘ join` of the same member is a membership identity.
+//!
+//! Random sequences are driven from plain integer draws (the vendored
+//! proptest supports integer-range strategies): a `u64` op stream is
+//! consumed 8 bits per step to pick a member, and the toggle direction
+//! (join vs leave) follows from current membership — so every generated
+//! sequence is valid by construction.
+
+use optimcast_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Full-width `u64` strategy (the vendored proptest has no `num` module).
+const ANY_U64: std::ops::Range<u64> = 0..u64::MAX;
+
+/// A fresh group: members `0..n` on a k-binomial tree over `n` ranks in a
+/// universe of `universe` ids.
+fn group(n: u32, universe: u32, k: u32) -> Membership {
+    let members: Vec<u32> = (0..n).collect();
+    Membership::new(kbinomial_tree(n, k), &members, universe, k).unwrap()
+}
+
+/// Applies `steps` toggles drawn from `opstream` (8 bits each) to `g`,
+/// mirroring them into `model`. Leaves that would empty the group (only
+/// the source left) are skipped, like a stream's churn guard.
+fn drive(g: &mut Membership, model: &mut HashSet<u32>, opstream: u64, steps: u32) {
+    let universe = g.universe();
+    for i in 0..steps {
+        let byte = (opstream >> ((i % 8) * 8)) & 0xFF;
+        let member = 1 + ((byte + u64::from(i)) % u64::from(universe - 1)) as u32;
+        if g.is_member(member) {
+            if g.len() > 2 {
+                g.leave(member).unwrap();
+                model.remove(&member);
+            }
+        } else {
+            g.join(member).unwrap();
+            model.insert(member);
+        }
+    }
+}
+
+/// The membership invariants: maps mutually inverse, tree spans exactly
+/// the members, fan-out within bound.
+fn assert_group_invariants(g: &Membership) -> Result<(), String> {
+    g.tree()
+        .validate()
+        .map_err(|e| format!("invalid tree after splice: {e}"))?;
+    prop_assert_eq!(g.tree().len(), g.len());
+    for (r, &u) in g.members().iter().enumerate() {
+        prop_assert_eq!(g.rank_of(u), Some(Rank(r as u32)));
+        prop_assert_eq!(g.member_of(Rank(r as u32)), u);
+    }
+    let bound = g.fan_out().max(1);
+    prop_assert!(
+        g.tree().max_degree() <= bound,
+        "fan-out {} exceeds bound {}",
+        g.tree().max_degree(),
+        bound
+    );
+    Ok(())
+}
+
+proptest! {
+    /// `add_rank` keeps every old edge and send order, attaches exactly one
+    /// new leaf within the bound, and returns identity maps.
+    #[test]
+    fn add_rank_preserves_structure_and_bound(n in 1u32..48, k in 1u32..6) {
+        let tree = kbinomial_tree(n, k);
+        let bound = tree.max_degree().max(k).max(1);
+        let rep = tree.add_rank(k);
+        rep.tree.validate().expect("spliced tree invalid");
+        prop_assert_eq!(rep.tree.len(), tree.len() + 1);
+        prop_assert!(rep.tree.max_degree() <= bound);
+        // Identity maps; one recorded attachment for the new rank.
+        for r in 0..n {
+            prop_assert_eq!(rep.old_to_new[r as usize], Some(Rank(r)));
+            prop_assert_eq!(rep.new_to_old[r as usize], Rank(r));
+        }
+        prop_assert_eq!(rep.reattached.len(), 1);
+        let (joined, parent) = rep.reattached[0];
+        prop_assert_eq!(joined, Rank(n));
+        prop_assert_eq!(rep.tree.parent(joined), Some(parent));
+        // Every original parent's child list is a prefix-preserved copy.
+        for r in 0..n {
+            let old: Vec<Rank> = tree.children(Rank(r)).to_vec();
+            let new: Vec<Rank> = rep
+                .tree
+                .children(Rank(r))
+                .iter()
+                .copied()
+                .filter(|&c| c != joined)
+                .collect();
+            prop_assert_eq!(old, new, "send order of r{} changed", r);
+        }
+    }
+
+    /// `remove_rank` is exactly the single-failure batch repair: same tree,
+    /// same rank maps, same reattachment log.
+    #[test]
+    fn remove_rank_equals_batch_repair(n in 2u32..64, k in 1u32..6, pick in 0u64..1 << 32) {
+        let tree = kbinomial_tree(n, k);
+        let r = Rank(1 + (pick % u64::from(n - 1)) as u32);
+        let inc = tree.remove_rank(r).expect("valid rank rejected");
+        let batch = tree.repair(&[r]).expect("valid rank rejected");
+        prop_assert_eq!(inc, batch);
+    }
+
+    /// Random join/leave sequences keep the maps inverse, the tree spanning
+    /// the current membership, and the fan-out within bound, at every step.
+    #[test]
+    fn op_sequences_keep_invariants(
+        n in 2u32..16,
+        extra in 1u32..16,
+        k in 1u32..5,
+        opstream in ANY_U64,
+        steps in 1u32..24,
+    ) {
+        let universe = n + extra;
+        let mut g = group(n, universe, k);
+        let mut model: HashSet<u32> = (0..n).collect();
+        let per_step = steps.min(8);
+        for chunk in 0..steps.div_ceil(per_step) {
+            drive(&mut g, &mut model, opstream.rotate_left(chunk * 13), per_step);
+            assert_group_invariants(&g)?;
+        }
+    }
+
+    /// After any operation sequence the group is equivalent to a rebuild:
+    /// the member set matches the model set, and the spliced tree admits
+    /// the same complete FPFS schedule shape a from-scratch k-binomial
+    /// tree over that membership does (every member reached, one send per
+    /// edge per packet).
+    #[test]
+    fn op_sequences_are_equivalent_to_rebuild(
+        n in 2u32..16,
+        extra in 1u32..16,
+        k in 1u32..5,
+        opstream in ANY_U64,
+        steps in 1u32..32,
+        m in 1u32..5,
+    ) {
+        let universe = n + extra;
+        let mut g = group(n, universe, k);
+        let mut model: HashSet<u32> = (0..n).collect();
+        drive(&mut g, &mut model, opstream, steps);
+
+        // Same member set as the model (what a rebuild would span).
+        let members: HashSet<u32> = g.members().iter().copied().collect();
+        prop_assert_eq!(&members, &model);
+        prop_assert_eq!(g.members().len(), members.len(), "duplicate members");
+
+        // Both trees admit complete m-packet FPFS schedules over the same
+        // participant count: every rank completes, m·(len−1) sends total.
+        let rebuilt = kbinomial_tree(g.len() as u32, k);
+        for tree in [g.tree(), &rebuilt] {
+            let sched = fpfs_schedule(tree, m);
+            prop_assert_eq!(sched.events().len(), (m as usize) * (tree.len() - 1));
+            for r in 1..tree.len() {
+                prop_assert!(sched.message_completion(Rank(r as u32)) > 0);
+            }
+        }
+        // The spliced tree obeys the same fan-out bound the rebuild does.
+        prop_assert!(g.tree().max_degree() <= rebuilt.max_degree().max(k));
+    }
+
+    /// `leave ∘ join` of the same member is a membership identity: the
+    /// member set (and every member's presence) is exactly as before.
+    #[test]
+    fn leave_after_join_is_membership_identity(
+        n in 2u32..24,
+        extra in 1u32..8,
+        k in 1u32..5,
+        pick in ANY_U64,
+    ) {
+        let universe = n + extra;
+        let mut g = group(n, universe, k);
+        let newcomer = n + (pick % u64::from(extra)) as u32;
+        let before: HashSet<u32> = g.members().iter().copied().collect();
+
+        g.join(newcomer).unwrap();
+        prop_assert!(g.is_member(newcomer));
+        g.leave(newcomer).unwrap();
+
+        let after: HashSet<u32> = g.members().iter().copied().collect();
+        prop_assert_eq!(before, after);
+        assert_group_invariants(&g)?;
+
+        // And the other composition order on an existing member: leave
+        // then re-join restores the same member set too.
+        let resident = 1 + (pick % u64::from(n - 1)) as u32;
+        let before: HashSet<u32> = g.members().iter().copied().collect();
+        g.leave(resident).unwrap();
+        prop_assert!(!g.is_member(resident));
+        g.join(resident).unwrap();
+        let after: HashSet<u32> = g.members().iter().copied().collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Misuse is a typed error and never corrupts the group.
+    #[test]
+    fn invalid_operations_are_typed_errors(n in 2u32..16, k in 1u32..5) {
+        let mut g = group(n, n + 4, k);
+        prop_assert_eq!(g.join(0), Err(MembershipError::AlreadyMember(0)));
+        prop_assert_eq!(g.join(n + 4), Err(MembershipError::UnknownMember(n + 4)));
+        prop_assert_eq!(g.leave(0), Err(MembershipError::SourceImmutable));
+        prop_assert_eq!(g.leave(n), Err(MembershipError::NotMember(n)));
+        prop_assert_eq!(g.leave(n + 9), Err(MembershipError::UnknownMember(n + 9)));
+        assert_group_invariants(&g)?;
+        // The underlying incremental op rejects the same misuse.
+        prop_assert_eq!(
+            g.tree().remove_rank(Rank::SOURCE),
+            Err(RepairError::SourceFailed)
+        );
+        prop_assert_eq!(
+            g.tree().remove_rank(Rank(n)),
+            Err(RepairError::UnknownRank(Rank(n)))
+        );
+    }
+}

@@ -44,6 +44,7 @@ pub mod scheduler;
 mod shard;
 pub mod sim;
 mod simulation;
+pub mod stream;
 pub mod time;
 pub mod transport;
 pub mod workload;
@@ -61,6 +62,10 @@ pub use scheduler::{
 pub use sim::{
     run_multicast, run_multicast_prerouted, run_multicast_shared, run_multicast_with_faults,
     ContentionMode, MulticastOutcome, NiTiming, NicKind, RunConfig,
+};
+pub use stream::{
+    churn_plan, ChurnEvent, FrameFate, FrameRecord, ReceiverStats, StreamError, StreamOutcome,
+    StreamRun, StreamSpec,
 };
 pub use time::SimTime;
 pub use transport::{

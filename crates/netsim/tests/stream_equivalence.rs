@@ -1,0 +1,127 @@
+//! `StreamRun` equivalence batteries.
+//!
+//! Two contracts, mirroring `shard_equivalence.rs`:
+//!
+//! * **Differential** — a stream of exactly one frame, no churn, and
+//!   unbounded buffers is the degenerate case of the streaming driver:
+//!   the single frame's simulator outcome must be **bit-identical** to the
+//!   equivalent [`SimRun`] over the same tree, binding, packet count, and
+//!   configuration. This pins `StreamRun` to every existing golden the
+//!   `SimRun` path is pinned to.
+//! * **Serial vs sharded** — the streaming driver only orchestrates; each
+//!   frame's multicast is a `SimRun`, so the whole [`StreamOutcome`]
+//!   (frame fates, receiver stats, counters) must be byte-identical at any
+//!   shard count, window width, or pre-drain thread count, churn and
+//!   backpressure included.
+
+use optimcast_core::builders::kbinomial_tree;
+use optimcast_core::params::SystemParams;
+use optimcast_netsim::stream::{StreamOutcome, StreamRun, StreamSpec};
+use optimcast_netsim::workload::{MulticastJob, SimRun, WorkloadConfig};
+use optimcast_topology::graph::HostId;
+use optimcast_topology::irregular::{IrregularConfig, IrregularNetwork};
+use proptest::prelude::*;
+
+fn params() -> SystemParams {
+    SystemParams::paper_1997()
+}
+
+fn config(shards: u16, window_us: u32, threads: u16) -> WorkloadConfig {
+    WorkloadConfig {
+        shards,
+        shard_window_us: window_us,
+        shard_threads: threads,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn stream(
+    net: &IrregularNetwork,
+    binding: &[HostId],
+    n: u32,
+    k: u32,
+    spec: StreamSpec,
+    cfg: WorkloadConfig,
+) -> StreamOutcome {
+    StreamRun::new(net, binding, n, k, &params(), spec)
+        .config(cfg)
+        .run()
+        .expect("valid stream completes")
+}
+
+proptest! {
+    /// One frame, no churn, unbounded buffers: the frame's
+    /// `WorkloadOutcome` is bit-identical to the equivalent `SimRun`.
+    #[test]
+    fn single_frame_stream_equals_simrun(
+        seed in 0u64..40,
+        n in 2u32..48,
+        k in 1u32..5,
+        frame_bytes in 1u32..512,
+        mtu in 1u32..128,
+    ) {
+        let net = IrregularNetwork::generate(IrregularConfig::default(), seed);
+        let binding: Vec<HostId> = (0..n).map(HostId).collect();
+        let spec = StreamSpec {
+            frame_bytes,
+            mtu_bytes: mtu,
+            frames: 1,
+            buffer_frames: 0,
+            churn_events: 0,
+            keep_frame_outcomes: true,
+            ..StreamSpec::default()
+        };
+        let out = stream(&net, &binding, n, k, spec, WorkloadConfig::default());
+        prop_assert_eq!(out.served, 1);
+        prop_assert_eq!(out.frame_outcomes.len(), 1);
+
+        let packets = frame_bytes.div_ceil(mtu);
+        prop_assert_eq!(out.packets_per_frame, packets);
+        let job = MulticastJob::fpfs(kbinomial_tree(n, k), binding, packets);
+        let direct = SimRun::new(&net, std::slice::from_ref(&job), &params(),
+                                 WorkloadConfig::default())
+            .run()
+            .expect("fault-free run completes");
+        prop_assert_eq!(&out.frame_outcomes[0], &direct);
+        prop_assert_eq!(out.duration_us, direct.makespan_us.max(0.0));
+        prop_assert_eq!(out.events, direct.events);
+    }
+
+    /// Churning, backpressured streams are byte-identical between the
+    /// serial engine and every sharded configuration.
+    #[test]
+    fn sharded_stream_equals_serial(
+        seed in 0u64..30,
+        n in 4u32..32,
+        extra in 0u32..8,
+        k in 1u32..4,
+        churn in 0u32..8,
+        buffer in 0u32..4,
+        wsel in 0usize..4,
+    ) {
+        let window_us = [0u32, 1, 17, 1000][wsel];
+        let net = IrregularNetwork::generate(IrregularConfig::default(), seed);
+        let universe = n + extra;
+        let binding: Vec<HostId> = (0..universe).map(HostId).collect();
+        let spec = StreamSpec {
+            frames: 6,
+            gap_us: 40.0,
+            buffer_frames: buffer,
+            churn_events: churn,
+            churn_seed: seed ^ 0xA5A5,
+            ..StreamSpec::default()
+        };
+        let serial = stream(&net, &binding, n, k, spec, config(0, 0, 0));
+        for shards in [1u16, 2, 8] {
+            for threads in [1u16, 4] {
+                let sharded = stream(&net, &binding, n, k, spec,
+                                     config(shards, window_us, threads));
+                prop_assert_eq!(
+                    &serial, &sharded,
+                    "shards={} window={}us threads={} diverged",
+                    shards, window_us, threads
+                );
+            }
+        }
+    }
+}

@@ -50,6 +50,9 @@ pub enum SweepError {
     /// A multi-tenant grid axis is malformed (empty axis, zero job count
     /// or group size, non-finite mean inter-arrival).
     InvalidTenantAxis(&'static str),
+    /// A streaming grid axis is malformed (empty axis, non-positive
+    /// offered load, zero-byte frame or MTU, zero frames).
+    InvalidStreamAxis(&'static str),
 }
 
 impl fmt::Display for SweepError {
@@ -86,6 +89,9 @@ impl fmt::Display for SweepError {
             ),
             SweepError::InvalidTenantAxis(why) => {
                 write!(f, "invalid multi-tenant axis: {why}")
+            }
+            SweepError::InvalidStreamAxis(why) => {
+                write!(f, "invalid streaming axis: {why}")
             }
         }
     }

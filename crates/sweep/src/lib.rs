@@ -44,6 +44,7 @@ mod json;
 mod mega;
 mod memo;
 mod sampling;
+mod streaming;
 mod tenants;
 
 pub use bench::{bench_sweep, BenchReport};
@@ -70,4 +71,5 @@ pub use sampling::{
     m_axis, sample_chain, sample_instance, Instance, TreePolicy, DEST_COUNTS, M_SWEEP, N_SWEEP,
     PACKET_COUNTS,
 };
+pub use streaming::{StreamCell, StreamGrid, StreamReport};
 pub use tenants::{TenantCell, TenantPolicyStats, TenantReport};

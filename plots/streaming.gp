@@ -1,0 +1,17 @@
+set title "Frame staleness under churn, load, and backpressure"
+set xlabel "offered load (x nominal service)"
+set ylabel "mean staleness (us)"
+set key left top
+set grid
+set terminal pngcairo size 800,600
+set output "streaming.png"
+set datafile missing "?"
+plot "streaming.dat" using 1:2 with linespoints title "churn=0 buf=1", \
+     "streaming.dat" using 1:3 with linespoints title "churn=0 buf=4", \
+     "streaming.dat" using 1:4 with linespoints title "churn=0 buf=16", \
+     "streaming.dat" using 1:5 with linespoints title "churn=4 buf=1", \
+     "streaming.dat" using 1:6 with linespoints title "churn=4 buf=4", \
+     "streaming.dat" using 1:7 with linespoints title "churn=4 buf=16", \
+     "streaming.dat" using 1:8 with linespoints title "churn=8 buf=1", \
+     "streaming.dat" using 1:9 with linespoints title "churn=8 buf=4", \
+     "streaming.dat" using 1:10 with linespoints title "churn=8 buf=16"

@@ -22,6 +22,9 @@
 //!                    [--arq] [--window W] [--send-units S] [--plots DIR]
 //! optimcast jobs     [--quick] [--seed N] [--threads N] [--m M] [--json]
 //!                    [--out PATH] [--plots DIR]
+//! optimcast stream   [--quick] [--seed N] [--threads N] [--dests D]
+//!                    [--frame-bytes B] [--mtu B] [--frames F]
+//!                    [--out PATH] [--plots DIR]
 //! optimcast wire     [--role demo|source|sink] --n N [--k K] [--m M]
 //!                    [--rank R] [--port-base P] [--payload B] [--mtu M]
 //!                    [--timeout-ms T]
@@ -67,6 +70,7 @@ fn main() {
         "bench-compare" => cmd_bench_compare(&flags),
         "chaos" => cmd_chaos(&flags),
         "jobs" => cmd_jobs(&flags),
+        "stream" => cmd_stream(&flags),
         "wire" => cmd_wire(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -101,6 +105,8 @@ fn usage() {
          \u{20}           [--arq] [--window W] [--send-units S] [--plots DIR]\n\
          \u{20}  jobs     [--quick] [--seed N] [--threads N] [--m M] [--json] [--out PATH]\n\
          \u{20}           [--plots DIR]\n\
+         \u{20}  stream   [--quick] [--seed N] [--threads N] [--dests D] [--frame-bytes B]\n\
+         \u{20}           [--mtu B] [--frames F] [--out PATH] [--plots DIR]\n\
          \u{20}  wire     [--role demo|source|sink] --n N [--k K] [--m M] [--rank R]\n\
          \u{20}           [--port-base P] [--payload B] [--mtu M] [--timeout-ms T]"
     );
@@ -1094,6 +1100,105 @@ fn cmd_chaos_arq(flags: &HashMap<String, String>) {
     if !quick {
         let plot_dir = flags.get("plots").map(String::as_str).unwrap_or("plots");
         write_figure_plots("chaos", plot_dir, &report.figure());
+    }
+}
+
+/// The `stream` subcommand: the streaming grid — churn rate × offered
+/// load × buffer depth, each cell streaming frames through bounded
+/// drop-oldest buffers to a churning group on the optimal k-binomial
+/// tree. The JSON records no thread count and is byte-identical for
+/// every `--threads` value — CI runs it twice and diffs.
+fn cmd_stream(flags: &HashMap<String, String>) {
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = get(flags, "threads", default_threads);
+    let quick = flags.contains_key("quick");
+    let seed: u64 = get(flags, "seed", 1997);
+    let (base, mut grid, label) = if quick {
+        (SweepBuilder::quick(), StreamGrid::quick(), "quick (2x3)")
+    } else {
+        (SweepBuilder::paper(), StreamGrid::paper(), "paper (10x30)")
+    };
+    grid.dests = get(flags, "dests", grid.dests);
+    grid.frame_bytes = get(flags, "frame-bytes", grid.frame_bytes);
+    grid.mtu_bytes = get(flags, "mtu", grid.mtu_bytes);
+    grid.frames = get(flags, "frames", grid.frames);
+    eprintln!(
+        "stream: {label} methodology, {} churn x {} load x {} buffer cell(s), {threads} worker(s)...",
+        grid.churn_levels.len(),
+        grid.loads.len(),
+        grid.buffer_depths.len()
+    );
+    let sweep = base
+        .parallelism(threads)
+        .base_seed(seed)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("stream: {e}");
+            std::process::exit(2);
+        });
+    let report = sweep.streaming(&grid).unwrap_or_else(|e| {
+        eprintln!("stream: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "stream grid: {} dests, {}-byte frames at {}-byte MTU ({} packets), {} frames/stream, \
+         {} samples/cell",
+        grid.dests,
+        grid.frame_bytes,
+        grid.mtu_bytes,
+        grid.frame_bytes.div_ceil(grid.mtu_bytes),
+        grid.frames,
+        sweep.config().samples()
+    );
+    println!(
+        "{:>6} {:>5} {:>6} {:>8} {:>8} {:>9} {:>14} {:>14} {:>13}",
+        "churn",
+        "load",
+        "buf",
+        "served",
+        "dropped",
+        "droprate",
+        "goodput(Mb/s)",
+        "stale(us)",
+        "maxstale(us)"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:>6} {:>5.2} {:>6} {:>8} {:>8} {:>9.4} {:>14.3} {:>14.2} {:>13.2}",
+            cell.churn_events,
+            cell.load,
+            if cell.buffer_frames == 0 {
+                "inf".to_string()
+            } else {
+                cell.buffer_frames.to_string()
+            },
+            cell.served,
+            cell.dropped,
+            cell.drop_rate,
+            cell.mean_goodput_mbps,
+            cell.mean_staleness_us,
+            cell.max_staleness_us
+        );
+    }
+    let effort = sweep.sim_effort();
+    println!(
+        "engine: {} events processed, peak queue {}",
+        effort.events_processed, effort.peak_queue_len
+    );
+    let default_out = "results/streaming.json".to_string();
+    let out_path = flags.get("out").unwrap_or(&default_out);
+    if let Err(e) = std::fs::write(out_path, report.to_json().to_string_pretty()) {
+        eprintln!("stream: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
+    // The committed plots chart the full paper grid; quick smoke runs
+    // (CI's determinism check) must not overwrite them.
+    if !quick {
+        let plot_dir = flags.get("plots").map(String::as_str).unwrap_or("plots");
+        write_figure_plots("stream", plot_dir, &report.figure());
     }
 }
 

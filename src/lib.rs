@@ -87,8 +87,9 @@ pub mod prelude {
         ScheduledOutcome, ScheduledRun, SimError, SimRun, WorkloadConfig,
     };
     pub use optimcast_sweep::{
-        ChaosCell, ChaosFigureId, ChaosReport, Figure, FigureId, Series, Sweep, SweepBuilder,
-        SweepError, TenantCell, TenantPolicyStats, TenantReport, TreePolicy,
+        ChaosCell, ChaosFigureId, ChaosReport, Figure, FigureId, Series, StreamCell, StreamGrid,
+        StreamReport, Sweep, SweepBuilder, SweepError, TenantCell, TenantPolicyStats, TenantReport,
+        TreePolicy,
     };
     pub use optimcast_topology::cube::CubeNetwork;
     pub use optimcast_topology::graph::{ChannelId, HostId, LinkId, SwitchId};

@@ -486,3 +486,45 @@ fn chaos_subcommand_is_deterministic_across_threads() {
         "thread count leaked into the JSON"
     );
 }
+
+#[test]
+fn stream_threads_flag_is_output_invariant() {
+    let run = |threads: &str| {
+        let out_path = std::env::temp_dir().join(format!("optimcast-stream-{threads}.json"));
+        let _ = std::fs::remove_file(&out_path);
+        let out = Command::new(env!("CARGO_BIN_EXE_optimcast"))
+            .args([
+                "stream",
+                "--quick",
+                "--seed",
+                "7",
+                "--dests",
+                "11",
+                "--frames",
+                "6",
+                "--threads",
+                threads,
+                "--out",
+                out_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("droprate"), "{stdout}");
+        assert!(stdout.contains("stale(us)"), "{stdout}");
+        std::fs::read_to_string(&out_path).expect("report written")
+    };
+    let serial = run("1");
+    assert_eq!(
+        serial,
+        run("4"),
+        "thread count changed streaming report bytes"
+    );
+    assert!(serial.contains("\"id\": \"streaming\""), "{serial}");
+    assert!(serial.contains("\"mean_staleness_us\""), "{serial}");
+}

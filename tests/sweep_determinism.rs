@@ -180,3 +180,43 @@ fn chaos_grid_byte_identical_across_workers() {
     let serial = json_for(1);
     assert_eq!(serial, json_for(8), "8 workers diverged");
 }
+
+proptest! {
+    /// The streaming grid at 1, 2, and 8 workers produces byte-identical
+    /// report JSON for random small configurations: chain sampling, churn
+    /// planning, frame-by-frame simulation, and the per-cell reductions
+    /// must all stay schedule-independent.
+    #[test]
+    fn streaming_grid_workers_1_2_8_byte_identical(
+        base_seed in 0u64..1_000_000,
+        churn in 0u32..=6,
+        load_idx in 0usize..3,
+        buffer in 0u32..=3,
+        dests in 3u32..=15,
+    ) {
+        let load = [0.5f64, 1.0, 2.0][load_idx];
+        let grid = StreamGrid {
+            churn_levels: vec![0, churn],
+            loads: vec![load],
+            buffer_depths: vec![buffer],
+            dests,
+            frames: 6,
+            ..StreamGrid::quick()
+        };
+        let json_for = |threads: usize| {
+            let sweep = SweepBuilder::quick()
+                .base_seed(base_seed)
+                .parallelism(threads)
+                .build()
+                .expect("quick config is valid");
+            sweep
+                .streaming(&grid)
+                .expect("small streaming grids are valid")
+                .to_json()
+                .to_string_pretty()
+        };
+        let serial = json_for(1);
+        prop_assert_eq!(&serial, &json_for(2), "2 workers diverged");
+        prop_assert_eq!(&serial, &json_for(8), "8 workers diverged");
+    }
+}

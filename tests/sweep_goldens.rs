@@ -186,3 +186,23 @@ fn chaos_repair_report_matches_committed_golden() {
         "live-repair chaos drifted from results/chaos_repair.json"
     );
 }
+
+/// The committed streaming report (`results/streaming.json`) regenerates
+/// byte-identically. This is the grid the CI `stream-smoke` job produces
+/// with `optimcast stream --quick`: the quick methodology's churn × load
+/// × buffer grid, run here on 4 workers against the serially generated
+/// committed file.
+#[test]
+fn streaming_report_matches_committed_golden() {
+    let sweep = SweepBuilder::quick().parallelism(4).build().unwrap();
+    let report = sweep
+        .streaming(&StreamGrid::quick())
+        .expect("the committed grid is valid");
+    let path = format!("{}/results/streaming.json", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        report.to_json().to_string_pretty(),
+        committed,
+        "streaming grid drifted from results/streaming.json"
+    );
+}
